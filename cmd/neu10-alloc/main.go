@@ -1,0 +1,74 @@
+// Command neu10-alloc is the paper's compile-time vNPU allocator
+// (§III-B): it profiles a workload with the ML-compiler cost model and
+// recommends the ME/VE split that maximizes EU utilization for a
+// pay-as-you-go budget.
+//
+//	neu10-alloc -model BERT -batch 32 -eus 4
+//	neu10-alloc -model DLRM -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/core"
+	"neu10/internal/model"
+)
+
+func main() {
+	var (
+		name  = flag.String("model", "BERT", "workload (one of "+fmt.Sprint(model.Names())+")")
+		batch = flag.Int("batch", 32, "batch size")
+		eus   = flag.Int("eus", 4, "total execution-unit budget (MEs + VEs)")
+		sweep = flag.Bool("sweep", false, "print the full Fig. 12-style sweep up to 16 EUs")
+	)
+	flag.Parse()
+
+	tpu := arch.TPUv4Like()
+	g, err := model.Build(*name, *batch)
+	if err != nil {
+		fatal(err)
+	}
+	cm := compiler.NewCostModel(tpu)
+	prof := cm.ProfileGraph(g)
+	alloc, err := core.NewAllocator(tpu)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s (batch %d): ME active m=%.3f, VE active v=%.3f, footprint %.2f GB\n",
+		*name, *batch, prof.M, prof.V, float64(g.HBMFootprint)/(1<<30))
+	fmt.Printf("optimal ME:VE ratio (Eq. 4): k = %.3f\n\n", core.OptimalRatio(prof.M, prof.V))
+
+	if *sweep {
+		fmt.Println("EUs  selected  utilization  speedup-vs-1ME1VE")
+		for total := 2; total <= 16; total++ {
+			a, err := alloc.Allocate(prof, g.HBMFootprint, total)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%3d  (%d,%d)     %.3f        %.2fx\n",
+				total, a.MEs, a.VEs, a.Utilization, a.Speedup)
+		}
+		return
+	}
+
+	a, err := alloc.Allocate(prof, g.HBMFootprint, *eus)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := alloc.ConfigFor(a)
+	fmt.Printf("recommended vNPU for %d EUs:\n", *eus)
+	fmt.Printf("  MEs/core:  %d\n  VEs/core:  %d\n  SRAM/core: %d MB\n  HBM/core:  %.2f GB\n",
+		cfg.NumMEsPerCore, cfg.NumVEsPerCore, cfg.SRAMSizePerCore>>20,
+		float64(cfg.MemSizePerCore)/(1<<30))
+	fmt.Printf("  EU utilization %.3f, speedup %.2fx over 1 ME + 1 VE\n", a.Utilization, a.Speedup)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neu10-alloc:", err)
+	os.Exit(1)
+}

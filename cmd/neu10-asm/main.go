@@ -1,0 +1,64 @@
+// Command neu10-asm assembles NeuISA text into binaries and disassembles
+// binaries back to text:
+//
+//	neu10-asm -in kernel.s -out kernel.bin
+//	neu10-asm -d kernel.bin
+//
+// The assembler syntax is documented on isa.Assemble.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neu10/internal/isa"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "assembly source file (assemble mode)")
+		out  = flag.String("out", "", "output binary path (default: stdout size report)")
+		dump = flag.String("d", "", "binary file to disassemble")
+	)
+	flag.Parse()
+
+	switch {
+	case *dump != "":
+		bin, err := os.ReadFile(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := isa.DecodeNeuProgram(bin)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(isa.DumpNeuProgram(prog))
+	case *in != "":
+		src, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := isa.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		bin := prog.Encode()
+		if *out != "" {
+			if err := os.WriteFile(*out, bin, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		st := prog.Stats()
+		fmt.Printf("assembled: %d µTOps (%d ME, %d VE), %d groups, %d instructions, %d bytes\n",
+			st.MEUTops+st.VEUTops, st.MEUTops, st.VEUTops, st.Groups, st.Instructions, len(bin))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neu10-asm:", err)
+	os.Exit(1)
+}

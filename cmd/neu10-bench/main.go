@@ -1,0 +1,56 @@
+// Command neu10-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md for the experiment index):
+//
+//	neu10-bench -exp all
+//	neu10-bench -exp fig19 -requests 16
+//	neu10-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"neu10/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig2|fig4|...|fig27|table3) or 'all'")
+		requests = flag.Int("requests", 8, "requests per tenant for steady-state runs")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Requests = *requests
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := runner.Run(strings.TrimSpace(id))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Printf("%s\n(elapsed %s)\n\n", res.Table(), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neu10-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command neu10-sim runs one multi-tenant collocation scenario on the
+// simulated NPU core under a chosen scheduling policy:
+//
+//	neu10-sim -w1 DLRM -w2 SMask -policy Neu10
+//	neu10-sim -w1 MNIST -w2 RtNt -policy V10 -requests 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neu10/internal/arch"
+	"neu10/internal/model"
+	"neu10/internal/sched"
+	"neu10/internal/workload"
+)
+
+func main() {
+	var (
+		w1       = flag.String("w1", "DLRM", "first workload (one of "+fmt.Sprint(model.Names())+")")
+		w2       = flag.String("w2", "SMask", "second workload")
+		policy   = flag.String("policy", "Neu10", "scheduler: PMT | V10 | Neu10-NH | Neu10")
+		requests = flag.Int("requests", 8, "requests per tenant")
+		mes      = flag.Int("mes", 2, "MEs per vNPU")
+		ves      = flag.Int("ves", 2, "VEs per vNPU")
+	)
+	flag.Parse()
+
+	var mode sched.Mode
+	switch *policy {
+	case "PMT":
+		mode = sched.PMT
+	case "V10":
+		mode = sched.V10
+	case "Neu10-NH", "NH":
+		mode = sched.NeuNH
+	case "Neu10":
+		mode = sched.Neu10
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	core := arch.TPUv4Like()
+	comp, err := workload.NewCompiled(core)
+	if err != nil {
+		fatal(err)
+	}
+	pair := workload.Pair{W1: *w1, W2: *w2}
+	specs, err := comp.Tenants(pair, mode, *mes, *ves)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sched.Run(sched.Config{Core: core, Policy: mode, Requests: *requests}, specs)
+	if err != nil {
+		fatal(err)
+	}
+
+	ms := func(cycles float64) float64 { return cycles / core.FrequencyHz * 1e3 }
+	fmt.Printf("%s under %s on %d MEs + %d VEs (%.2f ms simulated)\n\n",
+		pair.Name(), mode, core.MEs, core.VEs, ms(res.DurationCycles))
+	for _, tr := range res.Tenants {
+		fmt.Printf("  %-6s  requests=%-5d  mean=%8.3f ms  p95=%8.3f ms  throughput=%8.1f req/s\n",
+			tr.Name, tr.Requests, ms(tr.MeanLatency), ms(tr.P95Latency), tr.Throughput)
+	}
+	fmt.Printf("\n  core ME utilization %.1f%%, VE utilization %.1f%%, avg HBM %.0f GB/s\n",
+		res.MEUtil*100, res.VEUtil*100, res.AvgBandwidth*core.FrequencyHz/1e9)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neu10-sim:", err)
+	os.Exit(1)
+}

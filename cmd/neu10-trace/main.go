@@ -1,0 +1,39 @@
+// Command neu10-trace reproduces the paper's workload characterization
+// (§II-B): ME/VE demand timelines (Fig. 2), intensity ratios (Fig. 4),
+// solo utilization (Fig. 5) and HBM bandwidth (Fig. 7).
+//
+//	neu10-trace -fig 4
+//	neu10-trace -fig 2,5,7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neu10/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "2,4,5,7", "comma-separated characterization figures: 2, 4, 5, 7")
+	flag.Parse()
+
+	runner, err := experiments.NewRunner(experiments.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range strings.Split(*fig, ",") {
+		id := "fig" + strings.TrimSpace(f)
+		res, err := runner.Run(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neu10-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Allocator walkthrough: pay-as-you-go vNPU sizing (paper §III-B,
+// Fig. 12) for every bundled workload.
+//
+// For each model the example profiles the operator graph with the
+// compiler cost model, derives the ME/VE active fractions (m, v), applies
+// the closed-form Eq. 4 ratio, and prints the selected configuration at
+// three EU budgets together with the achieved utilization — then shows
+// the full sweep for one ME-intensive and one VE-intensive model so the
+// Fig. 12 "selected configs" walk is visible.
+//
+//	go run ./examples/allocator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/core"
+	"neu10/internal/model"
+	"neu10/internal/workload"
+)
+
+func main() {
+	tpu := arch.TPUv4Like()
+	cm := compiler.NewCostModel(tpu)
+	alloc, err := core.NewAllocator(tpu)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("model   m      v      k*      4 EUs   8 EUs   16 EUs")
+	fmt.Println("------  -----  -----  ------  ------  ------  ------")
+	for _, name := range model.Names() {
+		g, err := model.Build(name, workload.BatchFor(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := cm.ProfileGraph(g)
+		row := fmt.Sprintf("%-6s  %.3f  %.3f  %6.3f", name, p.M, p.V, core.OptimalRatio(p.M, p.V))
+		for _, eus := range []int{4, 8, 16} {
+			nm, nv, err := alloc.ChooseSplit(p.M, p.V, eus)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  (%d,%d)", nm, nv)
+		}
+		fmt.Println(row)
+	}
+
+	for _, name := range []string{"BERT", "DLRM"} {
+		g, err := model.Build(name, workload.BatchFor(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := cm.ProfileGraph(g)
+		fmt.Printf("\n%s sweep (m=%.3f v=%.3f): speedup of every split per budget\n", name, p.M, p.V)
+		for total := 2; total <= 8; total++ {
+			fmt.Printf("  %2d EUs:", total)
+			for nm := 1; nm < total; nm++ {
+				sp := 1 / core.NormalizedTime(p.M, p.V, nm, total-nm)
+				sel, _, err := alloc.ChooseSplit(p.M, p.V, total)
+				if err != nil {
+					log.Fatal(err)
+				}
+				marker := " "
+				if nm == sel {
+					marker = "*"
+				}
+				fmt.Printf("  (%d,%d)%s%.2f", nm, total-nm, marker, sp)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\n(* = allocator's selection; compare with the paper's Fig. 12 walks)")
+}

@@ -1,0 +1,218 @@
+package compiler
+
+import (
+	"fmt"
+
+	"neu10/internal/isa"
+)
+
+// This file is the compiler's functional backend: it emits executable
+// NeuISA binaries for matrix workloads, used by the examples and by the
+// cross-validation tests that run the same computation on the functional
+// simulator and compare against reference numerics.
+//
+// The lowering follows the paper's compilation strategy (§III-D): the
+// operator is partitioned into up to nx ME µTOps; every µTOp shares one
+// code snippet and uses uTop.index to locate its tile; each µTOp is
+// compiled as if for a fictional NPU with one ME.
+
+// MatMulLayout fixes SRAM placement for a lowered MatMul.
+type MatMulLayout struct {
+	ABase int32 // A [M×K], row-major
+	BBase int32 // B [K×N], row-major
+	CBase int32 // C [M×N], row-major
+}
+
+// LowerMatMul emits a NeuISA binary computing C = A·B (optionally fused
+// with ReLU) for M×K×N with K ≤ SystolicDim and N == VectorLanes. The
+// result is partitioned into `parts` ME µTOps sharing one snippet;
+// parts must divide M.
+func LowerMatMul(m, k, n, parts int, fuseReLU bool, lay MatMulLayout, veSlots int) (*isa.NeuProgram, error) {
+	if n != isa.VectorLanes {
+		return nil, fmt.Errorf("compiler: lowering requires N == %d, got %d", isa.VectorLanes, n)
+	}
+	if k < 1 || k > 128 {
+		return nil, fmt.Errorf("compiler: lowering requires K ≤ 128, got %d", k)
+	}
+	if parts < 1 || m%parts != 0 {
+		return nil, fmt.Errorf("compiler: %d µTOps must divide M=%d", parts, m)
+	}
+	rowsPer := m / parts
+
+	b := isa.NewBuilder(isa.Format{MESlots: 1, VESlots: veSlots})
+	// r2 = my µTOp index; r4 = first row of my range.
+	b.Misc(isa.UTopIndex(2)).End()
+	b.Misc(isa.SMovI(3, int32(rowsPer))).End()
+	b.Misc(isa.Operation{Op: isa.OpSMul, Dst: 4, A: 2, B: 3}).End()
+	// Latch weights.
+	b.Misc(isa.SMovI(5, lay.BBase)).End()
+	b.ME(isa.MELoadW(5, k, n)).End()
+	// r6 = &A[r4*K], r7 = &C[r4*N].
+	b.Misc(isa.SMovI(8, int32(k))).End()
+	b.Misc(isa.Operation{Op: isa.OpSMul, Dst: 6, A: 4, B: 8}).End()
+	b.Misc(isa.SAddI(6, 6, lay.ABase)).End()
+	b.Misc(isa.SMovI(9, int32(n))).End()
+	b.Misc(isa.Operation{Op: isa.OpSMul, Dst: 7, A: 4, B: 9}).End()
+	b.Misc(isa.SAddI(7, 7, lay.CBase)).End()
+	// r10 = remaining rows.
+	b.Misc(isa.SMovI(10, int32(rowsPer))).End()
+	loopTop := b.PC()
+	b.ME(isa.MEPush(6, k)).End()
+	if fuseReLU {
+		b.ME(isa.MEPop(0)).VE(isa.V1(isa.OpVRelu, 0, 0)).End()
+	} else {
+		b.ME(isa.MEPop(0)).End()
+	}
+	b.LS(isa.VStore(7, 0, 0)).End()
+	b.Misc(isa.SAddI(6, 6, int32(k))).End()
+	b.Misc(isa.SAddI(7, 7, int32(n))).End()
+	b.Misc(isa.SAddI(10, 10, -1)).End()
+	pc := b.PC()
+	b.Misc(isa.Branch(isa.OpBNE, 10, 0, int32(loopTop-pc))).End()
+	b.Misc(isa.UTopFinish()).End()
+	code, err := b.Code()
+	if err != nil {
+		return nil, err
+	}
+
+	utops := make([]isa.UTop, parts)
+	mes := make([]int, parts)
+	for i := range utops {
+		utops[i] = isa.UTop{Kind: isa.MEUTop, Start: 0}
+		mes[i] = i
+	}
+	p := &isa.NeuProgram{
+		VESlots: veSlots,
+		MECode:  code,
+		UTops:   utops,
+		Groups:  []isa.Group{{ME: mes, VE: isa.NullUTop}},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: lowered program invalid: %w", err)
+	}
+	return p, nil
+}
+
+// LowerMatMulVLIW emits the traditional VLIW equivalent for exactly
+// `mes` matrix engines: row blocks are statically assigned to ME slots,
+// so the binary only runs on a core with ≥ mes MEs — the coupling NeuISA
+// removes. parts semantics match LowerMatMul for comparability.
+func LowerMatMulVLIW(m, k, n, mes int, fuseReLU bool, lay MatMulLayout, veSlots int) (*isa.Program, error) {
+	if n != isa.VectorLanes {
+		return nil, fmt.Errorf("compiler: lowering requires N == %d, got %d", isa.VectorLanes, n)
+	}
+	if k < 1 || k > 128 {
+		return nil, fmt.Errorf("compiler: lowering requires K ≤ 128, got %d", k)
+	}
+	if mes < 1 || m%mes != 0 {
+		return nil, fmt.Errorf("compiler: %d MEs must divide M=%d", mes, m)
+	}
+	if veSlots < mes {
+		// Each ME's popped row needs a VE slot in the same instruction.
+		veSlots = mes
+	}
+	rowsPer := m / mes
+
+	b := isa.NewBuilder(isa.Format{MESlots: mes, VESlots: veSlots})
+	// Latch weights into every ME.
+	b.Misc(isa.SMovI(5, lay.BBase)).End()
+	{
+		for s := 0; s < mes; s++ {
+			b.ME(isa.MELoadW(5, k, n))
+		}
+		b.End()
+	}
+	// Row/output pointers per ME: r8+2i = A ptr, r9+2i... keep it simple:
+	// r10+i = A ptr for ME i, r20+i = C ptr for ME i.
+	for s := 0; s < mes; s++ {
+		b.Misc(isa.SMovI(uint8(10+s), lay.ABase+int32(s*rowsPer*k))).End()
+		b.Misc(isa.SMovI(uint8(20+s), lay.CBase+int32(s*rowsPer*n))).End()
+	}
+	// Fully unrolled row loop: all MEs push, all pop (+ fused ReLU), all
+	// store, pointers advance. One VLIW instruction drives all MEs —
+	// their control flows are fused, which is the paper's Fig. 8 "before"
+	// picture.
+	for r := 0; r < rowsPer; r++ {
+		for s := 0; s < mes; s++ {
+			b.ME(isa.MEPush(uint8(10+s), k))
+		}
+		b.End()
+		for s := 0; s < mes; s++ {
+			b.ME(isa.MEPop(uint8(s)))
+			if fuseReLU {
+				b.VE(isa.V1(isa.OpVRelu, uint8(s), uint8(s)))
+			}
+		}
+		b.End()
+		for s := 0; s < mes; s += isa.LSSlots {
+			for t := s; t < s+isa.LSSlots && t < mes; t++ {
+				b.LS(isa.VStore(uint8(20+t), uint8(t), 0))
+			}
+			b.End()
+		}
+		for s := 0; s < mes; s++ {
+			b.Misc(isa.SAddI(uint8(10+s), uint8(10+s), int32(k))).End()
+			b.Misc(isa.SAddI(uint8(20+s), uint8(20+s), int32(n))).End()
+		}
+	}
+	b.Misc(isa.Halt()).End()
+	code, err := b.Code()
+	if err != nil {
+		return nil, err
+	}
+	p := &isa.Program{Format: isa.Format{MESlots: mes, VESlots: veSlots}, Code: code}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: lowered VLIW program invalid: %w", err)
+	}
+	return p, nil
+}
+
+// Transfer describes one HBM<->SRAM staging copy for WrapWithHBMStaging.
+type Transfer struct {
+	SRAM  int32 // SRAM word address
+	HBM   int32 // HBM word address
+	Words int32
+}
+
+// WrapWithHBMStaging extends a lowered NeuISA program with a prologue
+// group that DMAs inputs HBM→SRAM and an epilogue group that DMAs
+// outputs SRAM→HBM, using the misc-slot DMA operations. This is how real
+// NPU kernels stage their operands; the virtualization layer's launch
+// path expects self-staging programs.
+func WrapWithHBMStaging(p *isa.NeuProgram, loads, stores []Transfer) error {
+	b := isa.NewBuilder(isa.Format{MESlots: 0, VESlots: p.VESlots})
+	emit := func(ts []Transfer, op func(dst, a uint8, w int32) isa.Operation) int {
+		start := b.PC()
+		for _, t := range ts {
+			b.Misc(isa.SMovI(2, t.SRAM)).End()
+			b.Misc(isa.SMovI(3, t.HBM)).End()
+			b.Misc(op(2, 3, t.Words)).End()
+		}
+		b.Misc(isa.UTopFinish()).End()
+		return start
+	}
+	inStart := emit(loads, func(dst, a uint8, w int32) isa.Operation {
+		return isa.DMALoad(dst, a, w)
+	})
+	outStart := emit(stores, func(dst, a uint8, w int32) isa.Operation {
+		// dma.store: HBM[sreg dst] <- SRAM[sreg a]; swap operands.
+		return isa.DMAStore(a, dst, w)
+	})
+	base := len(p.VECode)
+	code, err := b.Code()
+	if err != nil {
+		return err
+	}
+	p.VECode = append(p.VECode, code...)
+	inIdx := len(p.UTops)
+	p.UTops = append(p.UTops,
+		isa.UTop{Kind: isa.VEUTop, Start: base + inStart},
+		isa.UTop{Kind: isa.VEUTop, Start: base + outStart},
+	)
+	groups := make([]isa.Group, 0, len(p.Groups)+2)
+	groups = append(groups, isa.Group{ME: nil, VE: inIdx})
+	groups = append(groups, p.Groups...)
+	groups = append(groups, isa.Group{ME: nil, VE: inIdx + 1})
+	p.Groups = groups
+	return p.Validate()
+}

@@ -1,0 +1,181 @@
+package compiler
+
+import (
+	"testing"
+
+	"neu10/internal/isa"
+	"neu10/internal/npu"
+	"neu10/internal/tensor"
+)
+
+// Cross-validation: the compiler's functional backend must produce NeuISA
+// and VLIW binaries that, executed on the functional simulator, match the
+// reference numerics — and the NeuISA binary must produce the same result
+// on every ME count (the paper's recompilation-free portability claim).
+
+func lowerTestData(m, k int) (*tensor.Tensor, *tensor.Tensor) {
+	a := tensor.New(m, k)
+	b := tensor.New(k, isa.VectorLanes)
+	for i := range a.Data {
+		a.Data[i] = float32((i*7)%31) - 15
+	}
+	for i := range b.Data {
+		b.Data[i] = float32((i*5)%23)/4 - 2.5
+	}
+	return a, b
+}
+
+func newLowerCore(t *testing.T) *npu.Core {
+	t.Helper()
+	cfg := npu.DefaultConfig()
+	cfg.SRAMWords = 1 << 18
+	cfg.HBMWords = 1 << 12
+	c, err := npu.NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLowerMatMulMatchesReference(t *testing.T) {
+	const m, k = 32, 96
+	a, bm := lowerTestData(m, k)
+	want := tensor.ReLU(tensor.MatMul(a, bm))
+
+	lay := MatMulLayout{ABase: 0, BBase: 16384, CBase: 65536}
+	prog, err := LowerMatMul(m, k, isa.VectorLanes, 4, true, lay, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, meCount := range []int{1, 2, 4} {
+		core := newLowerCore(t)
+		copy(core.SRAM[lay.ABase:], a.Data)
+		copy(core.SRAM[lay.BBase:], bm.Data)
+		mes := make([]int, meCount)
+		for i := range mes {
+			mes[i] = i
+		}
+		if _, err := core.RunNeu(prog, mes); err != nil {
+			t.Fatalf("%d MEs: %v", meCount, err)
+		}
+		got := tensor.New(m, isa.VectorLanes)
+		copy(got.Data, core.SRAM[lay.CBase:int(lay.CBase)+m*isa.VectorLanes])
+		if d := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Fatalf("%d MEs: lowered NeuISA differs from reference by %v", meCount, d)
+		}
+	}
+}
+
+func TestLowerMatMulNoFusion(t *testing.T) {
+	const m, k = 16, 64
+	a, bm := lowerTestData(m, k)
+	want := tensor.MatMul(a, bm) // negative values preserved
+
+	lay := MatMulLayout{ABase: 0, BBase: 8192, CBase: 32768}
+	prog, err := LowerMatMul(m, k, isa.VectorLanes, 2, false, lay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := newLowerCore(t)
+	copy(core.SRAM[lay.ABase:], a.Data)
+	copy(core.SRAM[lay.BBase:], bm.Data)
+	if _, err := core.RunNeu(prog, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.New(m, isa.VectorLanes)
+	copy(got.Data, core.SRAM[lay.CBase:int(lay.CBase)+m*isa.VectorLanes])
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("unfused lowering differs by %v", d)
+	}
+	neg := false
+	for _, v := range got.Data {
+		if v < 0 {
+			neg = true
+		}
+	}
+	if !neg {
+		t.Fatal("test data produced no negative outputs; fusion test is vacuous")
+	}
+}
+
+func TestLowerVLIWMatchesNeuISA(t *testing.T) {
+	const m, k = 24, 48
+	a, bm := lowerTestData(m, k)
+	want := tensor.ReLU(tensor.MatMul(a, bm))
+	lay := MatMulLayout{ABase: 0, BBase: 8192, CBase: 32768}
+
+	vp, err := LowerMatMulVLIW(m, k, isa.VectorLanes, 4, true, lay, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := newLowerCore(t)
+	copy(core.SRAM[lay.ABase:], a.Data)
+	copy(core.SRAM[lay.BBase:], bm.Data)
+	if _, err := core.RunVLIW(vp); err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.New(m, isa.VectorLanes)
+	copy(got.Data, core.SRAM[lay.CBase:int(lay.CBase)+m*isa.VectorLanes])
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("VLIW lowering differs by %v", d)
+	}
+}
+
+func TestLowerVLIWStaticCoupling(t *testing.T) {
+	// The VLIW binary compiled for 4 MEs must refuse to run on 2 MEs,
+	// while the NeuISA binary for the same operator runs anywhere — the
+	// paper's core ISA argument in one test.
+	const m, k = 16, 32
+	lay := MatMulLayout{ABase: 0, BBase: 4096, CBase: 16384}
+	vp, err := LowerMatMulVLIW(m, k, isa.VectorLanes, 4, false, lay, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := LowerMatMul(m, k, isa.VectorLanes, 4, false, lay, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := npu.DefaultConfig()
+	cfg.MEs = 2
+	cfg.SRAMWords = 1 << 18
+	cfg.HBMWords = 1 << 12
+	core, err := npu.NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RunVLIW(vp); err == nil {
+		t.Fatal("4-ME VLIW binary ran on a 2-ME core")
+	}
+	if _, err := core.RunNeu(np, []int{0, 1}); err != nil {
+		t.Fatalf("NeuISA binary failed on 2-ME core: %v", err)
+	}
+}
+
+func TestLowerRejectsBadShapes(t *testing.T) {
+	lay := MatMulLayout{}
+	if _, err := LowerMatMul(10, 64, isa.VectorLanes, 3, false, lay, 2); err == nil {
+		t.Fatal("parts not dividing M accepted")
+	}
+	if _, err := LowerMatMul(8, 256, isa.VectorLanes, 2, false, lay, 2); err == nil {
+		t.Fatal("K > 128 accepted")
+	}
+	if _, err := LowerMatMul(8, 64, 64, 2, false, lay, 2); err == nil {
+		t.Fatal("N != lanes accepted")
+	}
+}
+
+func TestLoweredProgramSharesSnippets(t *testing.T) {
+	prog, err := LowerMatMul(32, 64, isa.VectorLanes, 4, true, MatMulLayout{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Stats()
+	if s.MEUTops != 4 {
+		t.Fatalf("µTOps = %d, want 4", s.MEUTops)
+	}
+	if s.SharedBytes == 0 {
+		t.Fatal("lowered µTOps do not share their snippet")
+	}
+}

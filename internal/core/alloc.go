@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+)
+
+// The vNPU allocator (§III-B). Users specify a total EU budget (the
+// pay-as-you-go cost knob); the allocator picks the ME:VE split that
+// maximizes EU utilization for the workload's compile-time profile
+// (m = ME active fraction, v = VE active fraction on 1 ME + 1 VE).
+
+// NormalizedTime implements the paper's Eq. 1: execution time on
+// (nm, nv) EUs normalized to 1 ME + 1 VE, under the Amdahl decomposition
+// into ME-only (1-v), VE-only (1-m) and concurrent (m+v-1) phases.
+// When m+v < 1 (a memory-bound workload), the concurrent term clamps to
+// zero — neither engine is the bottleneck in the residual phase, which
+// scales with neither engine count.
+func NormalizedTime(m, v float64, nm, nv int) float64 {
+	if nm < 1 || nv < 1 {
+		return math.Inf(1)
+	}
+	meOnly := 1 - v
+	veOnly := 1 - m
+	conc := m + v - 1
+	membound := 0.0
+	if conc < 0 {
+		membound = -conc
+		conc = 0
+		// The ME-only and VE-only phases are then exactly m and v.
+		meOnly = m
+		veOnly = v
+	}
+	minN := nm
+	if nv < minN {
+		minN = nv
+	}
+	return meOnly/float64(nm) + veOnly/float64(nv) + conc/float64(minN) + membound
+}
+
+// Utilization implements Eq. 2: the ratio between the hypothetical
+// execution time on nm+nv type-agnostic EUs and the estimated time.
+func Utilization(m, v float64, nm, nv int) float64 {
+	th := (m + v) / float64(nm+nv)
+	t := NormalizedTime(m, v, nm, nv)
+	if t <= 0 {
+		return 0
+	}
+	return th / t
+}
+
+// OptimalRatio implements Eq. 4: the closed-form ME:VE quantity ratio
+// k = nm/nv maximizing utilization.
+func OptimalRatio(m, v float64) float64 {
+	switch {
+	case m < 0.5:
+		return math.Sqrt(m / (1 - m))
+	case v < 0.5:
+		return math.Sqrt((1 - v) / v)
+	default:
+		return 1
+	}
+}
+
+// Allocation is the allocator's recommendation for one workload.
+type Allocation struct {
+	MEs, VEs    int
+	Utilization float64 // Eq. 2 at the chosen split
+	Speedup     float64 // 1 / Eq. 1 — normalized throughput vs 1 ME + 1 VE
+	SRAMBytes   int64
+	HBMBytes    int64
+}
+
+// Allocator sizes vNPUs from compile-time profiles.
+type Allocator struct {
+	core arch.CoreConfig
+}
+
+// NewAllocator returns an allocator for a physical core family.
+func NewAllocator(core arch.CoreConfig) (*Allocator, error) {
+	if err := core.Validate(); err != nil {
+		return nil, err
+	}
+	return &Allocator{core: core}, nil
+}
+
+// ChooseSplit picks (nm, nv) with nm+nv == totalEUs maximizing Eq. 2
+// utilization, with at least one of each. Among near-equal utilization
+// the smaller |k - optimal| wins, which reproduces the paper's Fig. 12
+// "selected configs" walk.
+func (a *Allocator) ChooseSplit(m, v float64, totalEUs int) (int, int, error) {
+	if totalEUs < 2 {
+		return 0, 0, fmt.Errorf("core: need ≥2 EUs (1 ME + 1 VE), got %d", totalEUs)
+	}
+	if m < 0 || m > 1 || v < 0 || v > 1 {
+		return 0, 0, fmt.Errorf("core: profile fractions m=%v v=%v out of [0,1]", m, v)
+	}
+	bestM, bestU := 1, -1.0
+	for nm := 1; nm < totalEUs; nm++ {
+		u := Utilization(m, v, nm, totalEUs-nm)
+		if u > bestU+1e-12 {
+			bestU, bestM = u, nm
+		}
+	}
+	return bestM, totalEUs - bestM, nil
+}
+
+// Allocate produces the full recommendation for a profiled workload: the
+// EU split via Eq. 4, SRAM proportional to MEs (more MEs → larger tiles,
+// §III-B), and HBM sized to the model footprint.
+func (a *Allocator) Allocate(p compiler.Profile, footprint int64, totalEUs int) (Allocation, error) {
+	nm, nv, err := a.ChooseSplit(p.M, p.V, totalEUs)
+	if err != nil {
+		return Allocation{}, err
+	}
+	sram := a.core.SRAMBytes * int64(nm) / int64(a.core.MEs)
+	if sram > a.core.SRAMBytes {
+		sram = a.core.SRAMBytes
+	}
+	hbm := footprint + footprint/8 // headroom for runtime buffers
+	if hbm > a.core.HBMBytes {
+		hbm = a.core.HBMBytes
+	}
+	return Allocation{
+		MEs:         nm,
+		VEs:         nv,
+		Utilization: Utilization(p.M, p.V, nm, nv),
+		Speedup:     1 / NormalizedTime(p.M, p.V, nm, nv),
+		SRAMBytes:   sram,
+		HBMBytes:    hbm,
+	}, nil
+}
+
+// Sweep evaluates every split for every EU budget in [2, maxEUs] — the
+// data behind Fig. 12: for each total the selected config and, for
+// comparison, every alternative's speedup.
+type SweepPoint struct {
+	TotalEUs int
+	MEs, VEs int
+	Speedup  float64
+	Selected bool
+}
+
+// Sweep returns all (nm, nv) points for budgets 2..maxEUs.
+func (a *Allocator) Sweep(m, v float64, maxEUs int) []SweepPoint {
+	var out []SweepPoint
+	for total := 2; total <= maxEUs; total++ {
+		selM, _, err := a.ChooseSplit(m, v, total)
+		if err != nil {
+			continue
+		}
+		for nm := 1; nm < total; nm++ {
+			out = append(out, SweepPoint{
+				TotalEUs: total,
+				MEs:      nm,
+				VEs:      total - nm,
+				Speedup:  1 / NormalizedTime(m, v, nm, total-nm),
+				Selected: nm == selM,
+			})
+		}
+	}
+	return out
+}
+
+// ConfigFor converts an allocation into the user-facing vNPU config.
+func (a *Allocator) ConfigFor(al Allocation) VNPUConfig {
+	return VNPUConfig{
+		NumChips:        1,
+		NumCoresPerChip: 1,
+		NumMEsPerCore:   al.MEs,
+		NumVEsPerCore:   al.VEs,
+		SRAMSizePerCore: al.SRAMBytes,
+		MemSizePerCore:  al.HBMBytes,
+	}
+}

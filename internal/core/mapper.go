@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"neu10/internal/arch"
+)
+
+// vNPU→pNPU mapping (§III-C): segment-granular memory isolation plus two
+// mapping schemes — hardware-isolated (spatial) and software-isolated
+// (temporal with oversubscription) — under a greedy policy that balances
+// EU and memory consumption on every physical core.
+
+// Segment sizes from §III-C: "For the NPU core in Table II, an SRAM/HBM
+// segment is 2MB/1GB."
+const (
+	SRAMSegmentBytes = 2 << 20
+	HBMSegmentBytes  = 1 << 30
+)
+
+// unowned marks a free segment.
+const unowned = -1
+
+// PNPU is one physical NPU core tracked by the mapper.
+type PNPU struct {
+	ID   int
+	Core arch.CoreConfig
+
+	meOwner  []int // physical ME -> vNPU ID (spatial) or unowned
+	veOwner  []int
+	sramSeg  []int // segment -> vNPU ID
+	hbmSeg   []int
+	temporal []*VNPU // vNPUs time-sharing this core
+}
+
+// NewPNPU builds an empty physical core.
+func NewPNPU(id int, core arch.CoreConfig) (*PNPU, error) {
+	if err := core.Validate(); err != nil {
+		return nil, err
+	}
+	p := &PNPU{
+		ID:      id,
+		Core:    core,
+		meOwner: fill(core.MEs),
+		veOwner: fill(core.VEs),
+		sramSeg: fill(int(core.SRAMBytes / SRAMSegmentBytes)),
+		hbmSeg:  fill(int(core.HBMBytes / HBMSegmentBytes)),
+	}
+	return p, nil
+}
+
+func fill(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = unowned
+	}
+	return s
+}
+
+func countFree(owners []int) int {
+	n := 0
+	for _, o := range owners {
+		if o == unowned {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeMEs returns unowned matrix engines.
+func (p *PNPU) FreeMEs() int { return countFree(p.meOwner) }
+
+// FreeVEs returns unowned vector engines.
+func (p *PNPU) FreeVEs() int { return countFree(p.veOwner) }
+
+// FreeSRAMSegments returns unowned SRAM segments.
+func (p *PNPU) FreeSRAMSegments() int { return countFree(p.sramSeg) }
+
+// FreeHBMSegments returns unowned HBM segments.
+func (p *PNPU) FreeHBMSegments() int { return countFree(p.hbmSeg) }
+
+// TemporalLoad is the summed EU requirement fraction of temporally
+// mapped vNPUs (1.0 = one full core's worth).
+func (p *PNPU) TemporalLoad() float64 {
+	var eus int
+	for _, v := range p.temporal {
+		eus += v.Config.TotalEUs()
+	}
+	return float64(eus) / float64(p.Core.MEs+p.Core.VEs)
+}
+
+// euUseAfter and memUseAfter support the greedy balance policy.
+func (p *PNPU) euUse() float64 {
+	total := p.Core.MEs + p.Core.VEs
+	used := total - p.FreeMEs() - p.FreeVEs()
+	return float64(used) / float64(total)
+}
+
+func (p *PNPU) memUse() float64 {
+	total := len(p.sramSeg) + len(p.hbmSeg)
+	used := total - p.FreeSRAMSegments() - p.FreeHBMSegments()
+	return float64(used) / float64(total)
+}
+
+// Mapping records a vNPU's physical binding.
+type Mapping struct {
+	PNPU int
+	Mode IsolationMode
+	// Spatial mode: the dedicated engine indices.
+	MEs []int
+	VEs []int
+	// Memory segments (both modes — memory is always hardware-isolated).
+	SRAMSegments []int
+	HBMSegments  []int
+}
+
+// TranslateHBM performs the §III-C segment address translation: virtual
+// byte address → physical byte address, faulting on out-of-range access.
+func (m *Mapping) TranslateHBM(vaddr int64) (int64, error) {
+	seg := vaddr / HBMSegmentBytes
+	off := vaddr % HBMSegmentBytes
+	if vaddr < 0 || seg >= int64(len(m.HBMSegments)) {
+		return 0, fmt.Errorf("core: HBM page fault at vaddr %#x (vNPU has %d segments)",
+			vaddr, len(m.HBMSegments))
+	}
+	return int64(m.HBMSegments[seg])*HBMSegmentBytes + off, nil
+}
+
+// TranslateSRAM translates a virtual SRAM byte address.
+func (m *Mapping) TranslateSRAM(vaddr int64) (int64, error) {
+	seg := vaddr / SRAMSegmentBytes
+	off := vaddr % SRAMSegmentBytes
+	if vaddr < 0 || seg >= int64(len(m.SRAMSegments)) {
+		return 0, fmt.Errorf("core: SRAM page fault at vaddr %#x (vNPU has %d segments)",
+			vaddr, len(m.SRAMSegments))
+	}
+	return int64(m.SRAMSegments[seg])*SRAMSegmentBytes + off, nil
+}
+
+// PlacementPolicy selects how Map chooses among feasible cores for
+// spatially isolated vNPUs. GreedyBalance is the paper's §III-C policy;
+// the others exist for the cluster-level policy comparison.
+type PlacementPolicy int
+
+const (
+	// GreedyBalance minimizes the change in |EU use − memory use| so
+	// EU-heavy and memory-heavy vNPUs collocate (§III-C).
+	GreedyBalance PlacementPolicy = iota
+	// FirstFit takes the lowest-numbered feasible core.
+	FirstFit
+	// WorstFit takes the emptiest feasible core (most free EUs).
+	WorstFit
+)
+
+func (p PlacementPolicy) String() string {
+	switch p {
+	case GreedyBalance:
+		return "greedy-balance"
+	case FirstFit:
+		return "first-fit"
+	case WorstFit:
+		return "worst-fit"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Mapper places vNPUs onto a fleet of physical cores.
+type Mapper struct {
+	pnpus []*PNPU
+	// MaxOversubscription caps temporal load per core (in core-equivalents).
+	MaxOversubscription float64
+	// Policy selects the spatial placement heuristic (GreedyBalance
+	// default).
+	Policy PlacementPolicy
+}
+
+// NewMapper builds a mapper over n identical cores.
+func NewMapper(n int, core arch.CoreConfig) (*Mapper, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: need ≥1 pNPU, got %d", n)
+	}
+	m := &Mapper{MaxOversubscription: 4}
+	for i := 0; i < n; i++ {
+		p, err := NewPNPU(i, core)
+		if err != nil {
+			return nil, err
+		}
+		m.pnpus = append(m.pnpus, p)
+	}
+	return m, nil
+}
+
+// PNPUs exposes the fleet (read-only use).
+func (m *Mapper) PNPUs() []*PNPU { return m.pnpus }
+
+func segmentsNeeded(bytes int64, segSize int64) int {
+	return int((bytes + segSize - 1) / segSize)
+}
+
+// Map binds a vNPU. Spatial mode requires dedicated free MEs/VEs and
+// memory segments on a single core; the greedy policy picks the feasible
+// core that, after placement, minimizes |EU use − memory use| — the
+// paper's balance objective that avoids stranding EUs or memory.
+// Temporal mode requires only memory and picks the least-loaded core,
+// allowing oversubscription up to MaxOversubscription.
+func (m *Mapper) Map(v *VNPU, mode IsolationMode) error {
+	if v.State != StateCreated {
+		return fmt.Errorf("core: vNPU %d is %s, cannot map", v.ID, v.State)
+	}
+	cfg := v.Config
+	if cfg.NumChips != 1 || cfg.NumCoresPerChip != 1 {
+		return fmt.Errorf("core: mapper handles single-core vNPUs; request multiple vNPU instances for multi-core jobs (§III-A)")
+	}
+	sramSegs := segmentsNeeded(cfg.SRAMSizePerCore, SRAMSegmentBytes)
+	hbmSegs := segmentsNeeded(cfg.MemSizePerCore, HBMSegmentBytes)
+
+	var best *PNPU
+	var bestScore float64
+	for _, p := range m.pnpus {
+		if p.FreeSRAMSegments() < sramSegs || p.FreeHBMSegments() < hbmSegs {
+			continue
+		}
+		switch mode {
+		case SpatialIsolated:
+			if p.FreeMEs() < cfg.NumMEsPerCore || p.FreeVEs() < cfg.NumVEsPerCore {
+				continue
+			}
+			var score float64
+			switch m.Policy {
+			case FirstFit:
+				if best == nil {
+					best = p
+				}
+				continue
+			case WorstFit:
+				score = -float64(p.FreeMEs() + p.FreeVEs())
+			default:
+				// Greedy balance objective: minimize the change in the
+				// core's |EU use − memory use| imbalance caused by this
+				// placement. A negative delta means the vNPU complements
+				// what is already there (many-EU/small-memory next to
+				// few-EU/large-memory, the §III-C pairing).
+				euBefore, memBefore := p.euUse(), p.memUse()
+				euAfter := euBefore + float64(cfg.TotalEUs())/float64(p.Core.MEs+p.Core.VEs)
+				memAfter := memBefore + float64(sramSegs+hbmSegs)/float64(len(p.sramSeg)+len(p.hbmSeg))
+				score = math.Abs(euAfter-memAfter) - math.Abs(euBefore-memBefore)
+			}
+			if best == nil || score < bestScore {
+				best, bestScore = p, score
+			}
+		case TemporalShared:
+			load := p.TemporalLoad() + float64(cfg.TotalEUs())/float64(p.Core.MEs+p.Core.VEs)
+			if load > m.MaxOversubscription {
+				continue
+			}
+			if best == nil || load < bestScore {
+				best, bestScore = p, load
+			}
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("core: no pNPU can host vNPU %d (%d MEs, %d VEs, %d+%d segments, %s)",
+			v.ID, cfg.NumMEsPerCore, cfg.NumVEsPerCore, sramSegs, hbmSegs, mode)
+	}
+
+	mp := &Mapping{PNPU: best.ID, Mode: mode}
+	if mode == SpatialIsolated {
+		mp.MEs = claim(best.meOwner, cfg.NumMEsPerCore, v.ID)
+		mp.VEs = claim(best.veOwner, cfg.NumVEsPerCore, v.ID)
+	} else {
+		best.temporal = append(best.temporal, v)
+	}
+	mp.SRAMSegments = claim(best.sramSeg, sramSegs, v.ID)
+	mp.HBMSegments = claim(best.hbmSeg, hbmSegs, v.ID)
+	v.Mapping = mp
+	v.State = StateMapped
+	return nil
+}
+
+func claim(owners []int, n, id int) []int {
+	out := make([]int, 0, n)
+	for i := range owners {
+		if len(out) == n {
+			break
+		}
+		if owners[i] == unowned {
+			owners[i] = id
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Unmap releases a vNPU's physical resources (§III-B deallocation: the
+// manager cleans the vNPU context and removes the DMA setup).
+func (m *Mapper) Unmap(v *VNPU) error {
+	if v.Mapping == nil {
+		return fmt.Errorf("core: vNPU %d has no mapping", v.ID)
+	}
+	p := m.pnpus[v.Mapping.PNPU]
+	release(p.meOwner, v.ID)
+	release(p.veOwner, v.ID)
+	release(p.sramSeg, v.ID)
+	release(p.hbmSeg, v.ID)
+	for i, t := range p.temporal {
+		if t.ID == v.ID {
+			p.temporal = append(p.temporal[:i], p.temporal[i+1:]...)
+			break
+		}
+	}
+	v.Mapping = nil
+	v.State = StateFreed
+	return nil
+}
+
+func release(owners []int, id int) {
+	for i := range owners {
+		if owners[i] == id {
+			owners[i] = unowned
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"testing"
+
+	"neu10/internal/sched"
+	"neu10/internal/workload"
+)
+
+func TestAblationHarvestBothMechanismsContribute(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.AblationHarvest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gains) != len(workload.Pairs()) {
+		t.Fatalf("%d pairs, want %d", len(res.Gains), len(workload.Pairs()))
+	}
+	var full, noME, noVE float64
+	for _, g := range res.Gains {
+		full += g[0]
+		noME += g[1]
+		noVE += g[2]
+	}
+	// Full Neu10 must beat both single-mechanism variants on average,
+	// and every variant must still be ≥ NH (harvesting never hurts the
+	// aggregate).
+	if full <= noME || full <= noVE {
+		t.Errorf("full harvesting (%.3f) not above ablated variants (%.3f / %.3f)",
+			full/9, noME/9, noVE/9)
+	}
+	for pair, g := range res.Gains {
+		for i, v := range g {
+			if v < 0.93 {
+				t.Errorf("%s variant %d: aggregate %.3f fell below NH", pair, i, v)
+			}
+		}
+	}
+}
+
+func TestAblationPreemptCostDegradesGracefully(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.AblationPreempt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput gain must be non-increasing in reclaim cost (within
+	// noise), and the paper's 256-cycle point must cost almost nothing
+	// relative to a free reclaim.
+	free := res.PerCost[0][0]
+	paper := res.PerCost[256][0]
+	worst := res.PerCost[16384][0]
+	if paper < free*0.98 {
+		t.Errorf("256-cycle reclaim costs %.1f%% of the free-reclaim gain; should be negligible",
+			(1-paper/free)*100)
+	}
+	if worst >= paper {
+		t.Errorf("64x reclaim cost (%.3f) did not reduce the harvesting gain (%.3f)", worst, paper)
+	}
+	// Blocked time must grow with the penalty.
+	if res.PerCost[16384][1] <= res.PerCost[256][1] {
+		t.Error("blocked fraction did not grow with reclaim cost")
+	}
+}
+
+func TestSLOStudyIsolationUnderLoad(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.SLOStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range res.Loads {
+		n10 := res.P95Ms["Neu10"][load]
+		nh := res.P95Ms["Neu10-NH"][load]
+		v10 := res.P95Ms["V10"][load]
+		// Neu10's open-loop tail stays within ~25% of static isolation.
+		if n10 > nh*1.25 {
+			t.Errorf("load %.0f%%: Neu10 p95 %.3f ms vs NH %.3f ms", load*100, n10, nh)
+		}
+		// V10's head-of-line blocking must be visible by an order of
+		// magnitude at every load.
+		if v10 < 10*n10 {
+			t.Errorf("load %.0f%%: V10 p95 %.3f ms not an order above Neu10 %.3f ms", load*100, v10, n10)
+		}
+	}
+	// Queueing delay grows with load under every policy.
+	if res.P95Ms["Neu10"][0.8] <= res.P95Ms["Neu10"][0.2] {
+		t.Error("Neu10 p95 did not grow with offered load")
+	}
+}
+
+func TestExtensionIDsRegistered(t *testing.T) {
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, want := range []string{"ablation-harvest", "ablation-preempt", "slo"} {
+		if !have[want] {
+			t.Errorf("extension experiment %s not registered", want)
+		}
+	}
+	_ = sched.Neu10
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"neu10/internal/compiler"
+	"neu10/internal/core"
+	"neu10/internal/model"
+)
+
+// Fig. 12 — vNPU allocation: for each EU budget, the speedup of every
+// (m, v) split and the allocator's selection, for BERT, ResNet,
+// EfficientNet (batch 32) and ShapeMask (batch 8).
+
+// AllocCurve is one model's sweep.
+type AllocCurve struct {
+	Model  string
+	Batch  int
+	M, V   float64 // profiled active fractions fed to the allocator
+	Points []core.SweepPoint
+}
+
+// Fig12Result holds the four allocation sweeps.
+type Fig12Result struct{ Curves []AllocCurve }
+
+func (r *Fig12Result) Name() string { return "fig12" }
+
+func (r *Fig12Result) Table() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 12 — vNPU allocation sweep (selected config per EU budget)\n")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&sb, "\n%s (batch %d, m=%.3f v=%.3f):\n", c.Model, c.Batch, c.M, c.V)
+		tab := &table{header: []string{"EUs", "selected (m,v)", "speedup", "best alternative"}}
+		byTotal := map[int][]core.SweepPoint{}
+		for _, p := range c.Points {
+			byTotal[p.TotalEUs] = append(byTotal[p.TotalEUs], p)
+		}
+		for total := 2; total <= 16; total++ {
+			pts := byTotal[total]
+			if len(pts) == 0 {
+				continue
+			}
+			var sel core.SweepPoint
+			bestAlt := 0.0
+			for _, p := range pts {
+				if p.Selected {
+					sel = p
+				} else if p.Speedup > bestAlt {
+					bestAlt = p.Speedup
+				}
+			}
+			tab.add(fmt.Sprint(total), fmt.Sprintf("(%d,%d)", sel.MEs, sel.VEs),
+				f3(sel.Speedup), f3(bestAlt))
+		}
+		sb.WriteString(tab.String())
+	}
+	return sb.String()
+}
+
+// Fig12Allocator sweeps the allocator for the paper's four models.
+func (r *Runner) Fig12Allocator() (*Fig12Result, error) {
+	alloc, err := core.NewAllocator(r.opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	cm := compiler.NewCostModel(r.opts.Core)
+	cases := []struct {
+		name  string
+		batch int
+	}{
+		{"BERT", 32}, {"RsNt", 32}, {"ENet", 32}, {"SMask", 8},
+	}
+	out := &Fig12Result{}
+	for _, c := range cases {
+		g, err := model.Build(c.name, c.batch)
+		if err != nil {
+			return nil, err
+		}
+		p := cm.ProfileGraph(g)
+		out.Curves = append(out.Curves, AllocCurve{
+			Model: c.name, Batch: c.batch, M: p.M, V: p.V,
+			Points: alloc.Sweep(p.M, p.V, 16),
+		})
+	}
+	return out, nil
+}
+
+// Fig. 16 — NeuISA performance overhead relative to the traditional
+// VLIW ISA, per workload and batch size: solo full-core runs under both
+// compilations. Positive = NeuISA slower (the reduction-split effect),
+// shrinking with batch size.
+
+// OverheadPoint is one (model, batch) measurement.
+type OverheadPoint struct {
+	Model    string
+	Batch    int
+	Overhead float64 // (tNeu - tVLIW) / tVLIW
+}
+
+// Fig16Result holds the overhead grid.
+type Fig16Result struct {
+	Batches []int
+	Points  map[string]map[int]float64
+}
+
+func (r *Fig16Result) Name() string { return "fig16" }
+
+func (r *Fig16Result) Table() string {
+	tab := &table{header: []string{"model"}}
+	for _, b := range r.Batches {
+		tab.header = append(tab.header, fmt.Sprintf("b=%d", b))
+	}
+	for _, m := range sortedKeys(r.Points) {
+		row := []string{m}
+		for _, b := range r.Batches {
+			if v, ok := r.Points[m][b]; ok {
+				row = append(row, fmt.Sprintf("%+.2f%%", v*100))
+			} else {
+				row = append(row, "OOM")
+			}
+		}
+		tab.add(row...)
+	}
+	return "Fig. 16 — NeuISA overhead vs VLIW (paper: <1% average, shrinking with batch)\n" + tab.String()
+}
+
+// Fig16NeuISAOverhead measures NeuISA-vs-VLIW solo latency for the
+// Table I models across batch sizes.
+func (r *Runner) Fig16NeuISAOverhead() (*Fig16Result, error) {
+	out := &Fig16Result{Batches: []int{1, 8, 32, 128}, Points: map[string]map[int]float64{}}
+	for _, name := range model.Names() {
+		if name == "LLaMA" {
+			continue
+		}
+		out.Points[name] = map[int]float64{}
+		for _, b := range out.Batches {
+			g, err := model.Build(name, b)
+			if err != nil {
+				return nil, err
+			}
+			if g.HBMFootprint > r.opts.Core.HBMBytes {
+				continue
+			}
+			tNeu, err := r.soloLatency(name, b, compiler.ISANeu)
+			if err != nil {
+				return nil, err
+			}
+			tVLIW, err := r.soloLatency(name, b, compiler.ISAVLIW)
+			if err != nil {
+				return nil, err
+			}
+			out.Points[name][b] = (tNeu - tVLIW) / tVLIW
+		}
+	}
+	return out, nil
+}
+
+func (r *Runner) soloLatency(name string, batch int, kind compiler.ISAKind) (float64, error) {
+	cg, err := r.comp.Graph(name, batch, kind)
+	if err != nil {
+		return 0, err
+	}
+	policy := coreSoloPolicy(kind)
+	res, err := runSolo(r, cg, policy)
+	if err != nil {
+		return 0, err
+	}
+	return res.Tenants[0].MeanLatency, nil
+}

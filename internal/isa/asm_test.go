@@ -1,0 +1,187 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const matmulAsm = `
+.neuisa veslots=4
+
+; fused MatMul+ReLU tile: each µTOp multiplies its row range of A by the
+; shared weight tile B and stores ReLU(A·B) — the paper's Fig. 8 kernel.
+.utop me tile
+    uTop.index %r2
+    s.movi %r3, #8              ; rows per µTOp
+    s.mul %r4, %r2, %r3
+    s.movi %r5, #16384
+    me.loadw [%r5], 64, 128
+    s.movi %r8, #64
+    s.mul %r6, %r4, %r8         ; A offset
+    s.movi %r9, #128
+    s.mul %r7, %r4, %r9
+    s.addi %r7, %r7, #65536     ; C base
+    s.movi %r10, #8
+LOOP:
+    me.push [%r6], 64
+    me.pop %v0 | v.relu %v0, %v0
+    ls.store [%r7+0], %v0
+    s.addi %r6, %r6, #64
+    s.addi %r7, %r7, #128
+    s.addi %r10, %r10, #-1
+    bne %r10, %r0, @LOOP
+    uTop.finish
+
+.utop ve sum
+    ls.load %v0, [%r1+0]
+    ls.load %v1, [%r1+128]
+    v.add %v2, %v0, %v1
+    ls.store [%r1+256], %v2
+    uTop.finish
+
+.group tile tile
+.group | sum
+`
+
+func TestAssembleMatMulKernel(t *testing.T) {
+	p, err := Assemble(matmulAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.VESlots != 4 {
+		t.Fatalf("veslots %d", p.VESlots)
+	}
+	if len(p.UTops) != 2 || p.UTops[0].Kind != MEUTop || p.UTops[1].Kind != VEUTop {
+		t.Fatalf("µTOps %+v", p.UTops)
+	}
+	if len(p.Groups) != 2 {
+		t.Fatalf("groups %d", len(p.Groups))
+	}
+	if len(p.Groups[0].ME) != 2 || p.Groups[0].VE != NullUTop {
+		t.Fatalf("group 0 %+v", p.Groups[0])
+	}
+	if p.Groups[1].VE != 1 || len(p.Groups[1].ME) != 0 {
+		t.Fatalf("group 1 %+v", p.Groups[1])
+	}
+	// The branch must have resolved to a negative offset landing on LOOP.
+	var branch *Operation
+	for i := range p.MECode {
+		if p.MECode[i].Misc.Op == OpBNE {
+			branch = &p.MECode[i].Misc
+		}
+	}
+	if branch == nil {
+		t.Fatal("no branch assembled")
+	}
+	if branch.Imm >= 0 || branch.Imm < -10 {
+		t.Fatalf("branch offset %d implausible", branch.Imm)
+	}
+	// Round-trip through the binary encoder.
+	q, err := DecodeNeuProgram(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DumpNeuProgram(p) != DumpNeuProgram(q) {
+		t.Fatal("assembled program does not survive encode/decode")
+	}
+}
+
+func TestAssembleParallelSlots(t *testing.T) {
+	p, err := Assemble(`
+.neuisa veslots=2
+.utop me k
+    me.pop %v0 | v.relu %v0, %v0 | v.mov %v1, %v0 | ls.store [%r1+0], %v0
+    uTop.finish
+.group k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.MECode[p.UTops[0].Start]
+	if in.ME[0].Op != OpMEPop || in.VE[0].Op != OpVRelu || in.VE[1].Op != OpVMov ||
+		in.LS[0].Op != OpVStore {
+		t.Fatalf("parallel slots misassembled: %s", Disassemble(&in))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no header", ".utop me x\nuTop.finish\n.group x", ".neuisa"},
+		{"dup header", ".neuisa veslots=2\n.neuisa veslots=2", "duplicate"},
+		{"bad veslots", ".neuisa veslots=99", "veslots"},
+		{"unknown mnemonic", ".neuisa veslots=2\n.utop me x\nfrobnicate %r1\nuTop.finish\n.group x", "mnemonic"},
+		{"missing finish", ".neuisa veslots=2\n.utop me x\nme.pop %v0\n.group x", "finish"},
+		{"undefined label", ".neuisa veslots=2\n.utop me x\nbne %r1, %r0, @nope\nuTop.finish\n.group x", "label"},
+		{"dup utop", ".neuisa veslots=2\n.utop me x\nuTop.finish\n.utop me x\nuTop.finish\n.group x", "duplicate"},
+		{"unknown utop in group", ".neuisa veslots=2\n.utop me x\nuTop.finish\n.group y", "unknown"},
+		{"ve op in me position", ".neuisa veslots=2\n.utop ve x\nme.pop %v0\nuTop.finish\n.group | x", "ME slot"},
+		{"bad register", ".neuisa veslots=2\n.utop me x\ns.movi %q1, #5\nuTop.finish\n.group x", "s.movi"},
+		{"two ve in group", ".neuisa veslots=2\n.utop ve a\nuTop.finish\n.utop ve b\nuTop.finish\n.group | a b", "two VE"},
+		{"instr outside utop", ".neuisa veslots=2\ns.movi %r1, #5", "outside"},
+		{"empty group", ".neuisa veslots=2\n.utop me x\nuTop.finish\n.group |", "empty"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble(`
+; leading comment
+.neuisa veslots=2   ; trailing comment
+
+.utop ve v          ; the µTOp
+    v.bcast %v0, %r1
+    v.rsum %r2, %v0 ; reduce
+    uTop.finish
+
+.group | v
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.VECode) != 3 {
+		t.Fatalf("expected 3 instructions, got %d", len(p.VECode))
+	}
+}
+
+func TestAssembleNextGroupLoop(t *testing.T) {
+	// The paper's Fig. 15 loop, in assembler form.
+	p, err := Assemble(`
+.neuisa veslots=1
+.utop ve body
+    s.load %r2, [%r0+100]
+    s.addi %r2, %r2, #1
+    s.store [%r0+100], %r2
+    uTop.finish
+.utop ve check
+    s.load %r2, [%r0+101]
+    s.addi %r2, %r2, #1
+    s.store [%r0+101], %r2
+    s.movi %r3, #3
+    blt %r3, %r2, @DONE
+    uTop.nextGroup %r0
+DONE:
+    uTop.finish
+.group | body
+.group | check
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups) != 2 {
+		t.Fatalf("groups %d", len(p.Groups))
+	}
+}

@@ -1,0 +1,317 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseOp parses one slot operation in assembler syntax, returning the
+// operation, its slot kind, and (for branches) the unresolved label.
+func parseOp(s string) (Operation, SlotKind, string, error) {
+	mnemonic, rest, _ := strings.Cut(s, " ")
+	args := splitArgs(rest)
+	fail := func(usage string) (Operation, SlotKind, string, error) {
+		return Operation{}, 0, "", fmt.Errorf("bad %s: %q (usage: %s)", mnemonic, s, usage)
+	}
+
+	switch mnemonic {
+	case "nop":
+		return Nop, SlotMisc, "", nil
+
+	// ---- ME slot ----
+	case "me.loadw": // me.loadw [%rA], rows, cols
+		if len(args) != 3 {
+			return fail("me.loadw [%rA], rows, cols")
+		}
+		a, err1 := parseMemReg(args[0])
+		rows, err2 := strconv.Atoi(args[1])
+		cols, err3 := strconv.Atoi(args[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fail("me.loadw [%rA], rows, cols")
+		}
+		return MELoadW(a, rows, cols), SlotME, "", nil
+	case "me.push": // me.push [%rA], len
+		if len(args) != 2 {
+			return fail("me.push [%rA], len")
+		}
+		a, err1 := parseMemReg(args[0])
+		n, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil {
+			return fail("me.push [%rA], len")
+		}
+		return MEPush(a, n), SlotME, "", nil
+	case "me.pop", "me.popacc": // me.pop %vD
+		if len(args) != 1 {
+			return fail("me.pop %vD")
+		}
+		d, err := parseReg(args[0], 'v')
+		if err != nil {
+			return fail("me.pop %vD")
+		}
+		if mnemonic == "me.pop" {
+			return MEPop(d), SlotME, "", nil
+		}
+		return MEPopA(d), SlotME, "", nil
+
+	// ---- VE slot ----
+	case "v.add", "v.sub", "v.mul", "v.max":
+		op := map[string]Opcode{"v.add": OpVAdd, "v.sub": OpVSub, "v.mul": OpVMul, "v.max": OpVMax}[mnemonic]
+		if len(args) != 3 {
+			return fail(mnemonic + " %vD, %vA, %vB")
+		}
+		d, e1 := parseReg(args[0], 'v')
+		a, e2 := parseReg(args[1], 'v')
+		b, e3 := parseReg(args[2], 'v')
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail(mnemonic + " %vD, %vA, %vB")
+		}
+		return V2(op, d, a, b), SlotVE, "", nil
+	case "v.relu", "v.mov":
+		op := OpVRelu
+		if mnemonic == "v.mov" {
+			op = OpVMov
+		}
+		if len(args) != 2 {
+			return fail(mnemonic + " %vD, %vA")
+		}
+		d, e1 := parseReg(args[0], 'v')
+		a, e2 := parseReg(args[1], 'v')
+		if e1 != nil || e2 != nil {
+			return fail(mnemonic + " %vD, %vA")
+		}
+		return V1(op, d, a), SlotVE, "", nil
+	case "v.bcast": // v.bcast %vD, %rA
+		if len(args) != 2 {
+			return fail("v.bcast %vD, %rA")
+		}
+		d, e1 := parseReg(args[0], 'v')
+		a, e2 := parseReg(args[1], 'r')
+		if e1 != nil || e2 != nil {
+			return fail("v.bcast %vD, %rA")
+		}
+		return Operation{Op: OpVBcast, Dst: d, A: a}, SlotVE, "", nil
+	case "v.adds", "v.muls": // v.adds %vD, %vA, #imm
+		op := OpVAddS
+		if mnemonic == "v.muls" {
+			op = OpVMulS
+		}
+		if len(args) != 3 {
+			return fail(mnemonic + " %vD, %vA, #imm")
+		}
+		d, e1 := parseReg(args[0], 'v')
+		a, e2 := parseReg(args[1], 'v')
+		imm, e3 := parseImm(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail(mnemonic + " %vD, %vA, #imm")
+		}
+		return Operation{Op: op, Dst: d, A: a, Imm: imm}, SlotVE, "", nil
+	case "v.rsum": // v.rsum %rD, %vA
+		if len(args) != 2 {
+			return fail("v.rsum %rD, %vA")
+		}
+		d, e1 := parseReg(args[0], 'r')
+		a, e2 := parseReg(args[1], 'v')
+		if e1 != nil || e2 != nil {
+			return fail("v.rsum %rD, %vA")
+		}
+		return Operation{Op: OpVRsum, Dst: d, A: a}, SlotVE, "", nil
+
+	// ---- LS slot ----
+	case "ls.load": // ls.load %vD, [%rA+off]
+		if len(args) != 2 {
+			return fail("ls.load %vD, [%rA+off]")
+		}
+		d, e1 := parseReg(args[0], 'v')
+		a, off, e2 := parseMemRegOff(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("ls.load %vD, [%rA+off]")
+		}
+		return VLoad(d, a, off), SlotLS, "", nil
+	case "ls.store": // ls.store [%rA+off], %vB
+		if len(args) != 2 {
+			return fail("ls.store [%rA+off], %vB")
+		}
+		a, off, e1 := parseMemRegOff(args[0])
+		b, e2 := parseReg(args[1], 'v')
+		if e1 != nil || e2 != nil {
+			return fail("ls.store [%rA+off], %vB")
+		}
+		return VStore(a, b, off), SlotLS, "", nil
+
+	// ---- misc slot ----
+	case "halt":
+		return Halt(), SlotMisc, "", nil
+	case "s.movi": // s.movi %rD, #imm
+		if len(args) != 2 {
+			return fail("s.movi %rD, #imm")
+		}
+		d, e1 := parseReg(args[0], 'r')
+		imm, e2 := parseImm(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("s.movi %rD, #imm")
+		}
+		return SMovI(d, imm), SlotMisc, "", nil
+	case "s.addi": // s.addi %rD, %rA, #imm
+		if len(args) != 3 {
+			return fail("s.addi %rD, %rA, #imm")
+		}
+		d, e1 := parseReg(args[0], 'r')
+		a, e2 := parseReg(args[1], 'r')
+		imm, e3 := parseImm(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("s.addi %rD, %rA, #imm")
+		}
+		return SAddI(d, a, imm), SlotMisc, "", nil
+	case "s.add", "s.mul": // s.add %rD, %rA, %rB
+		op := OpSAdd
+		if mnemonic == "s.mul" {
+			op = OpSMul
+		}
+		if len(args) != 3 {
+			return fail(mnemonic + " %rD, %rA, %rB")
+		}
+		d, e1 := parseReg(args[0], 'r')
+		a, e2 := parseReg(args[1], 'r')
+		b, e3 := parseReg(args[2], 'r')
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail(mnemonic + " %rD, %rA, %rB")
+		}
+		return Operation{Op: op, Dst: d, A: a, B: b}, SlotMisc, "", nil
+	case "s.load": // s.load %rD, [%rA+off]
+		if len(args) != 2 {
+			return fail("s.load %rD, [%rA+off]")
+		}
+		d, e1 := parseReg(args[0], 'r')
+		a, off, e2 := parseMemRegOff(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("s.load %rD, [%rA+off]")
+		}
+		return Operation{Op: OpSLoad, Dst: d, A: a, Imm: off}, SlotMisc, "", nil
+	case "s.store": // s.store [%rA+off], %rB
+		if len(args) != 2 {
+			return fail("s.store [%rA+off], %rB")
+		}
+		a, off, e1 := parseMemRegOff(args[0])
+		b, e2 := parseReg(args[1], 'r')
+		if e1 != nil || e2 != nil {
+			return fail("s.store [%rA+off], %rB")
+		}
+		return Operation{Op: OpSStore, A: a, B: b, Imm: off}, SlotMisc, "", nil
+	case "beq", "bne", "blt": // bne %rA, %rB, @label
+		op := map[string]Opcode{"beq": OpBEQ, "bne": OpBNE, "blt": OpBLT}[mnemonic]
+		if len(args) != 3 || !strings.HasPrefix(args[2], "@") {
+			return fail(mnemonic + " %rA, %rB, @label")
+		}
+		a, e1 := parseReg(args[0], 'r')
+		b, e2 := parseReg(args[1], 'r')
+		if e1 != nil || e2 != nil {
+			return fail(mnemonic + " %rA, %rB, @label")
+		}
+		return Branch(op, a, b, 0), SlotMisc, strings.TrimPrefix(args[2], "@"), nil
+	case "dma.load", "dma.store": // dma.load %rD, %rA, words
+		if len(args) != 3 {
+			return fail(mnemonic + " %rD, %rA, words")
+		}
+		d, e1 := parseReg(args[0], 'r')
+		a, e2 := parseReg(args[1], 'r')
+		w, e3 := strconv.Atoi(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail(mnemonic + " %rD, %rA, words")
+		}
+		if mnemonic == "dma.load" {
+			return DMALoad(d, a, int32(w)), SlotMisc, "", nil
+		}
+		return DMAStore(d, a, int32(w)), SlotMisc, "", nil
+	case "uTop.finish":
+		return UTopFinish(), SlotMisc, "", nil
+	case "uTop.nextGroup": // uTop.nextGroup %rA
+		if len(args) != 1 {
+			return fail("uTop.nextGroup %rA")
+		}
+		a, err := parseReg(args[0], 'r')
+		if err != nil {
+			return fail("uTop.nextGroup %rA")
+		}
+		return UTopNextGroup(a), SlotMisc, "", nil
+	case "uTop.group", "uTop.index": // uTop.group %rD
+		if len(args) != 1 {
+			return fail(mnemonic + " %rD")
+		}
+		d, err := parseReg(args[0], 'r')
+		if err != nil {
+			return fail(mnemonic + " %rD")
+		}
+		if mnemonic == "uTop.group" {
+			return UTopGroup(d), SlotMisc, "", nil
+		}
+		return UTopIndex(d), SlotMisc, "", nil
+	default:
+		return Operation{}, 0, "", fmt.Errorf("isa: unknown mnemonic %q", mnemonic)
+	}
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseReg parses "%rN" or "%vN".
+func parseReg(s string, class byte) (uint8, error) {
+	want := "%" + string(class)
+	if !strings.HasPrefix(s, want) {
+		return 0, fmt.Errorf("expected %s register, got %q", want, s)
+	}
+	n, err := strconv.Atoi(s[len(want):])
+	if err != nil || n < 0 || n >= NumScalarRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMemReg parses "[%rN]".
+func parseMemReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("expected [%%rN], got %q", s)
+	}
+	return parseReg(s[1:len(s)-1], 'r')
+}
+
+// parseMemRegOff parses "[%rN+off]" or "[%rN]".
+func parseMemRegOff(s string) (uint8, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("expected [%%rN+off], got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	regPart, offPart, hasOff := strings.Cut(inner, "+")
+	r, err := parseReg(strings.TrimSpace(regPart), 'r')
+	if err != nil {
+		return 0, 0, err
+	}
+	if !hasOff {
+		return r, 0, nil
+	}
+	off, err := strconv.Atoi(strings.TrimSpace(offPart))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, int32(off), nil
+}
+
+// parseImm parses "#N".
+func parseImm(s string) (int32, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("expected #imm, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(n), nil
+}

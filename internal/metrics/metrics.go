@@ -1,0 +1,175 @@
+// Package metrics provides the measurement utilities the evaluation
+// harness uses: latency recorders with exact percentiles, time-weighted
+// utilization accumulators, and time-series samplers for the paper's
+// timeline figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Latencies records per-request latencies (any unit; the harness uses
+// cycles) and reports exact order statistics.
+type Latencies struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latencies) Add(v float64) {
+	l.samples = append(l.samples, v)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latencies) Count() int { return len(l.samples) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (l *Latencies) Mean() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range l.samples {
+		s += v
+	}
+	return s / float64(len(l.samples))
+}
+
+// Percentile returns the exact p-th percentile (nearest-rank) for
+// p in (0, 100]. It returns 0 when empty.
+func (l *Latencies) Percentile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(l.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(l.samples) {
+		rank = len(l.samples)
+	}
+	return l.samples[rank-1]
+}
+
+// P95 is the tail-latency statistic the paper reports (Fig. 19).
+func (l *Latencies) P95() float64 { return l.Percentile(95) }
+
+// Max returns the largest sample.
+func (l *Latencies) Max() float64 { return l.Percentile(100) }
+
+// Utilization accumulates busy capacity-time for a pool of engines and
+// reports the busy fraction of total capacity.
+type Utilization struct {
+	capacity float64 // engines in the pool
+	busyArea float64 // ∫ busy(t) dt
+	start    float64
+	last     float64
+}
+
+// NewUtilization creates an accumulator for `capacity` engines starting
+// at time start.
+func NewUtilization(capacity float64, start float64) *Utilization {
+	return &Utilization{capacity: capacity, start: start, last: start}
+}
+
+// Accumulate adds busy·(now−last) engine-cycles, where busy is the
+// number of engines that were busy over the elapsed interval.
+func (u *Utilization) Accumulate(now, busy float64) {
+	if now < u.last {
+		panic(fmt.Sprintf("metrics: time went backwards: %v < %v", now, u.last))
+	}
+	if busy < 0 {
+		busy = 0
+	}
+	if busy > u.capacity {
+		busy = u.capacity
+	}
+	u.busyArea += busy * (now - u.last)
+	u.last = now
+}
+
+// Value returns the busy fraction in [0,1] over the observed window.
+func (u *Utilization) Value() float64 {
+	dur := (u.last - u.start) * u.capacity
+	if dur <= 0 {
+		return 0
+	}
+	return u.busyArea / dur
+}
+
+// TimeSeries collects (t, value) samples for the paper's timeline plots
+// (Figs. 2, 5, 7, 24), downsampling to a bounded number of points.
+type TimeSeries struct {
+	Name   string
+	Times  []float64
+	Values []float64
+	limit  int
+}
+
+// NewTimeSeries creates a series bounded to `limit` points (0 = unbounded).
+func NewTimeSeries(name string, limit int) *TimeSeries {
+	return &TimeSeries{Name: name, limit: limit}
+}
+
+// Add appends a sample; when over the limit, every other point is dropped
+// (keeping endpoints), halving resolution rather than truncating time.
+func (ts *TimeSeries) Add(t, v float64) {
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+	if ts.limit > 0 && len(ts.Times) > ts.limit {
+		nt, nv := ts.Times[:0], ts.Values[:0]
+		for i := 0; i < len(ts.Times); i += 2 {
+			nt = append(nt, ts.Times[i])
+			nv = append(nv, ts.Values[i])
+		}
+		ts.Times, ts.Values = nt, nv
+	}
+}
+
+// Len returns the number of retained points.
+func (ts *TimeSeries) Len() int { return len(ts.Times) }
+
+// Mean returns the time-weighted mean value of the series (samples are
+// treated as left-continuous step values).
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Times) < 2 {
+		if len(ts.Values) == 1 {
+			return ts.Values[0]
+		}
+		return 0
+	}
+	var area, dur float64
+	for i := 1; i < len(ts.Times); i++ {
+		dt := ts.Times[i] - ts.Times[i-1]
+		area += ts.Values[i-1] * dt
+		dur += dt
+	}
+	if dur == 0 {
+		return 0
+	}
+	return area / dur
+}
+
+// MaxValue returns the largest sample value.
+func (ts *TimeSeries) MaxValue() float64 {
+	m := math.Inf(-1)
+	for _, v := range ts.Values {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatenciesPercentiles(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(float64(i))
+	}
+	if got := l.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := l.P95(); got != 95 {
+		t.Errorf("p95 = %v, want 95", got)
+	}
+	if got := l.Max(); got != 100 {
+		t.Errorf("max = %v, want 100", got)
+	}
+	if got := l.Mean(); got != 50.5 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+	if l.Count() != 100 {
+		t.Errorf("count = %d", l.Count())
+	}
+}
+
+func TestLatenciesEmpty(t *testing.T) {
+	var l Latencies
+	if l.Mean() != 0 || l.P95() != 0 || l.Count() != 0 {
+		t.Fatal("empty recorder not zero-valued")
+	}
+}
+
+func TestLatenciesUnsortedInput(t *testing.T) {
+	var l Latencies
+	for _, v := range []float64{9, 1, 5, 3, 7} {
+		l.Add(v)
+	}
+	if got := l.Percentile(100); got != 9 {
+		t.Errorf("max of unsorted = %v", got)
+	}
+	l.Add(11) // after a sorted read, adding must re-sort
+	if got := l.Percentile(100); got != 11 {
+		t.Errorf("max after re-add = %v", got)
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		var l Latencies
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			l.Add(v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if l.Count() == 0 {
+			return true
+		}
+		p50, p95 := l.Percentile(50), l.Percentile(95)
+		return p50 >= lo && p95 <= hi && p50 <= p95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationAccumulator(t *testing.T) {
+	u := NewUtilization(4, 0)
+	u.Accumulate(10, 4) // fully busy 10 cycles
+	u.Accumulate(20, 0) // idle 10 cycles
+	if got := u.Value(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization %v, want 0.5", got)
+	}
+}
+
+func TestUtilizationClampsBusy(t *testing.T) {
+	u := NewUtilization(2, 0)
+	u.Accumulate(10, 5) // over capacity clamps to 2
+	if got := u.Value(); got != 1 {
+		t.Fatalf("clamped utilization %v, want 1", got)
+	}
+	u2 := NewUtilization(2, 0)
+	u2.Accumulate(10, -3)
+	if got := u2.Value(); got != 0 {
+		t.Fatalf("negative busy gave %v", got)
+	}
+}
+
+func TestUtilizationTimeBackwardsPanics(t *testing.T) {
+	u := NewUtilization(1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time reversal did not panic")
+		}
+	}()
+	u.Accumulate(3, 1)
+}
+
+func TestTimeSeriesDownsampling(t *testing.T) {
+	ts := NewTimeSeries("x", 64)
+	for i := 0; i < 1000; i++ {
+		ts.Add(float64(i), float64(i%7))
+	}
+	if ts.Len() > 64 {
+		t.Fatalf("series holds %d points, limit 64", ts.Len())
+	}
+	if ts.Times[0] != 0 {
+		t.Fatal("downsampling dropped the first point")
+	}
+	// Time coverage preserved (last retained point near the end).
+	if ts.Times[ts.Len()-1] < 900 {
+		t.Fatalf("downsampling truncated time range: last = %v", ts.Times[ts.Len()-1])
+	}
+}
+
+func TestTimeSeriesMeanStepWeighted(t *testing.T) {
+	ts := NewTimeSeries("x", 0)
+	ts.Add(0, 10) // 10 for t in [0, 2)
+	ts.Add(2, 0)  // 0 for t in [2, 4)
+	ts.Add(4, 0)
+	if got := ts.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("time-weighted mean %v, want 5", got)
+	}
+	if got := ts.MaxValue(); got != 10 {
+		t.Fatalf("max %v", got)
+	}
+}
+
+func TestTimeSeriesEdgeCases(t *testing.T) {
+	ts := NewTimeSeries("x", 0)
+	if ts.Mean() != 0 || ts.MaxValue() != 0 {
+		t.Fatal("empty series not zero-valued")
+	}
+	ts.Add(1, 42)
+	if ts.Mean() != 42 {
+		t.Fatal("single-point mean")
+	}
+}

@@ -1,0 +1,66 @@
+package npu
+
+import (
+	"testing"
+
+	"neu10/internal/isa"
+	"neu10/internal/tensor"
+)
+
+// End-to-end through the text toolchain: assemble a fused MatMul+ReLU
+// kernel from source, execute it on the functional simulator, and verify
+// against the host reference.
+func TestAssembledKernelExecutes(t *testing.T) {
+	const src = `
+.neuisa veslots=4
+.utop me tile
+    uTop.index %r2
+    s.movi %r3, #8
+    s.mul %r4, %r2, %r3
+    s.movi %r5, #16384
+    me.loadw [%r5], 64, 128
+    s.movi %r8, #64
+    s.mul %r6, %r4, %r8
+    s.movi %r9, #128
+    s.mul %r7, %r4, %r9
+    s.addi %r7, %r7, #65536
+    s.movi %r10, #8
+LOOP:
+    me.push [%r6], 64
+    me.pop %v0 | v.relu %v0, %v0
+    ls.store [%r7+0], %v0
+    s.addi %r6, %r6, #64
+    s.addi %r7, %r7, #128
+    s.addi %r10, %r10, #-1
+    bne %r10, %r0, @LOOP
+    uTop.finish
+.group tile tile
+`
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const m, k, n = 16, 64, isa.VectorLanes // 2 µTOps × 8 rows
+	a := tensor.New(m, k)
+	bm := tensor.New(k, n)
+	for i := range a.Data {
+		a.Data[i] = float32(i%19) - 9
+	}
+	for i := range bm.Data {
+		bm.Data[i] = float32(i%13)/4 - 1.5
+	}
+	want := tensor.ReLU(tensor.MatMul(a, bm))
+
+	core := newTestCore(t)
+	copy(core.SRAM[0:], a.Data)
+	copy(core.SRAM[16384:], bm.Data)
+	if _, err := core.RunNeu(prog, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.New(m, n)
+	copy(got.Data, core.SRAM[65536:65536+m*n])
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("assembled kernel differs from reference by %v", d)
+	}
+}

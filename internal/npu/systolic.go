@@ -1,0 +1,96 @@
+package npu
+
+import "fmt"
+
+// SystolicArray is the functional model of one matrix engine: a
+// weight-stationary dim×dim grid. A weight tile W of shape K×N
+// (K, N ≤ dim) is latched by loadw; each push streams one activation row
+// x (length K) through the array; the corresponding output row y = x·W
+// (length N) becomes available to pop in FIFO order.
+//
+// The model is functionally exact for tiled matrix multiplication: the
+// dot products are accumulated in k-major order, the same order the
+// reference tensor.MatMul uses, so results match bit-for-bit.
+type SystolicArray struct {
+	Dim int
+
+	k, n    int       // latched tile shape
+	weights []float32 // K×N row-major
+	outputs [][]float32
+
+	// Preemption bookkeeping: µTOp context switches save/restore the
+	// latched weights and in-flight outputs (the paper charges 256 cycles
+	// for this: 128 to pop partial sums + 128 to pop weights).
+}
+
+// NewSystolicArray builds an idle array.
+func NewSystolicArray(dim int) *SystolicArray { return &SystolicArray{Dim: dim} }
+
+// LoadWeights latches a K×N tile read from src (row-major, len K*N).
+func (s *SystolicArray) LoadWeights(src []float32, k, n int) error {
+	if k < 1 || k > s.Dim || n < 1 || n > s.Dim {
+		return fmt.Errorf("npu: weight tile %dx%d exceeds systolic dim %d", k, n, s.Dim)
+	}
+	if len(src) < k*n {
+		return fmt.Errorf("npu: weight tile needs %d words, have %d", k*n, len(src))
+	}
+	s.k, s.n = k, n
+	s.weights = append(s.weights[:0], src[:k*n]...)
+	return nil
+}
+
+// Push streams activation row x (length K) through the array, producing
+// one pending output row.
+func (s *SystolicArray) Push(x []float32) error {
+	if s.weights == nil {
+		return fmt.Errorf("npu: push with no weights latched")
+	}
+	if len(x) != s.k {
+		return fmt.Errorf("npu: pushed row length %d, tile K=%d", len(x), s.k)
+	}
+	y := make([]float32, s.n)
+	for j := 0; j < s.n; j++ {
+		var sum float32
+		for p := 0; p < s.k; p++ {
+			sum += x[p] * s.weights[p*s.n+j]
+		}
+		y[j] = sum
+	}
+	s.outputs = append(s.outputs, y)
+	return nil
+}
+
+// Pop removes and returns the oldest pending output row.
+func (s *SystolicArray) Pop() ([]float32, error) {
+	if len(s.outputs) == 0 {
+		return nil, fmt.Errorf("npu: pop with no pending outputs")
+	}
+	y := s.outputs[0]
+	s.outputs = s.outputs[1:]
+	return y, nil
+}
+
+// Pending reports the number of un-popped output rows.
+func (s *SystolicArray) Pending() int { return len(s.outputs) }
+
+// TileShape returns the latched tile's K and N (0,0 when idle).
+func (s *SystolicArray) TileShape() (k, n int) { return s.k, s.n }
+
+// SavedState is a snapshot of the array for µTOp preemption.
+type SavedState struct {
+	K, N    int
+	Weights []float32
+	Outputs [][]float32
+}
+
+// Save snapshots the array state (for a context switch) and clears it.
+func (s *SystolicArray) Save() SavedState {
+	st := SavedState{K: s.k, N: s.n, Weights: s.weights, Outputs: s.outputs}
+	s.k, s.n, s.weights, s.outputs = 0, 0, nil, nil
+	return st
+}
+
+// Restore reinstates a saved snapshot.
+func (s *SystolicArray) Restore(st SavedState) {
+	s.k, s.n, s.weights, s.outputs = st.K, st.N, st.Weights, st.Outputs
+}

@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"testing"
+
+	"neu10/internal/compiler"
+	"neu10/internal/isa"
+	"neu10/internal/sim"
+)
+
+// Property tests: randomized workload graphs run under every policy and
+// checked against structural invariants of the simulator — completion,
+// determinism, work conservation, and the isolation guarantee of static
+// spatial partitioning.
+
+// randGraph builds a random compiled graph: 2-6 operators mixing ME
+// groups (1-4 µTOps, with or without inline VE work), VE ops, and
+// reduction-split shapes.
+func randGraph(rng *sim.RNG, kind compiler.ISAKind) *compiler.CompiledGraph {
+	nOps := 2 + rng.Intn(5)
+	var ops []compiler.CompiledOp
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(4) {
+		case 0: // plain ME op
+			ops = append(ops, meOp(1+rng.Intn(4), uint64(500+rng.Intn(4000)), uint64(rng.Intn(800))))
+		case 1: // VE op
+			ops = append(ops, veOp(uint64(300+rng.Intn(5000))))
+		case 2: // ME op with heavy inline VE
+			ops = append(ops, meOp(1+rng.Intn(2), uint64(500+rng.Intn(1000)), uint64(1000+rng.Intn(2000))))
+		default: // reduction-split: ME group then VE summation group
+			op := meOp(2+rng.Intn(3), uint64(500+rng.Intn(2000)), 0)
+			op.Groups = append(op.Groups, compiler.GroupSpec{UTops: []compiler.UTopSpec{
+				{Kind: isa.VEUTop, VECycles: uint64(200 + rng.Intn(1000))},
+			}})
+			op.ReductionSplit = true
+			ops = append(ops, op)
+		}
+	}
+	return synth(kind, ops...)
+}
+
+func totals(g *compiler.CompiledGraph) (me, ve uint64) {
+	for i := range g.Ops {
+		me += g.Ops[i].TotalME()
+		ve += g.Ops[i].TotalVE()
+	}
+	return
+}
+
+func TestPropertyRandomGraphsAllPolicies(t *testing.T) {
+	rng := sim.NewRNG(2024)
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		seed := rng.Uint64()
+		for _, pol := range []Mode{PMT, V10, NeuNH, Neu10} {
+			gr := sim.NewRNG(seed)
+			ga := randGraph(gr, pol.ISAFor())
+			gb := randGraph(gr, pol.ISAFor())
+			specs := []TenantSpec{
+				{Name: "A", Graph: ga, MEs: 2, VEs: 2},
+				{Name: "B", Graph: gb, MEs: 2, VEs: 2},
+			}
+			cfg := Config{Core: tpu(), Policy: pol, Requests: 4}
+			res, err := Run(cfg, specs)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, pol, err)
+			}
+
+			// Invariant 1: every tenant completed the target.
+			for _, tr := range res.Tenants {
+				if tr.Requests < 4 {
+					t.Fatalf("trial %d %s: tenant %s completed %d/4", trial, pol, tr.Name, tr.Requests)
+				}
+				if tr.MeanLatency <= 0 || tr.P95Latency < tr.MeanLatency/2 {
+					t.Fatalf("trial %d %s: implausible latency stats %v/%v",
+						trial, pol, tr.MeanLatency, tr.P95Latency)
+				}
+			}
+
+			// Invariant 2: latency lower bound — a request can never beat
+			// its critical path on unlimited engines (max over ops of the
+			// longest single µTOp, summed over ops is too strong; use the
+			// sum of each op's longest µTOp, which any schedule must pay).
+			for w, g := range []*compiler.CompiledGraph{ga, gb} {
+				var critical float64
+				for i := range g.Ops {
+					for _, grp := range g.Ops[i].Groups {
+						var longest uint64
+						for _, u := range grp.UTops {
+							n := u.MECycles
+							if u.VECycles > n && u.Kind == isa.MEUTop {
+								n = u.VECycles
+							}
+							if u.Kind == isa.VEUTop {
+								// Divisible across all VEs at best.
+								n = u.VECycles / uint64(tpu().VEs)
+							}
+							if n > longest {
+								longest = n
+							}
+						}
+						critical += float64(longest)
+					}
+				}
+				// Every request's latency must be ≥ the critical path.
+				if res.Tenants[w].Latency.Percentile(0) < critical*0.999 {
+					t.Fatalf("trial %d %s tenant %d: min latency %.0f below critical path %.0f",
+						trial, pol, w, res.Tenants[w].Latency.Percentile(0), critical)
+				}
+			}
+
+			// Invariant 3: determinism.
+			res2, err := Run(cfg, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DurationCycles != res2.DurationCycles {
+				t.Fatalf("trial %d %s: nondeterministic duration", trial, pol)
+			}
+
+			// Invariant 4: utilizations in [0, 1].
+			if res.MEUtil < 0 || res.MEUtil > 1+1e-9 || res.VEUtil < 0 || res.VEUtil > 1+1e-9 {
+				t.Fatalf("trial %d %s: utilization out of range %v/%v", trial, pol, res.MEUtil, res.VEUtil)
+			}
+		}
+	}
+}
+
+// TestPropertyNHIsolation: under static spatial partitioning with no HBM
+// pressure, a tenant's latency must be bit-identical no matter what its
+// neighbour runs — the definition of hardware isolation.
+func TestPropertyNHIsolation(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for trial := 0; trial < 25; trial++ {
+		seed := rng.Uint64()
+		gr := sim.NewRNG(seed)
+		ga := randGraph(gr, compiler.ISANeu)
+		mkB := func(s uint64) *compiler.CompiledGraph { return randGraph(sim.NewRNG(s), compiler.ISANeu) }
+
+		run := func(gb *compiler.CompiledGraph) float64 {
+			res, err := Run(Config{Core: tpu(), Policy: NeuNH, Requests: 5},
+				[]TenantSpec{
+					{Name: "A", Graph: ga, MEs: 2, VEs: 2},
+					{Name: "B", Graph: gb, MEs: 2, VEs: 2},
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Tenants[0].MeanLatency
+		}
+		l1 := run(mkB(seed ^ 0xaaaa))
+		l2 := run(mkB(seed ^ 0x5555))
+		if l1 != l2 {
+			t.Fatalf("trial %d: NH tenant latency depends on neighbour (%.2f vs %.2f)", trial, l1, l2)
+		}
+	}
+}
+
+// TestPropertyHarvestingNeverSlowsAggregate: across random scenarios,
+// Neu10's total completed work per cycle is at least NH's (modulo a
+// small tolerance for reclaim penalties).
+func TestPropertyHarvestingAggregate(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 25; trial++ {
+		seed := rng.Uint64()
+		gr1 := sim.NewRNG(seed)
+		mk := func(r *sim.RNG) []TenantSpec {
+			return []TenantSpec{
+				{Name: "A", Graph: randGraph(r, compiler.ISANeu), MEs: 2, VEs: 2},
+				{Name: "B", Graph: randGraph(r, compiler.ISANeu), MEs: 2, VEs: 2},
+			}
+		}
+		specs := mk(gr1)
+		nh, err := Run(Config{Core: tpu(), Policy: NeuNH, Requests: 5}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n10, err := Run(Config{Core: tpu(), Policy: Neu10, Requests: 5}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggNH := nh.Tenants[0].Throughput + nh.Tenants[1].Throughput
+		aggN10 := n10.Tenants[0].Throughput + n10.Tenants[1].Throughput
+		if aggN10 < aggNH*0.93 {
+			t.Fatalf("trial %d: harvesting reduced aggregate throughput %.1f -> %.1f",
+				trial, aggNH, aggN10)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package sched implements the paper's architectural contribution — the
+// µTOp scheduler and operation scheduler of §III-E — together with the
+// event-driven multi-tenant NPU-core performance simulator of §III-G
+// that evaluates it, and the three baselines of §V-A:
+//
+//   - PMT:    PREMA-style temporal sharing of the whole core.
+//   - V10:    operator-level temporal sharing of all MEs under the VLIW
+//     coupling constraint (an ME operator occupies every ME).
+//   - NeuNH:  Neu10-NoHarvest — spatially isolated vNPUs, MIG-style.
+//   - Neu10:  spatial isolation plus dynamic µTOp scheduling with ME/VE
+//     harvesting and 256-cycle reclaim preemption.
+//
+// The simulator is a deterministic fluid model: µTOps progress at
+// piecewise-constant rates set by ME bindings, VE grants and HBM
+// bandwidth sharing; events fire at completions and policy decision
+// points. This matches the granularity the paper describes (replaying
+// µTOp traces through a frontend scheduler and a backend timing model).
+package sched
+
+import (
+	"fmt"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/isa"
+	"neu10/internal/metrics"
+	"neu10/internal/sim"
+)
+
+// Mode selects the scheduling policy.
+type Mode int
+
+const (
+	PMT Mode = iota
+	V10
+	NeuNH
+	Neu10
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PMT:
+		return "PMT"
+	case V10:
+		return "V10"
+	case NeuNH:
+		return "Neu10-NH"
+	case Neu10:
+		return "Neu10"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ISAFor returns the compilation target a policy's tenants must use:
+// the temporal-sharing baselines run traditional VLIW binaries, the
+// spatial policies run NeuISA.
+func (m Mode) ISAFor() compiler.ISAKind {
+	if m == PMT || m == V10 {
+		return compiler.ISAVLIW
+	}
+	return compiler.ISANeu
+}
+
+// TenantSpec describes one collocated vNPU and its workload.
+type TenantSpec struct {
+	Name     string
+	Graph    *compiler.CompiledGraph
+	MEs, VEs int     // the vNPU's EU allocation
+	Priority float64 // fair-share weight (default 1)
+
+	// ArrivalRate, when > 0, switches this tenant to open-loop traffic:
+	// requests arrive in a Poisson stream at this rate (requests/second)
+	// and queue when the vNPU is busy; latency then includes queueing
+	// delay. Zero keeps the paper's closed-loop methodology (§V-A).
+	ArrivalRate float64
+}
+
+// Config configures one simulation run.
+type Config struct {
+	Core   arch.CoreConfig
+	Policy Mode
+	// Requests: the run ends when every tenant has completed this many
+	// requests (the paper's steady-state methodology, §V-A).
+	Requests int
+	// MaxCycles is a safety stop (0 = default).
+	MaxCycles float64
+	// QuantumCycles is the PMT time slice and the V10 fairness deficit
+	// threshold (0 = default 100k cycles).
+	QuantumCycles float64
+	// SampleEvery enables timeline sampling at this cycle interval.
+	SampleEvery float64
+	// Seed drives the deterministic RNG behind open-loop arrivals.
+	Seed uint64
+
+	// Ablation knobs for the Neu10 policy (the DESIGN.md ablation
+	// studies): disable ME harvesting and/or VE harvesting to isolate
+	// each mechanism's contribution. Both false = full Neu10.
+	DisableMEHarvest bool
+	DisableVEHarvest bool
+}
+
+func (c *Config) defaults() {
+	if c.Requests == 0 {
+		c.Requests = 10
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 5e12
+	}
+	if c.QuantumCycles == 0 {
+		c.QuantumCycles = 100_000
+	}
+}
+
+// Penalties (cycles). The ME reclaim penalty comes from the core config
+// (256 = pop partials + pop weights, §III-G); the others model the
+// coarser context switches of the baselines.
+const (
+	pmtSwitchPenalty = 1024 // full-core context switch (PREMA-style)
+	v10SwitchPenalty = 256  // operator-boundary ME-complex switch
+)
+
+// TenantResult aggregates one tenant's measurements.
+type TenantResult struct {
+	Name           string
+	Requests       int
+	Latency        *metrics.Latencies // cycles per completed request
+	MeanLatency    float64
+	P95Latency     float64
+	Throughput     float64 // requests per second (core frequency applied)
+	ActiveCycles   float64 // cycles with ≥1 µTOp running
+	HarvestBlocked float64 // cycles blocked because own MEs were harvested (Table III)
+	// OpDurations[i] = mean duration of operator i across requests, for
+	// the Fig. 23 per-operator speedup breakdown.
+	OpDurations []float64
+	// Timelines (filled when Config.SampleEvery > 0): assigned MEs and
+	// granted VEs over time (Fig. 24).
+	METimeline *metrics.TimeSeries
+	VETimeline *metrics.TimeSeries
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Policy         Mode
+	DurationCycles float64
+	Tenants        []TenantResult
+	MEUtil         float64             // work-weighted busy fraction of all MEs (Fig. 22a)
+	VEUtil         float64             // Fig. 22b
+	HBMTimeline    *metrics.TimeSeries // bytes/cycle demand served (Fig. 7)
+	AvgBandwidth   float64             // bytes/cycle average
+}
+
+// ---- internal runtime state ----
+
+// utop is a live µTOp instance.
+type utop struct {
+	ten   *tenant
+	opIdx int
+	kind  isa.UTopKind
+
+	// rem is remaining nominal cycles: for ME µTOps the pipeline-bound
+	// max(MECycles, VECycles); for VE µTOps, VECycles on one VE.
+	rem     float64
+	nominal float64
+	meFrac  float64 // ME work per nominal cycle (ME µTOps; ≤ 1)
+	veNeed  float64 // VE units required at full speed (ME µTOps; ≤ 1)
+	bwNeed  float64 // bytes per nominal cycle
+
+	me        int  // bound physical ME (-1 when unbound / VE µTOp)
+	harvested bool // running on another vNPU's ME (or borrowed VE time)
+
+	// transient per-event scheduling results
+	veGrant float64
+	speed   float64
+}
+
+func newUTop(t *tenant, opIdx int, spec compiler.UTopSpec) *utop {
+	u := &utop{ten: t, opIdx: opIdx, kind: spec.Kind, me: -1}
+	me := float64(spec.MECycles)
+	ve := float64(spec.VECycles)
+	switch spec.Kind {
+	case isa.MEUTop:
+		u.nominal = me
+		if ve > u.nominal {
+			u.nominal = ve
+		}
+		if u.nominal == 0 {
+			u.nominal = 1
+		}
+		u.meFrac = me / u.nominal
+		u.veNeed = ve / u.nominal
+	default:
+		u.nominal = ve
+		if u.nominal == 0 {
+			u.nominal = 1
+		}
+	}
+	u.rem = u.nominal
+	u.bwNeed = float64(spec.HBMBytes) / u.nominal
+	return u
+}
+
+// tenant is the runtime state of one collocated vNPU.
+type tenant struct {
+	spec TenantSpec
+	idx  int
+
+	// ownMEs are the physical ME ids this vNPU owns (spatial modes).
+	ownMEs []int
+
+	// request progress
+	opIdx    int
+	groupIdx int
+	inFlight int // µTOps of the current group still unfinished
+
+	readyME []*utop // ready, unbound ME µTOps of the current group
+	running []*utop // bound ME µTOps + active VE µTOps
+
+	reqStart  float64
+	completed int
+
+	// Open-loop state: exponential interarrival RNG, the next arrival
+	// time, and arrival timestamps waiting for service.
+	rng         *sim.RNG
+	nextArrival float64
+	pending     []float64
+	idle        bool
+
+	// fairness accounting
+	serviceCycles float64 // weighted engine-cycles consumed (V10/PMT)
+
+	// metrics
+	lat            *metrics.Latencies
+	activeCycles   float64
+	harvestBlocked float64
+	opDurSum       []float64
+	opDurN         []int
+	opStart        float64
+	meTL, veTL     *metrics.TimeSeries
+}
+
+func (t *tenant) priority() float64 {
+	if t.spec.Priority > 0 {
+		return t.spec.Priority
+	}
+	return 1
+}
+
+// currentGroup returns the group being executed, or nil when the request
+// is finished.
+func (t *tenant) currentGroup() *compiler.GroupSpec {
+	if t.opIdx >= len(t.spec.Graph.Ops) {
+		return nil
+	}
+	return &t.spec.Graph.Ops[t.opIdx].Groups[t.groupIdx]
+}

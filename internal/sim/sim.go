@@ -1,0 +1,155 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is intentionally minimal: a monotonically advancing cycle
+// clock, a priority queue of timestamped events, and a seeded random
+// number generator. Everything that needs time in the repository —
+// the performance simulator, the schedulers, the workload generators —
+// is driven from this kernel so that whole experiments are reproducible
+// bit-for-bit from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in NPU core cycles.
+type Time uint64
+
+// Event is a unit of scheduled work. Events compare by time, then by
+// priority (lower runs first), then by sequence number (FIFO within a
+// cycle) so execution order is fully deterministic.
+type Event struct {
+	At       Time
+	Priority int
+	Fn       func(now Time)
+
+	seq   uint64
+	index int // heap bookkeeping; -1 when not queued
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	nextID uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at the absolute time t. Scheduling in the past
+// panics: it always indicates a logic error in the caller.
+func (e *Engine) At(t Time, fn func(now Time)) *Event {
+	return e.AtPriority(t, 0, fn)
+}
+
+// AtPriority schedules fn at time t with an explicit priority; events at
+// the same time run in ascending priority order.
+func (e *Engine) AtPriority(t Time, pri int, fn func(now Time)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	ev := &Event{At: t, Priority: pri, Fn: fn, seq: e.nextID, index: -1}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func(now Time)) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single earliest event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	ev.Fn(e.now)
+	return true
+}
+
+// Run executes events until the queue is empty or Halt is called.
+// It returns the final simulation time.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is left
+// at min(deadline, time of last event) — it does not jump past work that
+// remains queued beyond the deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && !e.halted {
+		e.now = deadline
+	}
+	return e.now
+}

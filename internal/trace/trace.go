@@ -1,0 +1,169 @@
+// Package trace serializes compiled µTOp traces. The paper's simulator
+// "replays the generated µTOp traces" (§III-G); this package gives that
+// workflow a stable on-disk form, so traces can be exported once (e.g.
+// from the bundled analytical models, or converted from real profiler
+// dumps) and replayed into the scheduler without recompilation.
+//
+// The format is a single JSON document with a version header; it
+// round-trips compiler.CompiledGraph exactly.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/isa"
+)
+
+// FormatVersion identifies the trace schema.
+const FormatVersion = 1
+
+// file is the on-disk schema. It mirrors compiler types with stable,
+// lower-case field names so the format survives internal refactors.
+type file struct {
+	Version   int      `json:"version"`
+	Model     string   `json:"model"`
+	BatchSize int      `json:"batch_size"`
+	ISA       string   `json:"isa"`
+	Target    target   `json:"target"`
+	Footprint int64    `json:"hbm_footprint"`
+	Ops       []fileOp `json:"ops"`
+}
+
+type target struct {
+	MEs         int     `json:"mes"`
+	VEs         int     `json:"ves"`
+	SystolicDim int     `json:"systolic_dim"`
+	VELanes     int     `json:"ve_lanes"`
+	VESublanes  int     `json:"ve_sublanes"`
+	FrequencyHz float64 `json:"frequency_hz"`
+	SRAMBytes   int64   `json:"sram_bytes"`
+	HBMBytes    int64   `json:"hbm_bytes"`
+	HBMBwBytes  float64 `json:"hbm_bw_bytes"`
+	Preempt     int     `json:"me_preempt_cycles"`
+}
+
+type fileOp struct {
+	Name           string     `json:"name"`
+	Kind           int        `json:"kind"`
+	ReductionSplit bool       `json:"reduction_split,omitempty"`
+	Groups         [][]fileUT `json:"groups"`
+}
+
+type fileUT struct {
+	Kind     string `json:"kind"` // "me" | "ve"
+	MECycles uint64 `json:"me_cycles,omitempty"`
+	VECycles uint64 `json:"ve_cycles,omitempty"`
+	HBMBytes int64  `json:"hbm_bytes,omitempty"`
+}
+
+// Write serializes a compiled graph.
+func Write(w io.Writer, g *compiler.CompiledGraph) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("trace: refusing to write invalid graph: %w", err)
+	}
+	f := file{
+		Version:   FormatVersion,
+		Model:     g.Model,
+		BatchSize: g.BatchSize,
+		ISA:       g.ISA.String(),
+		Footprint: g.Footprint,
+		Target: target{
+			MEs: g.Target.MEs, VEs: g.Target.VEs,
+			SystolicDim: g.Target.SystolicDim,
+			VELanes:     g.Target.VELanes, VESublanes: g.Target.VESublanes,
+			FrequencyHz: g.Target.FrequencyHz,
+			SRAMBytes:   g.Target.SRAMBytes, HBMBytes: g.Target.HBMBytes,
+			HBMBwBytes: g.Target.HBMBwBytes, Preempt: g.Target.MEPreemptCycles,
+		},
+	}
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		fo := fileOp{Name: op.Name, Kind: int(op.Kind), ReductionSplit: op.ReductionSplit}
+		for _, grp := range op.Groups {
+			var row []fileUT
+			for _, u := range grp.UTops {
+				kind := "ve"
+				if u.Kind == isa.MEUTop {
+					kind = "me"
+				}
+				row = append(row, fileUT{
+					Kind: kind, MECycles: u.MECycles, VECycles: u.VECycles, HBMBytes: u.HBMBytes,
+				})
+			}
+			fo.Groups = append(fo.Groups, row)
+		}
+		f.Ops = append(f.Ops, fo)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// Read parses a trace and reconstructs the compiled graph, validating it.
+func Read(r io.Reader) (*compiler.CompiledGraph, error) {
+	var f file
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	var kind compiler.ISAKind
+	switch f.ISA {
+	case "NeuISA":
+		kind = compiler.ISANeu
+	case "VLIW":
+		kind = compiler.ISAVLIW
+	default:
+		return nil, fmt.Errorf("trace: unknown ISA %q", f.ISA)
+	}
+	g := &compiler.CompiledGraph{
+		Model:     f.Model,
+		BatchSize: f.BatchSize,
+		ISA:       kind,
+		Footprint: f.Footprint,
+		Target: arch.CoreConfig{
+			MEs: f.Target.MEs, VEs: f.Target.VEs,
+			SystolicDim: f.Target.SystolicDim,
+			VELanes:     f.Target.VELanes, VESublanes: f.Target.VESublanes,
+			FrequencyHz: f.Target.FrequencyHz,
+			SRAMBytes:   f.Target.SRAMBytes, HBMBytes: f.Target.HBMBytes,
+			HBMBwBytes: f.Target.HBMBwBytes, MEPreemptCycles: f.Target.Preempt,
+		},
+	}
+	if err := g.Target.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	for _, fo := range f.Ops {
+		op := compiler.CompiledOp{
+			Name: fo.Name, Kind: compiler.OpKind(fo.Kind), ReductionSplit: fo.ReductionSplit,
+		}
+		for _, row := range fo.Groups {
+			var grp compiler.GroupSpec
+			for _, u := range row {
+				spec := compiler.UTopSpec{MECycles: u.MECycles, VECycles: u.VECycles, HBMBytes: u.HBMBytes}
+				switch u.Kind {
+				case "me":
+					spec.Kind = isa.MEUTop
+				case "ve":
+					spec.Kind = isa.VEUTop
+				default:
+					return nil, fmt.Errorf("trace: op %q: bad µTOp kind %q", fo.Name, u.Kind)
+				}
+				grp.UTops = append(grp.UTops, spec)
+			}
+			op.Groups = append(op.Groups, grp)
+		}
+		g.Ops = append(g.Ops, op)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid trace: %w", err)
+	}
+	return g, nil
+}

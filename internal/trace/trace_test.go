@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/model"
+	"neu10/internal/sched"
+)
+
+func compileAll(t *testing.T, name string, kind compiler.ISAKind) *compiler.CompiledGraph {
+	t.Helper()
+	comp, err := compiler.New(arch.TPUv4Like())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := model.Build(name, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := comp.Compile(g, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func TestRoundTripAllModels(t *testing.T) {
+	for _, name := range model.Names() {
+		for _, kind := range []compiler.ISAKind{compiler.ISANeu, compiler.ISAVLIW} {
+			cg := compileAll(t, name, kind)
+			var buf bytes.Buffer
+			if err := Write(&buf, cg); err != nil {
+				t.Fatalf("%s/%s write: %v", name, kind, err)
+			}
+			back, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("%s/%s read: %v", name, kind, err)
+			}
+			if !reflect.DeepEqual(cg, back) {
+				t.Fatalf("%s/%s: trace did not round-trip", name, kind)
+			}
+		}
+	}
+}
+
+func TestReplayedTraceMatchesOriginalSimulation(t *testing.T) {
+	// A trace written and re-read must drive the scheduler to the exact
+	// same results as the in-memory graph — the replay guarantee.
+	core := arch.TPUv4Like()
+	a := compileAll(t, "MNIST", compiler.ISANeu)
+	b := compileAll(t, "ENet", compiler.ISANeu)
+
+	reload := func(g *compiler.CompiledGraph) *compiler.CompiledGraph {
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return back
+	}
+
+	run := func(ga, gb *compiler.CompiledGraph) *sched.Result {
+		res, err := sched.Run(sched.Config{Core: core, Policy: sched.Neu10, Requests: 4},
+			[]sched.TenantSpec{
+				{Name: "A", Graph: ga, MEs: 2, VEs: 2},
+				{Name: "B", Graph: gb, MEs: 2, VEs: 2},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	orig := run(a, b)
+	replay := run(reload(a), reload(b))
+	if orig.DurationCycles != replay.DurationCycles {
+		t.Fatalf("replayed trace diverged: %.0f vs %.0f cycles",
+			orig.DurationCycles, replay.DurationCycles)
+	}
+	for i := range orig.Tenants {
+		if orig.Tenants[i].MeanLatency != replay.Tenants[i].MeanLatency {
+			t.Fatalf("tenant %d latency diverged", i)
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"version":99,"model":"x","batch_size":1,"isa":"NeuISA","target":{},"ops":[]}`,
+		"unknown isa":   `{"version":1,"model":"x","batch_size":1,"isa":"RISC","target":{},"ops":[]}`,
+		"unknown field": `{"version":1,"bogus":true}`,
+		"empty ops":     `{"version":1,"model":"x","batch_size":1,"isa":"NeuISA","target":{"mes":4,"ves":4,"systolic_dim":128,"ve_lanes":128,"ve_sublanes":8,"frequency_hz":1e9,"sram_bytes":1,"hbm_bytes":1,"hbm_bw_bytes":1},"ops":[]}`,
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteRejectsInvalidGraph(t *testing.T) {
+	var buf bytes.Buffer
+	bad := &compiler.CompiledGraph{Model: "x", BatchSize: 1, Target: arch.TPUv4Like()}
+	if err := Write(&buf, bad); err == nil {
+		t.Fatal("empty graph written")
+	}
+}

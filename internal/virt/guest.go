@@ -1,0 +1,219 @@
+package virt
+
+import (
+	"fmt"
+
+	"neu10/internal/core"
+	"neu10/internal/isa"
+)
+
+// GuestVM is a tenant virtual machine: a name and its guest-physical
+// memory (float32 words), from which DMA buffers and command rings are
+// carved.
+type GuestVM struct {
+	Name string
+	Mem  []float32
+}
+
+// NewGuestVM allocates a guest with the given memory size in words.
+func NewGuestVM(name string, words int) *GuestVM {
+	return &GuestVM{Name: name, Mem: make([]float32, words)}
+}
+
+// CmdOp is a command-buffer opcode.
+type CmdOp int
+
+const (
+	// CmdMemcpyH2D copies Words from guest address Guest to device HBM
+	// address Dev.
+	CmdMemcpyH2D CmdOp = iota
+	// CmdMemcpyD2H copies Words from device HBM address Dev to guest
+	// address Guest.
+	CmdMemcpyD2H
+	// CmdLaunch executes the NeuISA binary Prog on the vNPU. The binary
+	// addresses SRAM directly; staging between HBM and SRAM is part of
+	// the program (DMA slots), as on real NPUs.
+	CmdLaunch
+	// CmdLaunchVLIW executes a traditional VLIW binary (compatibility
+	// path for unported workloads).
+	CmdLaunchVLIW
+)
+
+// Command is one command-buffer entry.
+type Command struct {
+	Op    CmdOp
+	Guest int64
+	Dev   int64
+	Words int64
+	Prog  []byte // encoded isa binary for launches
+}
+
+const defaultRingSlots = 256
+
+// CommandRing is the guest-filled, device-drained submission ring that
+// lives in guest memory (Fig. 11: "the NPU hardware directly fetches the
+// commands from the host memory without the hypervisor intervention").
+type CommandRing struct {
+	slots []Command
+	head  int // device consumes here
+	tail  int // guest produces here
+	count int
+}
+
+// NewCommandRing builds a ring with n slots.
+func NewCommandRing(n int) *CommandRing { return &CommandRing{slots: make([]Command, n)} }
+
+// Push enqueues a command; it fails when the ring is full.
+func (r *CommandRing) Push(c Command) error {
+	if r.count == len(r.slots) {
+		return fmt.Errorf("virt: command ring full (%d slots)", len(r.slots))
+	}
+	r.slots[r.tail] = c
+	r.tail = (r.tail + 1) % len(r.slots)
+	r.count++
+	return nil
+}
+
+// Pop dequeues the oldest command.
+func (r *CommandRing) Pop() (Command, bool) {
+	if r.count == 0 {
+		return Command{}, false
+	}
+	c := r.slots[r.head]
+	r.head = (r.head + 1) % len(r.slots)
+	r.count--
+	return c, true
+}
+
+// Pending returns queued command count.
+func (r *CommandRing) Pending() int { return r.count }
+
+// Driver is the guest's para-virtualized vNPU driver (§III-F): it issues
+// the management hypercalls, then talks to the device exclusively
+// through the command ring and MMIO.
+type Driver struct {
+	vm *GuestVM
+	hv *Hypervisor
+	vf *VF
+}
+
+// Attach creates a vNPU for the VM and returns its driver.
+func Attach(hv *Hypervisor, vm *GuestVM, cfg core.VNPUConfig, mode core.IsolationMode) (*Driver, error) {
+	vf, err := hv.HypercallCreateVNPU(vm, cfg, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Driver{vm: vm, hv: hv, vf: vf}, nil
+}
+
+// Hierarchy queries the vNPU configuration (chips, cores, MEs/VEs,
+// memory) exactly as a guest driver enumerates a PCIe device.
+func (d *Driver) Hierarchy() core.VNPUConfig { return d.vf.VNPU.Config }
+
+// MapDMA registers a guest buffer for device DMA (hypercall; setup path).
+func (d *Driver) MapDMA(addr, words int64) error {
+	return d.hv.HypercallMapDMA(d.vf, addr, words)
+}
+
+// Submit enqueues a command. No hypercall: pure guest-memory write.
+func (d *Driver) Submit(c Command) error { return d.vf.ring.Push(c) }
+
+// MemcpyH2D enqueues a host-to-device copy.
+func (d *Driver) MemcpyH2D(dev, guest, words int64) error {
+	return d.Submit(Command{Op: CmdMemcpyH2D, Dev: dev, Guest: guest, Words: words})
+}
+
+// MemcpyD2H enqueues a device-to-host copy.
+func (d *Driver) MemcpyD2H(guest, dev, words int64) error {
+	return d.Submit(Command{Op: CmdMemcpyD2H, Dev: dev, Guest: guest, Words: words})
+}
+
+// Launch enqueues a NeuISA program execution.
+func (d *Driver) Launch(p *isa.NeuProgram) error {
+	return d.Submit(Command{Op: CmdLaunch, Prog: p.Encode()})
+}
+
+// LaunchVLIW enqueues a VLIW program execution.
+func (d *Driver) LaunchVLIW(p *isa.Program) error {
+	return d.Submit(Command{Op: CmdLaunchVLIW, Prog: p.Encode()})
+}
+
+// RingDoorbell kicks the device: it drains the command ring. In this
+// in-process model the device work happens synchronously inside the
+// doorbell write; on hardware it would proceed asynchronously, with the
+// guest polling MMIO or taking the completion interrupt.
+func (d *Driver) RingDoorbell() {
+	d.vf.MMIO.Doorbell++
+	d.vf.process()
+}
+
+// Completions reads the completion counter from MMIO (polling path).
+func (d *Driver) Completions() uint64 { return d.vf.MMIO.Completions }
+
+// Status reads the device status register.
+func (d *Driver) Status() uint32 { return d.vf.MMIO.Status }
+
+// OnCompletion installs the completion-interrupt handler.
+func (d *Driver) OnCompletion(fn func(seq uint64)) { d.vf.OnCompletion = fn }
+
+// Detach frees the vNPU (hypercall 3).
+func (d *Driver) Detach() error { return d.hv.HypercallFreeVNPU(d.vf) }
+
+// process drains the ring on the device. Faults set the error status
+// and stop the queue, as a real device would.
+func (vf *VF) process() {
+	vf.MMIO.Status = StatusBusy
+	for {
+		cmd, ok := vf.ring.Pop()
+		if !ok {
+			break
+		}
+		if err := vf.execute(cmd); err != nil {
+			vf.MMIO.Status = StatusError
+			vf.MMIO.ErrorCode = 1
+			return
+		}
+		vf.MMIO.Completions++
+		if vf.OnCompletion != nil {
+			vf.OnCompletion(vf.MMIO.Completions)
+		}
+	}
+	vf.MMIO.Status = StatusIdle
+}
+
+func (vf *VF) execute(cmd Command) error {
+	switch cmd.Op {
+	case CmdMemcpyH2D:
+		buf := make([]float32, cmd.Words)
+		if err := vf.domain.ReadGuest(cmd.Guest, buf); err != nil {
+			return err
+		}
+		return vf.dev.WriteHBM(int(cmd.Dev), buf)
+	case CmdMemcpyD2H:
+		buf, err := vf.dev.ReadHBM(int(cmd.Dev), int(cmd.Words))
+		if err != nil {
+			return err
+		}
+		return vf.domain.WriteGuest(cmd.Guest, buf)
+	case CmdLaunch:
+		prog, err := isa.DecodeNeuProgram(cmd.Prog)
+		if err != nil {
+			return err
+		}
+		mes := make([]int, vf.dev.Cfg.MEs)
+		for i := range mes {
+			mes[i] = i
+		}
+		_, err = vf.dev.RunNeu(prog, mes)
+		return err
+	case CmdLaunchVLIW:
+		prog, err := isa.DecodeProgram(cmd.Prog)
+		if err != nil {
+			return err
+		}
+		_, err = vf.dev.RunVLIW(prog)
+		return err
+	default:
+		return fmt.Errorf("virt: unknown command op %d", cmd.Op)
+	}
+}

@@ -1,0 +1,108 @@
+// Package virt models the system-software layer of Neu10 (paper Fig. 11
+// and §III-F): a KVM-style hypervisor that mediates only the management
+// plane (three hypercalls: create, reconfigure, free), SR-IOV-style PCIe
+// virtual functions with per-vNPU MMIO register files, guest command
+// rings that the device fetches without hypervisor involvement, and an
+// IOMMU that remaps and isolates guest DMA.
+//
+// The layer is an in-process model — there is no kernel here — but the
+// control/data-path split is structural: the tests assert that after
+// setup, submissions and completions never touch the hypervisor.
+package virt
+
+import "fmt"
+
+// PageWords is the IOMMU page size in float32 words (16 KiB pages).
+const PageWords = 4096
+
+// IOMMU provides per-domain DMA remapping: device-visible guest frame
+// numbers → host physical frames, with isolation between domains.
+type IOMMU struct {
+	domains map[int]*IOMMUDomain
+	nextID  int
+}
+
+// NewIOMMU builds an empty IOMMU.
+func NewIOMMU() *IOMMU {
+	return &IOMMU{domains: map[int]*IOMMUDomain{}}
+}
+
+// IOMMUDomain is one VF's translation context.
+type IOMMUDomain struct {
+	ID    int
+	vm    *GuestVM
+	pages map[int64]int64 // guest frame -> host frame (into vm.Mem)
+}
+
+// CreateDomain allocates a translation domain bound to a guest VM's
+// memory.
+func (i *IOMMU) CreateDomain(vm *GuestVM) *IOMMUDomain {
+	d := &IOMMUDomain{ID: i.nextID, vm: vm, pages: map[int64]int64{}}
+	i.nextID++
+	i.domains[d.ID] = d
+	return d
+}
+
+// DestroyDomain tears down a domain (part of vNPU free).
+func (i *IOMMU) DestroyDomain(d *IOMMUDomain) {
+	delete(i.domains, d.ID)
+	d.pages = nil
+}
+
+// Map establishes identity-offset mappings for a guest buffer
+// [addr, addr+words). Addresses are in float32 words. The buffer must be
+// page-aligned for simplicity, as real DMA buffers are.
+func (d *IOMMUDomain) Map(addr, words int64) error {
+	if addr%PageWords != 0 {
+		return fmt.Errorf("virt: DMA buffer at %d not page-aligned", addr)
+	}
+	if addr < 0 || addr+words > int64(len(d.vm.Mem)) {
+		return fmt.Errorf("virt: DMA buffer [%d,+%d) outside guest memory (%d words)",
+			addr, words, len(d.vm.Mem))
+	}
+	for f := addr / PageWords; f <= (addr+words-1)/PageWords; f++ {
+		d.pages[f] = f // identity into this guest's memory; isolation is per-domain
+	}
+	return nil
+}
+
+// Unmap removes mappings for a buffer.
+func (d *IOMMUDomain) Unmap(addr, words int64) {
+	for f := addr / PageWords; f <= (addr+words-1)/PageWords; f++ {
+		delete(d.pages, f)
+	}
+}
+
+// translate resolves one word address, faulting on unmapped pages —
+// the DMA-isolation property of §III-F.
+func (d *IOMMUDomain) translate(addr int64) (int64, error) {
+	frame, ok := d.pages[addr/PageWords]
+	if !ok {
+		return 0, fmt.Errorf("virt: IOMMU fault: unmapped DMA at guest word %d (domain %d)", addr, d.ID)
+	}
+	return frame*PageWords + addr%PageWords, nil
+}
+
+// ReadGuest DMA-reads words from guest memory through the domain.
+func (d *IOMMUDomain) ReadGuest(addr int64, dst []float32) error {
+	for i := range dst {
+		pa, err := d.translate(addr + int64(i))
+		if err != nil {
+			return err
+		}
+		dst[i] = d.vm.Mem[pa]
+	}
+	return nil
+}
+
+// WriteGuest DMA-writes words into guest memory through the domain.
+func (d *IOMMUDomain) WriteGuest(addr int64, src []float32) error {
+	for i := range src {
+		pa, err := d.translate(addr + int64(i))
+		if err != nil {
+			return err
+		}
+		d.vm.Mem[pa] = src[i]
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package virt
+
+import (
+	"strings"
+	"testing"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/core"
+	"neu10/internal/isa"
+	"neu10/internal/tensor"
+)
+
+func testHV(t *testing.T) *Hypervisor {
+	t.Helper()
+	hv, err := NewHypervisor(2, arch.TPUv4Like())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hv
+}
+
+func smallVNPU() core.VNPUConfig {
+	return core.VNPUConfig{
+		NumChips: 1, NumCoresPerChip: 1,
+		NumMEsPerCore: 2, NumVEsPerCore: 2,
+		SRAMSizePerCore: 8 << 20, MemSizePerCore: 2 << 30,
+	}
+}
+
+func TestVNPULifecycle(t *testing.T) {
+	hv := testHV(t)
+	vm := NewGuestVM("tenant-a", 1<<16)
+	drv, err := Attach(hv, vm, smallVNPU(), core.SpatialIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Live() != 1 {
+		t.Fatalf("live VFs = %d", hv.Live())
+	}
+	h := drv.Hierarchy()
+	if h.NumMEsPerCore != 2 || h.NumVEsPerCore != 2 {
+		t.Fatalf("hierarchy %+v", h)
+	}
+	if drv.Status() != StatusIdle {
+		t.Fatal("fresh device not idle")
+	}
+	if err := drv.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if hv.Live() != 0 || hv.Manager().Live() != 0 {
+		t.Fatal("vNPU not torn down")
+	}
+}
+
+func TestHypercallReconfigure(t *testing.T) {
+	hv := testHV(t)
+	vm := NewGuestVM("t", 1<<16)
+	drv, err := Attach(hv, vm, smallVNPU(), core.SpatialIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallVNPU()
+	cfg.NumMEsPerCore = 3
+	if err := hv.HypercallReconfigureVNPU(drv.vf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if drv.Hierarchy().NumMEsPerCore != 3 {
+		t.Fatal("reconfigure did not apply")
+	}
+}
+
+// TestEndToEndInference drives the full stack: guest writes tensors into
+// its memory, maps DMA buffers, copies to the device, launches a staged
+// NeuISA matmul, copies the result back, and checks it against the
+// reference — with zero hypercalls on the submission path.
+func TestEndToEndInference(t *testing.T) {
+	const m, k, n = 16, 64, isa.VectorLanes
+	hv := testHV(t)
+	vm := NewGuestVM("tenant-a", 1<<20)
+	drv, err := Attach(hv, vm, smallVNPU(), core.SpatialIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Guest-side data (page-aligned buffers).
+	a := tensor.New(m, k)
+	bm := tensor.New(k, n)
+	for i := range a.Data {
+		a.Data[i] = float32(i%13) - 6
+	}
+	for i := range bm.Data {
+		bm.Data[i] = float32(i%7)/2 - 1.5
+	}
+	want := tensor.ReLU(tensor.MatMul(a, bm))
+
+	const gA, gB, gC = 0, 8 * PageWords, 16 * PageWords
+	copy(vm.Mem[gA:], a.Data)
+	copy(vm.Mem[gB:], bm.Data)
+	for _, buf := range [][2]int64{{gA, m * k}, {gB, k * n}, {gC, m * n}} {
+		if err := drv.MapDMA(buf[0], buf[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setupCalls := hv.Hypercalls
+
+	// Device memory layout (vNPU HBM words) and SRAM staging layout.
+	const hA, hB, hC = 0, 16384, 32768
+	const sA, sB, sC = 0, 8192, 65536
+	prog, err := compiler.LowerMatMul(m, k, n, 2, true,
+		compiler.MatMulLayout{ABase: sA, BBase: sB, CBase: sC}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.WrapWithHBMStaging(prog,
+		[]compiler.Transfer{{SRAM: sA, HBM: hA, Words: m * k}, {SRAM: sB, HBM: hB, Words: k * n}},
+		[]compiler.Transfer{{SRAM: sC, HBM: hC, Words: m * n}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submission path: command ring + doorbell, no hypervisor.
+	completions := 0
+	drv.OnCompletion(func(uint64) { completions++ })
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(drv.MemcpyH2D(hA, gA, m*k))
+	must(drv.MemcpyH2D(hB, gB, k*n))
+	must(drv.Launch(prog))
+	must(drv.MemcpyD2H(gC, hC, m*n))
+	drv.RingDoorbell()
+
+	if drv.Status() != StatusIdle {
+		t.Fatalf("device status %d after run", drv.Status())
+	}
+	if drv.Completions() != 4 || completions != 4 {
+		t.Fatalf("completions = %d (interrupts %d), want 4", drv.Completions(), completions)
+	}
+	if hv.Hypercalls != setupCalls {
+		t.Fatalf("submission path made %d hypercalls", hv.Hypercalls-setupCalls)
+	}
+
+	got := tensor.New(m, n)
+	copy(got.Data, vm.Mem[gC:gC+m*n])
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("end-to-end result differs from reference by %v", d)
+	}
+}
+
+func TestIOMMUFaultStopsDevice(t *testing.T) {
+	hv := testHV(t)
+	vm := NewGuestVM("t", 1<<18)
+	drv, err := Attach(hv, vm, smallVNPU(), core.SpatialIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No MapDMA: the copy must fault and set error status.
+	if err := drv.MemcpyH2D(0, 0, 128); err != nil {
+		t.Fatal(err)
+	}
+	drv.RingDoorbell()
+	if drv.Status() != StatusError {
+		t.Fatalf("unmapped DMA did not fault the device (status %d)", drv.Status())
+	}
+	if drv.Completions() != 0 {
+		t.Fatal("faulting command counted as completed")
+	}
+}
+
+func TestIOMMUUnmapRevokesAccess(t *testing.T) {
+	hv := testHV(t)
+	vm := NewGuestVM("t", 1<<18)
+	drv, err := Attach(hv, vm, smallVNPU(), core.SpatialIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.MapDMA(0, PageWords); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.MemcpyH2D(0, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	drv.RingDoorbell()
+	if drv.Status() != StatusIdle {
+		t.Fatal("mapped DMA failed")
+	}
+	drv.vf.domain.Unmap(0, PageWords)
+	if err := drv.MemcpyH2D(0, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	drv.RingDoorbell()
+	if drv.Status() != StatusError {
+		t.Fatal("revoked mapping still usable")
+	}
+}
+
+func TestIOMMURejectsUnalignedAndOutOfRange(t *testing.T) {
+	i := NewIOMMU()
+	vm := NewGuestVM("t", PageWords*4)
+	d := i.CreateDomain(vm)
+	if err := d.Map(5, 100); err == nil {
+		t.Fatal("unaligned map accepted")
+	}
+	if err := d.Map(0, PageWords*100); err == nil {
+		t.Fatal("out-of-range map accepted")
+	}
+	if err := d.Map(PageWords, PageWords); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandRingFIFOAndOverflow(t *testing.T) {
+	r := NewCommandRing(4)
+	for i := 0; i < 4; i++ {
+		if err := r.Push(Command{Dev: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Push(Command{}); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	for i := 0; i < 4; i++ {
+		c, ok := r.Pop()
+		if !ok || c.Dev != int64(i) {
+			t.Fatalf("FIFO broken at %d: %+v", i, c)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty ring popped")
+	}
+	// Wrap-around reuse.
+	for i := 0; i < 6; i++ {
+		if err := r.Push(Command{Dev: int64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := r.Pop()
+		if c.Dev != int64(100+i) {
+			t.Fatal("wraparound broken")
+		}
+	}
+}
+
+func TestTwoTenantsIsolatedMemories(t *testing.T) {
+	hv := testHV(t)
+	vmA := NewGuestVM("a", 1<<18)
+	vmB := NewGuestVM("b", 1<<18)
+	drvA, err := Attach(hv, vmA, smallVNPU(), core.SpatialIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drvB, err := Attach(hv, vmB, smallVNPU(), core.SpatialIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drvA.MapDMA(0, PageWords); err != nil {
+		t.Fatal(err)
+	}
+	if err := drvB.MapDMA(0, PageWords); err != nil {
+		t.Fatal(err)
+	}
+	vmA.Mem[7] = 111
+	vmB.Mem[7] = 222
+	// Round-trip each tenant's word through its own device HBM; the D2H
+	// target PageWords/2 lies inside the already-mapped first page.
+	for _, d := range []*Driver{drvA, drvB} {
+		if err := d.MemcpyH2D(0, 0, 16); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.MemcpyD2H(PageWords/2, 0, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drvA.RingDoorbell()
+	drvB.RingDoorbell()
+	if drvB.Status() == StatusError || drvA.Status() == StatusError {
+		t.Fatal("device errored")
+	}
+	if vmA.Mem[PageWords/2+7] != 111 || vmB.Mem[PageWords/2+7] != 222 {
+		t.Fatalf("cross-tenant contamination: A=%v B=%v",
+			vmA.Mem[PageWords/2+7], vmB.Mem[PageWords/2+7])
+	}
+}
+
+func TestOversizedVNPURejected(t *testing.T) {
+	hv := testHV(t)
+	vm := NewGuestVM("t", 1<<16)
+	cfg := smallVNPU()
+	cfg.NumMEsPerCore = 99
+	if _, err := Attach(hv, vm, cfg, core.SpatialIsolated); err == nil {
+		t.Fatal("oversized vNPU accepted")
+	}
+	if hv.Live() != 0 {
+		t.Fatal("failed attach leaked a VF")
+	}
+}
+
+func TestBadProgramFaultsDevice(t *testing.T) {
+	hv := testHV(t)
+	vm := NewGuestVM("t", 1<<16)
+	drv, err := Attach(hv, vm, smallVNPU(), core.SpatialIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.Submit(Command{Op: CmdLaunch, Prog: []byte("garbage")}); err != nil {
+		t.Fatal(err)
+	}
+	drv.RingDoorbell()
+	if drv.Status() != StatusError {
+		t.Fatal("garbage binary did not fault")
+	}
+}
+
+func TestTemporalSharedAttach(t *testing.T) {
+	hv := testHV(t)
+	// Four 2+2 vNPUs on two 4+4 cores via temporal sharing.
+	for i := 0; i < 4; i++ {
+		vm := NewGuestVM(strings.Repeat("x", i+1), 1<<14)
+		if _, err := Attach(hv, vm, smallVNPU(), core.TemporalShared); err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+	if hv.Live() != 4 {
+		t.Fatalf("live = %d", hv.Live())
+	}
+}

@@ -1,0 +1,137 @@
+// Package workload defines the multi-tenant evaluation scenarios of the
+// paper's §V-A: the nine collocation pairs grouped by ME/VE contention
+// level, their batch sizes, and helpers that compile them into scheduler
+// tenant specs.
+package workload
+
+import (
+	"fmt"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/model"
+	"neu10/internal/sched"
+)
+
+// Contention classifies a pair by how much its workloads fight over the
+// same engine type (§V-A).
+type Contention int
+
+const (
+	LowContention Contention = iota
+	MediumContention
+	HighContention
+)
+
+func (c Contention) String() string {
+	switch c {
+	case LowContention:
+		return "low"
+	case MediumContention:
+		return "medium"
+	case HighContention:
+		return "high"
+	default:
+		return fmt.Sprintf("contention(%d)", int(c))
+	}
+}
+
+// Pair is one collocation scenario.
+type Pair struct {
+	W1, W2     string
+	Contention Contention
+}
+
+// Name returns the paper's "W1+W2" label.
+func (p Pair) Name() string { return p.W1 + "+" + p.W2 }
+
+// Pairs returns the paper's nine evaluation pairs in figure order:
+// low contention (DLRM+SMask, DLRM+RtNt, NCF+RsNt), medium
+// (ENet+SMask, BERT+ENet, ENet+MRCN), high (ENet+TFMR, MNIST+RtNt,
+// RNRS+RtNt).
+func Pairs() []Pair {
+	return []Pair{
+		{"DLRM", "SMask", LowContention},
+		{"DLRM", "RtNt", LowContention},
+		{"NCF", "RsNt", LowContention},
+		{"ENet", "SMask", MediumContention},
+		{"BERT", "ENet", MediumContention},
+		{"ENet", "MRCNN", MediumContention},
+		{"ENet", "TFMR", HighContention},
+		{"MNIST", "RtNt", HighContention},
+		{"RNRS", "RtNt", HighContention},
+	}
+}
+
+// MemoryPairs returns the §V-F additions: two memory-intensive pairs and
+// the three LLM collocations.
+func MemoryPairs() []Pair {
+	return []Pair{
+		{"DLRM", "NCF", HighContention},
+		{"NCF", "TFMR", HighContention},
+		{"LLaMA", "BERT", LowContention},
+		{"LLaMA", "RsNt", LowContention},
+		{"LLaMA", "RtNt", LowContention},
+	}
+}
+
+// BatchFor returns the paper's batch size for a model in the §V
+// experiments: 32 for everything except Mask-RCNN and ShapeMask (8), and
+// 8 for the LLaMA case study.
+func BatchFor(name string) int {
+	switch name {
+	case "MRCNN", "SMask", "LLaMA":
+		return 8
+	default:
+		return 32
+	}
+}
+
+// Compiled caches compiled graphs keyed by (model, batch, ISA) so sweeps
+// do not recompile the same workload.
+type Compiled struct {
+	comp  *compiler.Compiler
+	cache map[string]*compiler.CompiledGraph
+}
+
+// NewCompiled builds a compilation cache for a core config.
+func NewCompiled(core arch.CoreConfig) (*Compiled, error) {
+	comp, err := compiler.New(core)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{comp: comp, cache: map[string]*compiler.CompiledGraph{}}, nil
+}
+
+// Graph compiles (or returns cached) the named workload.
+func (c *Compiled) Graph(name string, batch int, kind compiler.ISAKind) (*compiler.CompiledGraph, error) {
+	key := fmt.Sprintf("%s/%d/%d", name, batch, kind)
+	if g, ok := c.cache[key]; ok {
+		return g, nil
+	}
+	g, err := model.Build(name, batch)
+	if err != nil {
+		return nil, err
+	}
+	cg, err := c.comp.Compile(g, kind)
+	if err != nil {
+		return nil, err
+	}
+	c.cache[key] = cg
+	return cg, nil
+}
+
+// Tenants builds the two tenant specs for a pair under the given policy,
+// with each vNPU sized mes×ves (the paper's default: 2 MEs + 2 VEs each
+// on a 4+4 core).
+func (c *Compiled) Tenants(p Pair, policy sched.Mode, mes, ves int) ([]sched.TenantSpec, error) {
+	var specs []sched.TenantSpec
+	for _, name := range []string{p.W1, p.W2} {
+		g, err := c.Graph(name, BatchFor(name), policy.ISAFor())
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sched.TenantSpec{Name: name, Graph: g, MEs: mes, VEs: ves})
+	}
+	return specs, nil
+}

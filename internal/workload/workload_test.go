@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/sched"
+)
+
+func TestPairsMatchPaper(t *testing.T) {
+	ps := Pairs()
+	if len(ps) != 9 {
+		t.Fatalf("have %d pairs, paper evaluates 9", len(ps))
+	}
+	byLevel := map[Contention]int{}
+	for _, p := range ps {
+		byLevel[p.Contention]++
+	}
+	for _, lvl := range []Contention{LowContention, MediumContention, HighContention} {
+		if byLevel[lvl] != 3 {
+			t.Errorf("%s contention has %d pairs, want 3", lvl, byLevel[lvl])
+		}
+	}
+	if ps[0].Name() != "DLRM+SMask" {
+		t.Errorf("first pair %s, want DLRM+SMask", ps[0].Name())
+	}
+}
+
+func TestBatchFor(t *testing.T) {
+	if BatchFor("BERT") != 32 || BatchFor("MRCNN") != 8 || BatchFor("SMask") != 8 || BatchFor("LLaMA") != 8 {
+		t.Fatal("batch sizes do not match §V-A")
+	}
+}
+
+func TestCompiledCacheReuses(t *testing.T) {
+	c, err := NewCompiled(arch.TPUv4Like())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Graph("MNIST", 8, compiler.ISANeu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Graph("MNIST", 8, compiler.ISANeu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache did not reuse compiled graph")
+	}
+	v, err := c.Graph("MNIST", 8, compiler.ISAVLIW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == a {
+		t.Fatal("different ISA shared a cache entry")
+	}
+}
+
+func TestTenantsBuild(t *testing.T) {
+	c, err := NewCompiled(arch.TPUv4Like())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []sched.Mode{sched.PMT, sched.V10, sched.NeuNH, sched.Neu10} {
+		specs, err := c.Tenants(Pair{W1: "MNIST", W2: "ENet"}, pol, 2, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if len(specs) != 2 || specs[0].Name != "MNIST" || specs[1].Name != "ENet" {
+			t.Fatalf("%s: bad specs %+v", pol, specs)
+		}
+		if specs[0].Graph.ISA != pol.ISAFor() {
+			t.Fatalf("%s: ISA mismatch", pol)
+		}
+	}
+}
+
+func TestMemoryPairsIncludeLLM(t *testing.T) {
+	mp := MemoryPairs()
+	llm := 0
+	for _, p := range mp {
+		if p.W1 == "LLaMA" {
+			llm++
+		}
+	}
+	if llm != 3 {
+		t.Fatalf("want 3 LLaMA collocations (§V-F), have %d", llm)
+	}
+}
