@@ -4,23 +4,56 @@
 //	neu10-bench -exp all
 //	neu10-bench -exp fig19 -requests 16
 //	neu10-bench -list
+//	neu10-bench -exp all -json        # also write a BENCH_<n>.json perf snapshot
+//
+// Experiments fan their scenario simulations across a worker pool
+// (-workers, default GOMAXPROCS); tables are byte-identical to a
+// sequential run for the same seed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"neu10/internal/experiments"
 )
 
+// figureBench is one figure's perf measurement in the JSON snapshot:
+// whole-regeneration totals (one "op" = regenerating the figure once),
+// not Go-benchmark per-iteration numbers.
+type figureBench struct {
+	ID          string `json:"id"`
+	TotalNs     int64  `json:"total_ns"`
+	TotalAllocs uint64 `json:"total_allocs"`
+	TotalBytes  uint64 `json:"total_bytes"`
+}
+
+// benchSnapshot is the schema of BENCH_<n>.json.
+type benchSnapshot struct {
+	Timestamp  string        `json:"timestamp"`
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Requests   int           `json:"requests"`
+	TotalNs    int64         `json:"total_ns"`
+	Figures    []figureBench `json:"figures"`
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (fig2|fig4|...|fig27|table3) or 'all'")
 		requests = flag.Int("requests", 8, "requests per tenant for steady-state runs")
+		workers  = flag.Int("workers", 0, "worker pool size for parallel sweeps (0 = GOMAXPROCS, 1 = sequential)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut  = flag.Bool("json", false, "write a BENCH_<n>.json perf snapshot (total ns/allocs/bytes per figure regeneration)")
+		jsonDir  = flag.String("json-dir", ".", "directory for the BENCH_<n>.json snapshot")
 	)
 	flag.Parse()
 
@@ -31,6 +64,7 @@ func main() {
 
 	opts := experiments.DefaultOptions()
 	opts.Requests = *requests
+	opts.Workers = *workers
 	runner, err := experiments.NewRunner(opts)
 	if err != nil {
 		fatal(err)
@@ -40,13 +74,63 @@ func main() {
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
+
+	effectiveWorkers := *workers
+	if effectiveWorkers <= 0 {
+		effectiveWorkers = runtime.GOMAXPROCS(0)
+	}
+	snap := benchSnapshot{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    effectiveWorkers,
+		Requests:   *requests,
+	}
+	totalStart := time.Now()
 	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
-		res, err := runner.Run(strings.TrimSpace(id))
+		res, err := runner.Run(id)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
-		fmt.Printf("%s\n(elapsed %s)\n\n", res.Table(), time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		fmt.Printf("%s\n(elapsed %s)\n\n", res.Table(), elapsed.Round(time.Millisecond))
+		snap.Figures = append(snap.Figures, figureBench{
+			ID:          id,
+			TotalNs:     elapsed.Nanoseconds(),
+			TotalAllocs: m1.Mallocs - m0.Mallocs,
+			TotalBytes:  m1.TotalAlloc - m0.TotalAlloc,
+		})
+	}
+	snap.TotalNs = time.Since(totalStart).Nanoseconds()
+
+	if *jsonOut {
+		path, err := writeSnapshot(*jsonDir, snap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("perf snapshot written to %s\n", path)
+	}
+}
+
+// writeSnapshot writes the snapshot to the first free BENCH_<n>.json in
+// dir, so successive runs accumulate a bench trajectory.
+func writeSnapshot(dir string, snap benchSnapshot) (string, error) {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	for n := 1; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		return path, os.WriteFile(path, append(data, '\n'), 0o644)
 	}
 }
 

@@ -1,0 +1,3 @@
+module neu10
+
+go 1.24

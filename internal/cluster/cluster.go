@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"neu10/internal/arch"
 	"neu10/internal/compiler"
@@ -188,17 +189,31 @@ func Run(cfg Config) (*Stats, error) {
 }
 
 // Compare runs the same workload trace under each policy (same seed →
-// identical arrival sequence) and returns the stats side by side.
+// identical arrival sequence) and returns the stats side by side. The
+// three runs are independent (each builds its own mapper, RNG and
+// engine), so they execute concurrently; results are deterministic
+// because each policy's trace depends only on the shared seed.
 func Compare(base Config) (map[core.PlacementPolicy]*Stats, error) {
+	pols := []core.PlacementPolicy{core.GreedyBalance, core.FirstFit, core.WorstFit}
+	stats := make([]*Stats, len(pols))
+	errs := make([]error, len(pols))
+	var wg sync.WaitGroup
+	for i, pol := range pols {
+		wg.Add(1)
+		go func(i int, pol core.PlacementPolicy) {
+			defer wg.Done()
+			cfg := base
+			cfg.Policy = pol
+			stats[i], errs[i] = Run(cfg)
+		}(i, pol)
+	}
+	wg.Wait()
 	out := map[core.PlacementPolicy]*Stats{}
-	for _, pol := range []core.PlacementPolicy{core.GreedyBalance, core.FirstFit, core.WorstFit} {
-		cfg := base
-		cfg.Policy = pol
-		st, err := Run(cfg)
-		if err != nil {
-			return nil, err
+	for i, pol := range pols {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out[pol] = st
+		out[pol] = stats[i]
 	}
 	return out, nil
 }

@@ -32,17 +32,18 @@ func (r *AblationHarvestResult) Table() string {
 	return "Ablation — harvesting mechanisms (aggregate throughput / Neu10-NH)\n" + tab.String()
 }
 
-// AblationHarvest runs the harvest-mechanism ablation over all pairs.
+// AblationHarvest runs the harvest-mechanism ablation over all pairs,
+// one worker-pool job per pair (four simulations each).
 func (r *Runner) AblationHarvest() (*AblationHarvestResult, error) {
-	out := &AblationHarvestResult{Gains: map[string][3]float64{}}
-	for _, p := range workload.Pairs() {
+	pairs := workload.Pairs()
+	gains, err := parMapPairs(r.workers(), pairs, func(_ int, p workload.Pair) ([3]float64, error) {
 		specs, err := r.comp.Tenants(p, sched.Neu10, r.opts.Core.MEs/2, r.opts.Core.VEs/2)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		base, err := r.runPair(p, sched.NeuNH, r.opts.Core, false)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		agg := func(res *sched.Result) float64 {
 			var s float64
@@ -59,11 +60,18 @@ func (r *Runner) AblationHarvest() (*AblationHarvestResult, error) {
 		} {
 			res, err := sched.Run(cfg, specs)
 			if err != nil {
-				return nil, fmt.Errorf("%s ablation %d: %w", p.Name(), i, err)
+				return [3]float64{}, fmt.Errorf("%s ablation %d: %w", p.Name(), i, err)
 			}
 			gains[i] = agg(res)
 		}
-		out.Gains[p.Name()] = gains
+		return gains, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationHarvestResult{Gains: map[string][3]float64{}}
+	for i, p := range pairs {
+		out.Gains[p.Name()] = gains[i]
 	}
 	return out, nil
 }
@@ -87,39 +95,73 @@ func (r *AblationPreemptResult) Table() string {
 }
 
 // AblationPreempt sweeps the reclaim penalty from free to 64x the
-// paper's value.
+// paper's value. The (cost, pair) grid cells fan across the worker
+// pool; per-cost aggregation walks the results in grid order so the
+// floating-point accumulation matches the sequential sweep exactly.
 func (r *Runner) AblationPreempt() (*AblationPreemptResult, error) {
 	out := &AblationPreemptResult{
 		Costs:   []int{0, 256, 1024, 4096, 16384},
 		PerCost: map[int][2]float64{},
 	}
+	pairs := workload.Pairs()
+	// The NeuNH baseline does not depend on the preemption cost: run it
+	// once per pair instead of once per grid cell.
+	baselines, err := parMapPairs(r.workers(), pairs, func(_ int, p workload.Pair) (*sched.Result, error) {
+		return r.runPair(p, sched.NeuNH, r.opts.Core, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	type gridCell struct {
+		cost int
+		pi   int
+	}
+	type cellResult struct {
+		gain    [2]float64
+		blocked [2]float64
+	}
+	var cells []gridCell
 	for _, cost := range out.Costs {
+		for pi := range pairs {
+			cells = append(cells, gridCell{cost, pi})
+		}
+	}
+	results, err := parMapPairs(r.workers(), cells, func(_ int, c gridCell) (cellResult, error) {
 		core := r.opts.Core
-		core.MEPreemptCycles = cost
+		core.MEPreemptCycles = c.cost
+		comp, err := r.compiledFor(core)
+		if err != nil {
+			return cellResult{}, err
+		}
+		specs, err := comp.Tenants(pairs[c.pi], sched.Neu10, core.MEs/2, core.VEs/2)
+		if err != nil {
+			return cellResult{}, err
+		}
+		n10, err := sched.Run(sched.Config{Core: core, Policy: sched.Neu10, Requests: r.opts.Requests}, specs)
+		if err != nil {
+			return cellResult{}, err
+		}
+		nh := baselines[c.pi]
+		var cr cellResult
+		for w := 0; w < 2; w++ {
+			cr.gain[w] = n10.Tenants[w].Throughput / nh.Tenants[w].Throughput
+			cr.blocked[w] = n10.Tenants[w].HarvestBlocked / n10.DurationCycles
+		}
+		return cr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cost := range out.Costs {
 		var gainSum, worstBlocked float64
 		n := 0
-		for _, p := range workload.Pairs() {
-			comp, err := r.compiledFor(core)
-			if err != nil {
-				return nil, err
-			}
-			specs, err := comp.Tenants(p, sched.Neu10, core.MEs/2, core.VEs/2)
-			if err != nil {
-				return nil, err
-			}
-			n10, err := sched.Run(sched.Config{Core: core, Policy: sched.Neu10, Requests: r.opts.Requests}, specs)
-			if err != nil {
-				return nil, err
-			}
-			nh, err := r.runPair(p, sched.NeuNH, r.opts.Core, false)
-			if err != nil {
-				return nil, err
-			}
+		for pi := range pairs {
+			cr := results[ci*len(pairs)+pi]
 			for w := 0; w < 2; w++ {
-				gainSum += n10.Tenants[w].Throughput / nh.Tenants[w].Throughput
+				gainSum += cr.gain[w]
 				n++
-				if b := n10.Tenants[w].HarvestBlocked / n10.DurationCycles; b > worstBlocked {
-					worstBlocked = b
+				if cr.blocked[w] > worstBlocked {
+					worstBlocked = cr.blocked[w]
 				}
 			}
 		}
@@ -174,26 +216,41 @@ func (r *Runner) SLOStudy() (*SLOResult, error) {
 		Loads: []float64{0.2, 0.4, 0.6, 0.8},
 		P95Ms: map[string]map[float64]float64{"V10": {}, "Neu10-NH": {}, "Neu10": {}},
 	}
-	for _, pol := range []sched.Mode{sched.V10, sched.NeuNH, sched.Neu10} {
+	pols := []sched.Mode{sched.V10, sched.NeuNH, sched.Neu10}
+	type gridCell struct {
+		pol  sched.Mode
+		load float64
+	}
+	var cells []gridCell
+	for _, pol := range pols {
 		for _, load := range out.Loads {
-			mnist, err := r.comp.Graph("MNIST", workload.BatchFor("MNIST"), pol.ISAFor())
-			if err != nil {
-				return nil, err
-			}
-			rtnt, err := r.comp.Graph("RtNt", workload.BatchFor("RtNt"), pol.ISAFor())
-			if err != nil {
-				return nil, err
-			}
-			res, err := sched.Run(sched.Config{Core: core, Policy: pol, Requests: 50, Seed: 11},
-				[]sched.TenantSpec{
-					{Name: "MNIST", Graph: mnist, MEs: core.MEs / 2, VEs: core.VEs / 2, ArrivalRate: load * capacity},
-					{Name: "RtNt", Graph: rtnt, MEs: core.MEs / 2, VEs: core.VEs / 2},
-				})
-			if err != nil {
-				return nil, fmt.Errorf("slo %s@%.1f: %w", pol, load, err)
-			}
-			out.P95Ms[pol.String()][load] = res.Tenants[0].P95Latency / core.FrequencyHz * 1e3
+			cells = append(cells, gridCell{pol, load})
 		}
+	}
+	p95s, err := parMapPairs(r.workers(), cells, func(_ int, c gridCell) (float64, error) {
+		mnist, err := r.comp.Graph("MNIST", workload.BatchFor("MNIST"), c.pol.ISAFor())
+		if err != nil {
+			return 0, err
+		}
+		rtnt, err := r.comp.Graph("RtNt", workload.BatchFor("RtNt"), c.pol.ISAFor())
+		if err != nil {
+			return 0, err
+		}
+		res, err := sched.Run(sched.Config{Core: core, Policy: c.pol, Requests: 50, Seed: 11},
+			[]sched.TenantSpec{
+				{Name: "MNIST", Graph: mnist, MEs: core.MEs / 2, VEs: core.VEs / 2, ArrivalRate: c.load * capacity},
+				{Name: "RtNt", Graph: rtnt, MEs: core.MEs / 2, VEs: core.VEs / 2},
+			})
+		if err != nil {
+			return 0, fmt.Errorf("slo %s@%.1f: %w", c.pol, c.load, err)
+		}
+		return res.Tenants[0].P95Latency / core.FrequencyHz * 1e3, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		out.P95Ms[c.pol.String()][c.load] = p95s[i]
 	}
 	return out, nil
 }

@@ -58,7 +58,8 @@ func (r *Fig12Result) Table() string {
 	return sb.String()
 }
 
-// Fig12Allocator sweeps the allocator for the paper's four models.
+// Fig12Allocator sweeps the allocator for the paper's four models, one
+// worker-pool job per model (graph build + profile dominate the cost).
 func (r *Runner) Fig12Allocator() (*Fig12Result, error) {
 	alloc, err := core.NewAllocator(r.opts.Core)
 	if err != nil {
@@ -71,19 +72,24 @@ func (r *Runner) Fig12Allocator() (*Fig12Result, error) {
 	}{
 		{"BERT", 32}, {"RsNt", 32}, {"ENet", 32}, {"SMask", 8},
 	}
-	out := &Fig12Result{}
-	for _, c := range cases {
+	curves, err := parMapPairs(r.workers(), cases, func(_ int, c struct {
+		name  string
+		batch int
+	}) (AllocCurve, error) {
 		g, err := model.Build(c.name, c.batch)
 		if err != nil {
-			return nil, err
+			return AllocCurve{}, err
 		}
 		p := cm.ProfileGraph(g)
-		out.Curves = append(out.Curves, AllocCurve{
+		return AllocCurve{
 			Model: c.name, Batch: c.batch, M: p.M, V: p.V,
 			Points: alloc.Sweep(p.M, p.V, 16),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig12Result{Curves: curves}, nil
 }
 
 // Fig. 16 — NeuISA performance overhead relative to the traditional
@@ -126,31 +132,52 @@ func (r *Fig16Result) Table() string {
 }
 
 // Fig16NeuISAOverhead measures NeuISA-vs-VLIW solo latency for the
-// Table I models across batch sizes.
+// Table I models across batch sizes, fanning the (model, batch) grid
+// across the worker pool.
 func (r *Runner) Fig16NeuISAOverhead() (*Fig16Result, error) {
 	out := &Fig16Result{Batches: []int{1, 8, 32, 128}, Points: map[string]map[int]float64{}}
+	type gridCell struct {
+		name  string
+		batch int
+	}
+	var cells []gridCell
 	for _, name := range model.Names() {
 		if name == "LLaMA" {
 			continue
 		}
 		out.Points[name] = map[int]float64{}
 		for _, b := range out.Batches {
-			g, err := model.Build(name, b)
-			if err != nil {
-				return nil, err
-			}
-			if g.HBMFootprint > r.opts.Core.HBMBytes {
-				continue
-			}
-			tNeu, err := r.soloLatency(name, b, compiler.ISANeu)
-			if err != nil {
-				return nil, err
-			}
-			tVLIW, err := r.soloLatency(name, b, compiler.ISAVLIW)
-			if err != nil {
-				return nil, err
-			}
-			out.Points[name][b] = (tNeu - tVLIW) / tVLIW
+			cells = append(cells, gridCell{name, b})
+		}
+	}
+	type overhead struct {
+		v  float64
+		ok bool
+	}
+	points, err := parMapPairs(r.workers(), cells, func(_ int, c gridCell) (overhead, error) {
+		g, err := model.Build(c.name, c.batch)
+		if err != nil {
+			return overhead{}, err
+		}
+		if g.HBMFootprint > r.opts.Core.HBMBytes {
+			return overhead{}, nil // paper omits OOM configs
+		}
+		tNeu, err := r.soloLatency(c.name, c.batch, compiler.ISANeu)
+		if err != nil {
+			return overhead{}, err
+		}
+		tVLIW, err := r.soloLatency(c.name, c.batch, compiler.ISAVLIW)
+		if err != nil {
+			return overhead{}, err
+		}
+		return overhead{v: (tNeu - tVLIW) / tVLIW, ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if points[i].ok {
+			out.Points[c.name][c.batch] = points[i].v
 		}
 	}
 	return out, nil

@@ -54,7 +54,7 @@ func (r *Runner) Fig2Demand() (*Fig2Result, error) {
 func (r *Runner) demandTimelines(models []string, batch int) (*Fig2Result, error) {
 	out := &Fig2Result{Batch: batch, Series: map[string][]DemandPoint{}}
 	cm := compiler.NewCostModel(r.opts.Core)
-	for _, name := range models {
+	series, err := parMapPairs(r.workers(), models, func(_ int, name string) ([]DemandPoint, error) {
 		g, err := model.Build(name, batch)
 		if err != nil {
 			return nil, err
@@ -100,7 +100,13 @@ func (r *Runner) demandTimelines(models []string, batch int) (*Fig2Result, error
 			}
 			tUs += dur / r.opts.Core.FrequencyHz * 1e6
 		}
-		out.Series[name] = pts
+		return pts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range models {
+		out.Series[name] = series[i]
 	}
 	return out, nil
 }
@@ -213,17 +219,17 @@ func (r *Runner) soloRun(name string, batch int) (SoloStat, error) {
 	}, nil
 }
 
-// Fig5Utilization runs the six Fig. 5 models solo.
+// Fig5Utilization runs the six Fig. 5 models solo, one worker-pool job
+// per model.
 func (r *Runner) Fig5Utilization() (*Fig5Result, error) {
-	out := &Fig5Result{}
-	for _, name := range []string{"BERT", "TFMR", "DLRM", "NCF", "RsNt", "MRCNN"} {
-		s, err := r.soloRun(name, 8)
-		if err != nil {
-			return nil, err
-		}
-		out.Stats = append(out.Stats, s)
+	models := []string{"BERT", "TFMR", "DLRM", "NCF", "RsNt", "MRCNN"}
+	stats, err := parMapPairs(r.workers(), models, func(_ int, name string) (SoloStat, error) {
+		return r.soloRun(name, 8)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig5Result{Stats: stats}, nil
 }
 
 // Fig7Result holds HBM bandwidth stats for BERT/DLRM at two batch sizes.
@@ -241,15 +247,16 @@ func (r *Fig7Result) Table() string {
 
 // Fig7HBM measures solo HBM bandwidth for BERT and DLRM at batch 8/32.
 func (r *Runner) Fig7HBM() (*Fig7Result, error) {
-	out := &Fig7Result{}
-	for _, name := range []string{"BERT", "DLRM"} {
-		for _, b := range []int{8, 32} {
-			s, err := r.soloRun(name, b)
-			if err != nil {
-				return nil, err
-			}
-			out.Stats = append(out.Stats, s)
-		}
+	type gridCell struct {
+		name  string
+		batch int
 	}
-	return out, nil
+	cells := []gridCell{{"BERT", 8}, {"BERT", 32}, {"DLRM", 8}, {"DLRM", 32}}
+	stats, err := parMapPairs(r.workers(), cells, func(_ int, c gridCell) (SoloStat, error) {
+		return r.soloRun(c.name, c.batch)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Stats: stats}, nil
 }

@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+// TestParallelMatchesSequential is the determinism regression test for
+// the parallel runner: for a fixed seed/config, every experiment table
+// rendered by the worker-pool runner must be byte-identical to the
+// fully sequential runner's output. The ids below cover each
+// parallelization shape: the (pair, policy) grid (fig19/table3 via the
+// shared pair study), per-pair couples (fig23), per-pair sweeps with
+// private baselines (fig25), grid cells with shared compile caches
+// (fig26), open-loop seeded arrivals (slo), and solo runs (fig5).
+func TestParallelMatchesSequential(t *testing.T) {
+	ids := []string{"fig5", "fig19", "fig21", "table3", "fig23", "fig25", "fig26", "slo"}
+
+	mkRunner := func(workers int) *Runner {
+		opts := DefaultOptions()
+		opts.Requests = 2
+		opts.Workers = workers
+		r, err := NewRunner(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	seq := mkRunner(1)
+	par := mkRunner(4) // oversubscribed on small machines: still must match
+
+	seqRes, err := seq.RunMany(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := par.RunMany(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		st, pt := seqRes[i].Table(), parRes[i].Table()
+		if st != pt {
+			t.Errorf("%s: parallel table differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", id, st, pt)
+		}
+	}
+}
+
+// TestRunManyOrdersResults checks RunMany returns results positionally.
+func TestRunManyOrdersResults(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Requests = 2
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"fig4", "fig2", "fig12"}
+	res, err := r.RunMany(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if res[i].Name() != id {
+			t.Fatalf("result %d is %q, want %q", i, res[i].Name(), id)
+		}
+	}
+}

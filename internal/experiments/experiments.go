@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"neu10/internal/arch"
 	"neu10/internal/sched"
@@ -23,6 +24,10 @@ type Options struct {
 	Requests int
 	// SampleEvery controls timeline resolution in cycles.
 	SampleEvery float64
+	// Workers sizes the worker pool the sweeps fan out over:
+	// 0 = GOMAXPROCS, 1 = fully sequential. Results are byte-identical
+	// either way (see parallel.go).
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's Table II setup.
@@ -43,16 +48,24 @@ type Result interface {
 	Table() string
 }
 
-// Runner executes experiments by id.
+// Runner executes experiments by id. It is safe for concurrent use
+// (RunMany regenerates several figures at once): the memo caches below
+// are mutex-guarded and everything else is per-run state.
 type Runner struct {
 	opts Options
 	comp *workload.Compiled
 
-	// pairStudy caches the shared Fig. 19-22 / Table III sweep;
-	// compCache holds per-core-config compilation caches for the sweeps.
+	// pairStudy caches the shared Fig. 19-22 / Table III sweep (pairMu
+	// also single-flights its computation); compCache holds
+	// per-core-config compilation caches for the sweeps.
+	pairMu    sync.Mutex
 	pairStudy *PairStudyResult
+	compMu    sync.Mutex
 	compCache map[string]*workload.Compiled
 }
+
+// workers returns the configured worker-pool size for parMap.
+func (r *Runner) workers() int { return r.opts.Workers }
 
 // NewRunner builds a runner.
 func NewRunner(opts Options) (*Runner, error) {
@@ -121,6 +134,21 @@ func (r *Runner) Run(id string) (Result, error) {
 	}
 }
 
+// RunMany executes several experiments, fanning them across the worker
+// pool on top of each experiment's own internal parallelism. Results
+// are returned in the order of ids; the fig19-22/table3 views share one
+// pair-study sweep exactly as they do sequentially (the memo is
+// single-flighted).
+func (r *Runner) RunMany(ids []string) ([]Result, error) {
+	return parMapPairs(r.workers(), ids, func(_ int, id string) (Result, error) {
+		res, err := r.Run(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", strings.TrimSpace(id), err)
+		}
+		return res, nil
+	})
+}
+
 // runPair runs one pair under one policy with evenly split vNPUs.
 // Workloads are compiled for the exact core configuration: the number of
 // µTOps per operator and the V10 complex width both depend on it.
@@ -154,6 +182,8 @@ func (r *Runner) compiledFor(core arch.CoreConfig) (*workload.Compiled, error) {
 		return r.comp, nil
 	}
 	key := fmt.Sprintf("%d/%d/%.0f", core.MEs, core.VEs, core.HBMBwBytes)
+	r.compMu.Lock()
+	defer r.compMu.Unlock()
 	if r.compCache == nil {
 		r.compCache = map[string]*workload.Compiled{}
 	}

@@ -147,31 +147,47 @@ func fmtOverhead(v float64) string {
 	return fmt.Sprintf("%.2f%%", v*100)
 }
 
-// PairStudy runs the nine pairs under the four policies. Results are
-// cached within the runner so fig19-22/table3 share one sweep.
+// PairStudy runs the nine pairs under the four policies — 36
+// independent scenario simulations fanned across the worker pool and
+// collected in (pair, policy) order, so the result is byte-identical to
+// the sequential sweep. Results are cached within the runner (and the
+// computation single-flighted) so fig19-22/table3 share one sweep.
 func (r *Runner) PairStudy() (*PairStudyResult, error) {
+	r.pairMu.Lock()
+	defer r.pairMu.Unlock()
 	if r.pairStudy != nil {
 		return r.pairStudy, nil
 	}
-	out := &PairStudyResult{}
+	type cell struct {
+		p   workload.Pair
+		pol sched.Mode
+	}
+	var cells []cell
 	for _, p := range workload.Pairs() {
 		for _, pol := range Policies() {
-			res, err := r.runPair(p, pol, r.opts.Core, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", p.Name(), pol, err)
-			}
-			pm := PairMetrics{Pair: p, Policy: pol, MEUtil: res.MEUtil, VEUtil: res.VEUtil}
-			for w := 0; w < 2; w++ {
-				pm.P95[w] = res.Tenants[w].P95Latency
-				pm.Mean[w] = res.Tenants[w].MeanLatency
-				pm.Throughput[w] = res.Tenants[w].Throughput
-				if res.DurationCycles > 0 {
-					pm.Blocked[w] = res.Tenants[w].HarvestBlocked / res.DurationCycles
-				}
-			}
-			out.Metrics = append(out.Metrics, pm)
+			cells = append(cells, cell{p, pol})
 		}
 	}
+	metrics, err := parMapPairs(r.workers(), cells, func(_ int, c cell) (PairMetrics, error) {
+		res, err := r.runPair(c.p, c.pol, r.opts.Core, false)
+		if err != nil {
+			return PairMetrics{}, fmt.Errorf("%s/%s: %w", c.p.Name(), c.pol, err)
+		}
+		pm := PairMetrics{Pair: c.p, Policy: c.pol, MEUtil: res.MEUtil, VEUtil: res.VEUtil}
+		for w := 0; w < 2; w++ {
+			pm.P95[w] = res.Tenants[w].P95Latency
+			pm.Mean[w] = res.Tenants[w].MeanLatency
+			pm.Throughput[w] = res.Tenants[w].Throughput
+			if res.DurationCycles > 0 {
+				pm.Blocked[w] = res.Tenants[w].HarvestBlocked / res.DurationCycles
+			}
+		}
+		return pm, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &PairStudyResult{Metrics: metrics}
 	r.pairStudy = out
 	return out, nil
 }
@@ -208,17 +224,17 @@ func (r *Fig23Result) Table() string {
 }
 
 // Fig23Breakdown traces per-op durations under NH and Neu10 and reports
-// the speedup distribution.
+// the speedup distribution. Each pair's NH/Neu10 run couple is one
+// worker-pool job.
 func (r *Runner) Fig23Breakdown() (*Fig23Result, error) {
-	out := &Fig23Result{}
-	for _, p := range workload.Pairs() {
+	curves, err := parMapPairs(r.workers(), workload.Pairs(), func(_ int, p workload.Pair) (BreakdownCurve, error) {
 		nh, err := r.runPair(p, sched.NeuNH, r.opts.Core, false)
 		if err != nil {
-			return nil, err
+			return BreakdownCurve{}, err
 		}
 		n10, err := r.runPair(p, sched.Neu10, r.opts.Core, false)
 		if err != nil {
-			return nil, err
+			return BreakdownCurve{}, err
 		}
 		c := BreakdownCurve{Pair: p}
 		for w := 0; w < 2; w++ {
@@ -241,9 +257,12 @@ func (r *Runner) Fig23Breakdown() (*Fig23Result, error) {
 			}
 			c.MeanGain[w] = sum / float64(len(ratios))
 		}
-		out.Curves = append(out.Curves, c)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig23Result{Curves: curves}, nil
 }
 
 // Fig. 24 — assigned MEs/VEs over time for three pairs under Neu10.
@@ -275,22 +294,31 @@ func (r *Fig24Result) Table() string {
 
 // Fig24Timeline samples assignment timelines for the paper's three pairs.
 func (r *Runner) Fig24Timeline() (*Fig24Result, error) {
-	out := &Fig24Result{}
-	for _, p := range []workload.Pair{
+	pairs := []workload.Pair{
 		{W1: "DLRM", W2: "RtNt"}, {W1: "ENet", W2: "SMask"}, {W1: "RNRS", W2: "RtNt"},
-	} {
+	}
+	perPair, err := parMapPairs(r.workers(), pairs, func(_ int, p workload.Pair) ([]TimelineStat, error) {
 		res, err := r.runPair(p, sched.Neu10, r.opts.Core, true)
 		if err != nil {
 			return nil, err
 		}
+		var stats []TimelineStat
 		for _, tr := range res.Tenants {
-			out.Stats = append(out.Stats, TimelineStat{
+			stats = append(stats, TimelineStat{
 				Pair: p.Name(), Tenant: tr.Name,
 				MeanMEs: tr.METimeline.Mean(), MaxMEs: tr.METimeline.MaxValue(),
 				MeanVEs: tr.VETimeline.Mean(), MaxVEs: tr.VETimeline.MaxValue(),
 				Points: tr.METimeline.Len(),
 			})
 		}
+		return stats, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig24Result{}
+	for _, stats := range perPair {
+		out.Stats = append(out.Stats, stats...)
 	}
 	return out, nil
 }

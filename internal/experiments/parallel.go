@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment runner. Every figure of the paper is a sweep
+// over independent scenario simulations — (pair, policy) cells, core
+// configurations, bandwidth points, offered loads — and each
+// sched.Simulator instance is fully self-contained, so the sweeps fan
+// out across a GOMAXPROCS-sized worker pool. Determinism is preserved
+// by construction:
+//
+//   - results are collected into a slice by job index and consumed in
+//     that order, so tables are byte-identical to a sequential run;
+//   - each simulation derives its randomness from its own Config.Seed,
+//     never from scheduling order;
+//   - on error, the error of the lowest-indexed failing job is
+//     returned — exactly the one a sequential loop would have hit
+//     first;
+//   - shared caches (compiled workloads, the pair-study memo) are
+//     mutex-guarded and their contents are pure functions of their
+//     keys, so population order cannot leak into results.
+//
+// TestParallelMatchesSequential locks the byte-identical property down.
+
+// parMap runs fn over 0..n-1 on min(workers, n) goroutines and returns
+// the results indexed by job. workers <= 0 means GOMAXPROCS.
+func parMap[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	results := make([]R, n)
+	errs := make([]error, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err // fail fast, like the sequential loop
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	// failedAt tracks the lowest failed job index so far: jobs above it
+	// are skipped (their results could not influence the returned error
+	// or survive it), while lower-indexed jobs still run — one of them
+	// may fail too and become the error a sequential loop would report.
+	var failedAt atomic.Int64
+	failedAt.Store(math.MaxInt64)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if int64(i) > failedAt.Load() {
+					continue
+				}
+				results[i], errs[i] = fn(i)
+				if errs[i] != nil {
+					for {
+						cur := failedAt.Load()
+						if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// parMapPairs is parMap over an item slice.
+func parMapPairs[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return parMap(workers, len(items), func(i int) (R, error) {
+		return fn(i, items[i])
+	})
+}

@@ -76,19 +76,19 @@ func (r *Runner) pairThroughputs(p workload.Pair, pol sched.Mode, core arch.Core
 	return [2]float64{res.Tenants[0].Throughput, res.Tenants[1].Throughput}, nil
 }
 
-// Fig25Scaling sweeps the five hardware configurations over all pairs.
+// Fig25Scaling sweeps the five hardware configurations over all pairs,
+// one worker-pool job per pair (each job runs its baseline plus the
+// ten per-config simulations).
 func (r *Runner) Fig25Scaling() (*Fig25Result, error) {
-	out := &Fig25Result{
-		Configs: [][2]int{{2, 2}, {4, 2}, {4, 4}, {8, 4}, {8, 8}},
-		Points:  map[string]map[[2]int][2]float64{},
-	}
-	for _, p := range workload.Pairs() {
-		out.Points[p.Name()] = map[[2]int][2]float64{}
+	configs := [][2]int{{2, 2}, {4, 2}, {4, 4}, {8, 4}, {8, 8}}
+	pairs := workload.Pairs()
+	points, err := parMapPairs(r.workers(), pairs, func(_ int, p workload.Pair) (map[[2]int][2]float64, error) {
+		pts := map[[2]int][2]float64{}
 		base, err := r.pairThroughputs(p, sched.V10, r.opts.Core.WithEUs(2, 2))
 		if err != nil {
 			return nil, fmt.Errorf("%s baseline: %w", p.Name(), err)
 		}
-		for _, c := range out.Configs {
+		for _, c := range configs {
 			core := r.opts.Core.WithEUs(c[0], c[1])
 			n10, err := r.pairThroughputs(p, sched.Neu10, core)
 			if err != nil {
@@ -103,8 +103,16 @@ func (r *Runner) Fig25Scaling() (*Fig25Result, error) {
 			norm := func(t [2]float64) float64 {
 				return (t[0]/base[0] + t[1]/base[1]) / 2
 			}
-			out.Points[p.Name()][c] = [2]float64{norm(n10), norm(v10)}
+			pts[c] = [2]float64{norm(n10), norm(v10)}
 		}
+		return pts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig25Result{Configs: configs, Points: map[string]map[[2]int][2]float64{}}
+	for i, p := range pairs {
+		out.Points[p.Name()] = points[i]
 	}
 	return out, nil
 }
@@ -136,23 +144,39 @@ func (r *Fig26Result) Table() string {
 	return "Fig. 26 — Neu10 throughput gain over V10 vs HBM bandwidth\n" + tab.String()
 }
 
-// Fig26Bandwidth sweeps bandwidth over the standard and memory pairs.
+// Fig26Bandwidth sweeps bandwidth over the standard and memory pairs,
+// fanning the (pair, bandwidth) grid cells across the worker pool.
 func (r *Runner) Fig26Bandwidth() (*Fig26Result, error) {
 	out := &Fig26Result{
 		Bandwidths: []float64{900e9, 1200e9, 2000e9, 3000e9},
 		Points:     map[string]map[float64]float64{},
 	}
 	pairs := append(workload.MemoryPairs()[:2], workload.Pairs()...)
+	type gridCell struct {
+		p  workload.Pair
+		bw float64
+	}
+	var cells []gridCell
 	for _, p := range pairs {
-		out.Points[p.Name()] = map[float64]float64{}
 		for _, bw := range out.Bandwidths {
-			core := r.opts.Core.WithHBMBandwidth(bw)
-			gain, err := r.pairGain(p, core)
-			if err != nil {
-				return nil, fmt.Errorf("%s @%.0fGB/s: %w", p.Name(), bw/1e9, err)
-			}
-			out.Points[p.Name()][bw] = gain
+			cells = append(cells, gridCell{p, bw})
 		}
+	}
+	gains, err := parMapPairs(r.workers(), cells, func(_ int, c gridCell) (float64, error) {
+		gain, err := r.pairGain(c.p, r.opts.Core.WithHBMBandwidth(c.bw))
+		if err != nil {
+			return 0, fmt.Errorf("%s @%.0fGB/s: %w", c.p.Name(), c.bw/1e9, err)
+		}
+		return gain, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if out.Points[c.p.Name()] == nil {
+			out.Points[c.p.Name()] = map[float64]float64{}
+		}
+		out.Points[c.p.Name()][c.bw] = gains[i]
 	}
 	return out, nil
 }
@@ -196,25 +220,28 @@ func (r *Fig27Result) Table() string {
 	return "Fig. 27 — LLM (LLaMA2-13B) collocation: V10 vs Neu10\n" + tab.String()
 }
 
-// Fig27LLM runs the three LLaMA collocations under V10 and Neu10.
+// Fig27LLM runs the three LLaMA collocations under V10 and Neu10, one
+// worker-pool job per collocation.
 func (r *Runner) Fig27LLM() (*Fig27Result, error) {
-	out := &Fig27Result{}
-	for _, p := range workload.MemoryPairs()[2:] {
+	points, err := parMapPairs(r.workers(), workload.MemoryPairs()[2:], func(_ int, p workload.Pair) (LLMPoint, error) {
 		v10, err := r.runPair(p, sched.V10, r.opts.Core, false)
 		if err != nil {
-			return nil, err
+			return LLMPoint{}, err
 		}
 		n10, err := r.runPair(p, sched.Neu10, r.opts.Core, false)
 		if err != nil {
-			return nil, err
+			return LLMPoint{}, err
 		}
-		out.Points = append(out.Points, LLMPoint{
+		return LLMPoint{
 			Pair:      p.Name(),
 			V10Tput:   [2]float64{v10.Tenants[0].Throughput, v10.Tenants[1].Throughput},
 			Neu10Tput: [2]float64{n10.Tenants[0].Throughput, n10.Tenants[1].Throughput},
 			V10MEUtil: v10.MEUtil, N10MEUtil: n10.MEUtil,
 			V10VEUtil: v10.VEUtil, N10VEUtil: n10.VEUtil,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig27Result{Points: points}, nil
 }

@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Decode-once instruction representation. The interpreter in
+// internal/npu used to walk every slot of every Instruction on every
+// dynamic execution — for a Format{4,4} word that is 11 slot visits per
+// instruction even when 10 of them hold nops, repeated tens of millions
+// of times per program run. DecodedCode flattens each instruction into
+// just its populated operations, with the slot kind and original slot
+// index resolved at decode time, the way VLIW simulators cache
+// pre-decoded instruction words. Decoding preserves the architectural
+// slot order (LS → ME → VE → misc), so executing the decoded stream is
+// observationally identical to walking the slots.
+
+// DecodedOp is one populated operation with its slot binding resolved.
+type DecodedOp struct {
+	Op      Operation
+	Slot    SlotKind
+	SlotIdx uint8 // original slot index (ME engine binding, VE busy accounting)
+}
+
+// DecodedCode is the decode-once form of an instruction sequence.
+// Ops holds the non-nop operations of all instructions back to back;
+// instruction pc covers Ops[Start[pc]:Start[pc+1]].
+type DecodedCode struct {
+	Ops   []DecodedOp
+	Start []uint32 // len = len(code)+1
+}
+
+// DecodeCode builds the decoded form of an instruction sequence.
+func DecodeCode(code []Instruction) *DecodedCode {
+	dc := &DecodedCode{Start: make([]uint32, 1, len(code)+1)}
+	for i := range code {
+		in := &code[i]
+		for s := range in.LS {
+			if in.LS[s].Op != OpNop {
+				dc.Ops = append(dc.Ops, DecodedOp{Op: in.LS[s], Slot: SlotLS, SlotIdx: uint8(s)})
+			}
+		}
+		for s := range in.ME {
+			if in.ME[s].Op != OpNop {
+				dc.Ops = append(dc.Ops, DecodedOp{Op: in.ME[s], Slot: SlotME, SlotIdx: uint8(s)})
+			}
+		}
+		for s := range in.VE {
+			if in.VE[s].Op != OpNop {
+				dc.Ops = append(dc.Ops, DecodedOp{Op: in.VE[s], Slot: SlotVE, SlotIdx: uint8(s)})
+			}
+		}
+		if in.Misc.Op != OpNop {
+			dc.Ops = append(dc.Ops, DecodedOp{Op: in.Misc, Slot: SlotMisc})
+		}
+		dc.Start = append(dc.Start, uint32(len(dc.Ops)))
+	}
+	return dc
+}
+
+// Len returns the number of decoded instructions.
+func (dc *DecodedCode) Len() int { return len(dc.Start) - 1 }
+
+// At returns the decoded operations of instruction pc.
+func (dc *DecodedCode) At(pc int) []DecodedOp {
+	return dc.Ops[dc.Start[pc]:dc.Start[pc+1]]
+}
+
+// ---- lazy per-program caches ----
+//
+// The caches use atomic pointers so concurrently executing cores (the
+// parallel experiment runner fans scenario simulations across a worker
+// pool, and compiled programs are shared between them) decode at most a
+// handful of times and race-free. Decoding is deterministic, so losing
+// the publication race is harmless.
+
+// Decoded returns the cached decode-once form of the program, building
+// it on first use. Mutating Code in place after the first execution is
+// unsupported (re-assemble or rebuild the program instead); as a cheap
+// guard, a cache built for a different instruction count — the common
+// copy-then-edit footgun — is detected and rebuilt rather than
+// silently executing the stale stream.
+func (p *Program) Decoded() *DecodedCode {
+	if dc := (*DecodedCode)(p.decoded.load()); dc != nil && dc.Len() == len(p.Code) {
+		return dc
+	}
+	dc := DecodeCode(p.Code)
+	p.decoded.store(unsafe.Pointer(dc))
+	return dc
+}
+
+// neuDecoded caches everything RunNeu needs per dynamic group step.
+type neuDecoded struct {
+	me     *DecodedCode
+	ve     *DecodedCode
+	groups [][]int // GroupUTops precomputed per group
+}
+
+// DecodedFor returns the cached decoded code pool for a µTOp kind.
+func (p *NeuProgram) DecodedFor(k UTopKind) *DecodedCode {
+	nd := p.neuCache()
+	if k == MEUTop {
+		return nd.me
+	}
+	return nd.ve
+}
+
+// DecodedGroupUTops returns the cached µTOp index list of group g (ME
+// entries first, then the VE entry) — the allocation-free equivalent of
+// GroupUTops for the interpreter's group sequencing loop.
+func (p *NeuProgram) DecodedGroupUTops(g int) []int {
+	return p.neuCache().groups[g]
+}
+
+func (p *NeuProgram) neuCache() *neuDecoded {
+	if nd := (*neuDecoded)(p.decoded.load()); nd != nil &&
+		nd.me.Len() == len(p.MECode) && nd.ve.Len() == len(p.VECode) &&
+		len(nd.groups) == len(p.Groups) {
+		return nd
+	}
+	nd := &neuDecoded{
+		me:     DecodeCode(p.MECode),
+		ve:     DecodeCode(p.VECode),
+		groups: make([][]int, len(p.Groups)),
+	}
+	for g := range p.Groups {
+		nd.groups[g] = p.GroupUTops(g)
+	}
+	p.decoded.store(unsafe.Pointer(nd))
+	return nd
+}
+
+// decodedCache is the atomic lazy-init slot embedded in program types.
+// It deliberately holds a raw unsafe.Pointer rather than an
+// atomic.Pointer[T]: the atomic types carry a noCopy marker, and
+// programs are legitimately copied by value (e.g. to derive a variant
+// before re-validating). A copy simply carries or drops the immutable
+// cache; the length guards above rebuild a carried cache that no
+// longer matches the copy's code.
+type decodedCache struct{ p unsafe.Pointer }
+
+func (c *decodedCache) load() unsafe.Pointer { return atomic.LoadPointer(&c.p) }
+
+// store publishes v; decoding is deterministic, so concurrent builders
+// racing to publish all install equivalent caches.
+func (c *decodedCache) store(v unsafe.Pointer) {
+	atomic.StorePointer(&c.p, v)
+}

@@ -9,6 +9,9 @@ import "fmt"
 type Program struct {
 	Format Format
 	Code   []Instruction
+
+	// decoded is the lazily built decode-once cache (see decoded.go).
+	decoded decodedCache
 }
 
 // Validate checks the whole program.
@@ -89,6 +92,9 @@ type NeuProgram struct {
 	VECode  []Instruction // pool for VE µTOps, Format{0, VESlots}
 	UTops   []UTop
 	Groups  []Group
+
+	// decoded is the lazily built decode-once cache (see decoded.go).
+	decoded decodedCache
 }
 
 // MEFormat returns the instruction format of ME µTOp snippets.

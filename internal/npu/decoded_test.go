@@ -1,0 +1,288 @@
+package npu
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"neu10/internal/isa"
+)
+
+// Golden regression tests for the predecoded interpreter: the decoded
+// fast path (stepDecoded) must produce exactly the state the reference
+// slot-walking interpreter (step) produces — same statistics, same
+// cycle accounting, same memories, bit for bit.
+
+// runVLIWReference is the pre-decode execution loop, kept verbatim so
+// the fast path has a fixed semantic anchor.
+func runVLIWReference(c *Core, p *isa.Program) (RunStats, error) {
+	var st RunStats
+	if err := p.Validate(); err != nil {
+		return st, err
+	}
+	if p.Format.MESlots > c.Cfg.MEs {
+		return st, fmt.Errorf("npu: program compiled for %d MEs, core has %d", p.Format.MESlots, c.Cfg.MEs)
+	}
+	mes := make([]int, p.Format.MESlots)
+	for i := range mes {
+		mes[i] = i
+	}
+	rf := &regFile{}
+	env := &execEnv{mes: mes, nextGroup: -1}
+	start := c.Cycles
+	pc := 0
+	for !env.halted {
+		if pc < 0 || pc >= len(p.Code) {
+			return st, &Fault{PC: pc, Reason: "pc out of range"}
+		}
+		d, err := c.step(&p.Code[pc], rf, env, pc)
+		if err != nil {
+			return st, err
+		}
+		pc += d
+		st.Instructions++
+		if st.Instructions > maxInstructions {
+			return st, fmt.Errorf("npu: VLIW program exceeded %d instructions", maxInstructions)
+		}
+	}
+	st.Cycles = c.Cycles - start
+	return st, nil
+}
+
+// runNeuReference is the pre-decode NeuISA execution loop.
+func runNeuReference(c *Core, p *isa.NeuProgram, mes []int) (NeuRunStats, error) {
+	var st NeuRunStats
+	if err := p.Validate(); err != nil {
+		return st, err
+	}
+	start := c.Cycles
+	group := 0
+	for group >= 0 && group < len(p.Groups) {
+		st.GroupsRun++
+		utops := p.GroupUTops(group)
+		next := -1
+		nextSet := false
+		for idx, ui := range utops {
+			u := p.UTops[ui]
+			code, _ := p.CodeFor(u.Kind)
+			rf := &regFile{}
+			env := &execEnv{group: group, index: idx, nextGroup: -1}
+			if u.Kind == isa.MEUTop {
+				env.mes = []int{mes[idx%len(mes)]}
+			}
+			pc := u.Start
+			for !env.finished {
+				if pc < 0 || pc >= len(code) {
+					return st, &Fault{PC: pc, Reason: "pc out of snippet range"}
+				}
+				d, err := c.step(&code[pc], rf, env, pc)
+				if err != nil {
+					return st, err
+				}
+				pc += d
+				st.Instructions++
+			}
+			st.UTopsRun++
+			if env.nextGroup >= 0 {
+				if nextSet && next != env.nextGroup {
+					return st, fmt.Errorf("npu: group %d µTOps disagree on next group", group)
+				}
+				next, nextSet = env.nextGroup, true
+			}
+		}
+		if nextSet {
+			group = next
+		} else {
+			group++
+		}
+	}
+	st.Cycles = c.Cycles - start
+	return st, nil
+}
+
+func newGoldenCore(t *testing.T) *Core {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SRAMWords = 1 << 18
+	cfg.HBMWords = 1 << 14
+	c, err := NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic non-trivial memory contents.
+	for i := range c.SRAM {
+		c.SRAM[i] = float32(i%251) * 0.5
+	}
+	for i := range c.HBM {
+		c.HBM[i] = float32(i % 17)
+	}
+	return c
+}
+
+func compareCores(t *testing.T, ref, fast *Core, label string) {
+	t.Helper()
+	if ref.Cycles != fast.Cycles {
+		t.Fatalf("%s: cycles %d (reference) vs %d (decoded)", label, ref.Cycles, fast.Cycles)
+	}
+	if ref.DMACycle != fast.DMACycle {
+		t.Fatalf("%s: DMA cycles %d vs %d", label, ref.DMACycle, fast.DMACycle)
+	}
+	for i := range ref.MEBusy {
+		if ref.MEBusy[i] != fast.MEBusy[i] {
+			t.Fatalf("%s: MEBusy[%d] %d vs %d", label, i, ref.MEBusy[i], fast.MEBusy[i])
+		}
+	}
+	for i := range ref.VEBusy {
+		if ref.VEBusy[i] != fast.VEBusy[i] {
+			t.Fatalf("%s: VEBusy[%d] %d vs %d", label, i, ref.VEBusy[i], fast.VEBusy[i])
+		}
+	}
+	for i := range ref.SRAM {
+		if math.Float32bits(ref.SRAM[i]) != math.Float32bits(fast.SRAM[i]) {
+			t.Fatalf("%s: SRAM[%d] %v vs %v (not bit-identical)", label, i, ref.SRAM[i], fast.SRAM[i])
+		}
+	}
+	for i := range ref.HBM {
+		if math.Float32bits(ref.HBM[i]) != math.Float32bits(fast.HBM[i]) {
+			t.Fatalf("%s: HBM[%d] %v vs %v", label, i, ref.HBM[i], fast.HBM[i])
+		}
+	}
+}
+
+// vliwGoldenProgram assembles a program exercising every slot class:
+// DMA in, vector arithmetic across multiple VE slots, ME tile multiply
+// on two engines, a scalar loop with a backward branch, and stores.
+func vliwGoldenProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	f := isa.Format{MESlots: 2, VESlots: 2}
+	b := isa.NewBuilder(f)
+	// Latch an 8x8 weight tile (SRAM base r1=0) on both MEs.
+	b.Misc(isa.SMovI(1, 0)).End()
+	b.ME(isa.MELoadW(1, 8, 8)).ME(isa.MELoadW(1, 8, 8)).End()
+	// DMA 256 words of HBM into SRAM at 1024.
+	b.Misc(isa.SMovI(2, 1024)).End()
+	b.Misc(isa.SMovI(3, 0)).End()
+	b.Misc(isa.DMALoad(2, 3, 256)).End()
+	// Push a row through both MEs and pop with VE postprocessing.
+	b.Misc(isa.SMovI(4, 1024)).End()
+	b.ME(isa.MEPush(4, 8)).ME(isa.MEPush(4, 8)).End()
+	b.ME(isa.MEPop(1)).ME(isa.MEPopA(1)).End()
+	b.VE(isa.V1(isa.OpVRelu, 2, 1)).
+		VE(isa.Operation{Op: isa.OpVAddS, Dst: 3, A: 1, Imm: 7}).
+		LS(isa.VLoad(4, 1, 128)).End()
+	b.VE(isa.V2(isa.OpVAdd, 5, 2, 3)).VE(isa.V2(isa.OpVMax, 6, 2, 4)).End()
+	b.LS(isa.VStore(1, 5, 2048)).LS(isa.VStore(1, 4, 2304)).End()
+	// Scalar loop: r10 counts 0..4 with a backward BNE.
+	b.Misc(isa.SMovI(10, 0)).End()
+	b.Misc(isa.SMovI(11, 5)).End()
+	loop := b.PC()
+	b.Misc(isa.SAddI(10, 10, 1)).End()
+	b.VE(isa.Operation{Op: isa.OpVMulS, Dst: 6, A: 5, Imm: 2}).End()
+	brPC := b.PC()
+	b.Misc(isa.Branch(isa.OpBNE, 10, 11, int32(loop-brPC))).End()
+	// Reduce, DMA results back out, halt.
+	b.VE(isa.V1(isa.OpVRsum, 14, 5)).End()
+	b.Misc(isa.SMovI(12, 4096)).End()
+	b.Misc(isa.SMovI(13, 2048)).End()
+	b.Misc(isa.DMAStore(12, 13, 128)).End()
+	b.Misc(isa.Halt()).End()
+	code, err := b.Code()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &isa.Program{Format: f, Code: code}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// buildExecNeuProgram assembles a NeuISA kernel through the text
+// toolchain: two ME µTOps computing a fused MatMul+ReLU over shared
+// snippets, exercising uTop.index, scalar loops and branches.
+func buildExecNeuProgram(t *testing.T) *isa.NeuProgram {
+	t.Helper()
+	const src = `
+.neuisa veslots=4
+.utop me tile
+    uTop.index %r2
+    s.movi %r3, #8
+    s.mul %r4, %r2, %r3
+    s.movi %r5, #16384
+    me.loadw [%r5], 64, 128
+    s.movi %r8, #64
+    s.mul %r6, %r4, %r8
+    s.movi %r9, #128
+    s.mul %r7, %r4, %r9
+    s.addi %r7, %r7, #65536
+    s.movi %r10, #8
+LOOP:
+    me.push [%r6], 64
+    me.pop %v0 | v.relu %v0, %v0
+    ls.store [%r7+0], %v0
+    s.addi %r6, %r6, #64
+    s.addi %r7, %r7, #128
+    s.addi %r10, %r10, #-1
+    bne %r10, %r0, @LOOP
+    uTop.finish
+.group tile tile
+`
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestDecodedVLIWMatchesReference(t *testing.T) {
+	p := vliwGoldenProgram(t)
+	ref := newGoldenCore(t)
+	fast := newGoldenCore(t)
+	refSt, refErr := runVLIWReference(ref, p)
+	fastSt, fastErr := fast.RunVLIW(p)
+	if (refErr == nil) != (fastErr == nil) {
+		t.Fatalf("error mismatch: reference %v, decoded %v", refErr, fastErr)
+	}
+	if refSt != fastSt {
+		t.Fatalf("stats mismatch: reference %+v, decoded %+v", refSt, fastSt)
+	}
+	compareCores(t, ref, fast, "vliw")
+}
+
+func TestDecodedNeuMatchesReference(t *testing.T) {
+	p := buildExecNeuProgram(t)
+	for _, mes := range [][]int{{0}, {0, 1}, {0, 1, 2, 3}} {
+		ref := newGoldenCore(t)
+		fast := newGoldenCore(t)
+		refSt, refErr := runNeuReference(ref, p, mes)
+		fastSt, fastErr := fast.RunNeu(p, mes)
+		if (refErr == nil) != (fastErr == nil) {
+			t.Fatalf("mes=%v: error mismatch: reference %v, decoded %v", mes, refErr, fastErr)
+		}
+		if refSt != fastSt {
+			t.Fatalf("mes=%v: stats mismatch: reference %+v, decoded %+v", mes, refSt, fastSt)
+		}
+		compareCores(t, ref, fast, fmt.Sprintf("neu mes=%v", mes))
+	}
+}
+
+// TestDecodedInterpreterAllocBudget is the allocation budget for the
+// interpreter inner loop: steady-state re-execution of a NeuISA program
+// on a warmed core must not allocate (the systolic arena refills count
+// amortize to ~0 and are tolerated up to a small budget).
+func TestDecodedInterpreterAllocBudget(t *testing.T) {
+	p := buildExecNeuProgram(t)
+	c := newGoldenCore(t)
+	mes := []int{0, 1}
+	if _, err := c.RunNeu(p, mes); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.RunNeu(p, mes); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("interpreter allocates %.1f objects per program run, want ≤ 2", allocs)
+	}
+}

@@ -45,8 +45,11 @@ type RunStats struct {
 	Cycles       uint64
 }
 
-// step executes one instruction and returns the pc delta (normally +1,
-// branch target offset otherwise).
+// step executes one instruction from its slot-structured form and
+// returns the pc delta (normally +1, branch target offset otherwise).
+// It is the reference interpreter: the decoded fast path below
+// (stepDecoded) must stay observationally identical to it, and the
+// golden tests in decoded_test.go enforce that.
 func (c *Core) step(in *isa.Instruction, rf *regFile, env *execEnv, pc int) (int, error) {
 	delta := 1
 	var maxCost uint64 = 1
@@ -273,7 +276,8 @@ func (c *Core) step(in *isa.Instruction, rf *regFile, env *execEnv, pc int) (int
 // RunVLIW executes a traditional VLIW program to its halt. ME slot i
 // drives physical ME i; the program therefore requires at least
 // Format.MESlots physical MEs — the static coupling the paper's Fig. 9
-// illustrates. It returns run statistics.
+// illustrates. It returns run statistics. Execution runs over the
+// program's cached decode-once representation.
 func (c *Core) RunVLIW(p *isa.Program) (RunStats, error) {
 	var st RunStats
 	if err := p.Validate(); err != nil {
@@ -282,19 +286,17 @@ func (c *Core) RunVLIW(p *isa.Program) (RunStats, error) {
 	if p.Format.MESlots > c.Cfg.MEs {
 		return st, fmt.Errorf("npu: program compiled for %d MEs, core has %d", p.Format.MESlots, c.Cfg.MEs)
 	}
-	mes := make([]int, p.Format.MESlots)
-	for i := range mes {
-		mes[i] = i
-	}
-	rf := &regFile{}
+	mes := c.scratchMEs(p.Format.MESlots)
+	rf := c.scratchRF()
 	env := &execEnv{mes: mes, nextGroup: -1}
+	dc := p.Decoded()
 	start := c.Cycles
 	pc := 0
 	for !env.halted {
-		if pc < 0 || pc >= len(p.Code) {
+		if pc < 0 || pc >= dc.Len() {
 			return st, &Fault{PC: pc, Reason: "pc out of range"}
 		}
-		d, err := c.step(&p.Code[pc], rf, env, pc)
+		d, err := c.stepDecoded(dc.At(pc), rf, env, pc)
 		if err != nil {
 			return st, err
 		}
@@ -339,23 +341,24 @@ func (c *Core) RunNeu(p *isa.NeuProgram, mes []int) (NeuRunStats, error) {
 	group := 0
 	for group >= 0 && group < len(p.Groups) {
 		st.GroupsRun++
-		utops := p.GroupUTops(group)
+		utops := p.DecodedGroupUTops(group)
 		next := -1
 		nextSet := false
 		for idx, ui := range utops {
 			u := p.UTops[ui]
-			code, _ := p.CodeFor(u.Kind)
-			rf := &regFile{}
+			dc := p.DecodedFor(u.Kind)
+			rf := c.scratchRF()
 			env := &execEnv{group: group, index: idx, nextGroup: -1}
 			if u.Kind == isa.MEUTop {
-				env.mes = []int{mes[idx%len(mes)]}
+				c.execOne[0] = mes[idx%len(mes)]
+				env.mes = c.execOne[:1]
 			}
 			pc := u.Start
 			for !env.finished {
-				if pc < 0 || pc >= len(code) {
+				if pc < 0 || pc >= dc.Len() {
 					return st, &Fault{PC: pc, Reason: "pc out of snippet range"}
 				}
-				d, err := c.step(&code[pc], rf, env, pc)
+				d, err := c.stepDecoded(dc.At(pc), rf, env, pc)
 				if err != nil {
 					return st, err
 				}

@@ -17,6 +17,13 @@ type SystolicArray struct {
 	k, n    int       // latched tile shape
 	weights []float32 // K×N row-major
 	outputs [][]float32
+	outHead int // FIFO head index into outputs (capacity is reused)
+
+	// arena backs output rows in large chunks: rows are carved out
+	// monotonically and never rewritten, so a popped row stays valid for
+	// as long as the caller holds it while Push itself stays off the
+	// allocator on all but the chunk-boundary iterations.
+	arena []float32
 
 	// Preemption bookkeeping: µTOp context switches save/restore the
 	// latched weights and in-flight outputs (the paper charges 256 cycles
@@ -40,7 +47,11 @@ func (s *SystolicArray) LoadWeights(src []float32, k, n int) error {
 }
 
 // Push streams activation row x (length K) through the array, producing
-// one pending output row.
+// one pending output row. The accumulation visits p = 0..K-1 for every
+// output element exactly as the straightforward column walk does — only
+// the memory access pattern changes (weights are streamed row-major),
+// so results stay bit-identical while the inner loop stops striding the
+// cache.
 func (s *SystolicArray) Push(x []float32) error {
 	if s.weights == nil {
 		return fmt.Errorf("npu: push with no weights latched")
@@ -48,30 +59,63 @@ func (s *SystolicArray) Push(x []float32) error {
 	if len(x) != s.k {
 		return fmt.Errorf("npu: pushed row length %d, tile K=%d", len(x), s.k)
 	}
-	y := make([]float32, s.n)
-	for j := 0; j < s.n; j++ {
-		var sum float32
-		for p := 0; p < s.k; p++ {
-			sum += x[p] * s.weights[p*s.n+j]
+	y := s.allocRow(s.n)
+	for j := range y {
+		y[j] = 0
+	}
+	for p := 0; p < s.k; p++ {
+		xv := x[p]
+		wrow := s.weights[p*s.n : (p+1)*s.n]
+		for j, w := range wrow {
+			y[j] += xv * w
 		}
-		y[j] = sum
+	}
+	if s.outHead > 0 && len(s.outputs) == cap(s.outputs) {
+		n := copy(s.outputs, s.outputs[s.outHead:])
+		for i := n; i < len(s.outputs); i++ {
+			s.outputs[i] = nil
+		}
+		s.outputs = s.outputs[:n]
+		s.outHead = 0
 	}
 	s.outputs = append(s.outputs, y)
 	return nil
 }
 
-// Pop removes and returns the oldest pending output row.
+// allocRow carves an n-word row out of the arena, starting a fresh
+// chunk when the current one is exhausted.
+func (s *SystolicArray) allocRow(n int) []float32 {
+	if len(s.arena)+n > cap(s.arena) {
+		chunk := 1 << 14
+		if n > chunk {
+			chunk = n
+		}
+		s.arena = make([]float32, 0, chunk)
+	}
+	off := len(s.arena)
+	s.arena = s.arena[:off+n]
+	return s.arena[off : off+n : off+n]
+}
+
+// Pop removes and returns the oldest pending output row. The row
+// remains owned by the caller (it is never overwritten by later
+// pushes).
 func (s *SystolicArray) Pop() ([]float32, error) {
-	if len(s.outputs) == 0 {
+	if s.outHead == len(s.outputs) {
 		return nil, fmt.Errorf("npu: pop with no pending outputs")
 	}
-	y := s.outputs[0]
-	s.outputs = s.outputs[1:]
+	y := s.outputs[s.outHead]
+	s.outputs[s.outHead] = nil
+	s.outHead++
+	if s.outHead == len(s.outputs) {
+		s.outputs = s.outputs[:0]
+		s.outHead = 0
+	}
 	return y, nil
 }
 
 // Pending reports the number of un-popped output rows.
-func (s *SystolicArray) Pending() int { return len(s.outputs) }
+func (s *SystolicArray) Pending() int { return len(s.outputs) - s.outHead }
 
 // TileShape returns the latched tile's K and N (0,0 when idle).
 func (s *SystolicArray) TileShape() (k, n int) { return s.k, s.n }
@@ -85,12 +129,12 @@ type SavedState struct {
 
 // Save snapshots the array state (for a context switch) and clears it.
 func (s *SystolicArray) Save() SavedState {
-	st := SavedState{K: s.k, N: s.n, Weights: s.weights, Outputs: s.outputs}
-	s.k, s.n, s.weights, s.outputs = 0, 0, nil, nil
+	st := SavedState{K: s.k, N: s.n, Weights: s.weights, Outputs: s.outputs[s.outHead:]}
+	s.k, s.n, s.weights, s.outputs, s.outHead = 0, 0, nil, nil, 0
 	return st
 }
 
 // Restore reinstates a saved snapshot.
 func (s *SystolicArray) Restore(st SavedState) {
-	s.k, s.n, s.weights, s.outputs = st.K, st.N, st.Weights, st.Outputs
+	s.k, s.n, s.weights, s.outputs, s.outHead = st.K, st.N, st.Weights, st.Outputs, 0
 }

@@ -1,0 +1,39 @@
+package sched
+
+import (
+	"testing"
+
+	"neu10/internal/compiler"
+)
+
+// TestSimulatorAllocBudget is the allocation budget for the fluid
+// simulator's event loop. The loop recycles µTOps and keeps every
+// per-event temporary in Simulator scratch, so a full steady-state run
+// should cost only the per-run setup (simulator construction, metrics,
+// result collection) — a few hundred objects — rather than the
+// hundreds of thousands per run the allocating version performed.
+// The budget is deliberately loose (1500) to stay robust across Go
+// versions while still catching any reintroduced per-event allocation
+// (each run executes tens of thousands of events).
+func TestSimulatorAllocBudget(t *testing.T) {
+	graphA := synth(compiler.ISANeu,
+		meOp(4, 3000, 800), veOp(4000), meOp(2, 1500, 2200), meOp(3, 2500, 0))
+	graphB := synth(compiler.ISANeu,
+		meOp(2, 2000, 500), meOp(4, 1000, 1500), veOp(2500))
+	specs := []TenantSpec{
+		{Name: "A", Graph: graphA, MEs: 2, VEs: 2},
+		{Name: "B", Graph: graphB, MEs: 2, VEs: 2},
+	}
+	cfg := Config{Core: tpu(), Policy: Neu10, Requests: 50}
+	if _, err := Run(cfg, specs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Run(cfg, specs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1500 {
+		t.Fatalf("simulator run allocates %.0f objects, want ≤ 1500 (event-loop allocation regression?)", allocs)
+	}
+}

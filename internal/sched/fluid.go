@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"neu10/internal/compiler"
 	"neu10/internal/isa"
 	"neu10/internal/metrics"
 	"neu10/internal/sim"
@@ -33,6 +34,48 @@ type Simulator struct {
 	veBusyArea float64
 	bwArea     float64
 	hbmTL      *metrics.TimeSeries
+
+	// Zero-alloc machinery: retired µTOp instances are recycled through
+	// utopFree, and every per-event temporary (bandwidth demand items,
+	// waterfill buffers, VE grant lists) lives in scratch so the steady
+	// state of the event loop performs no heap allocation. The buffers
+	// only ever grow; result bytes are unaffected because the arithmetic
+	// runs in exactly the order the allocating version used.
+	utopFree []*utop
+	scratch  struct {
+		items   []bwItem
+		tStart  []int
+		tDemand []float64
+		tGrant  []float64
+		demands []float64
+		grants  []float64
+		unsat   []int
+		ves     []*utop
+		unmet   []*utop
+		freeMEs []int
+		one     [1]*tenant
+	}
+}
+
+// bwItem pairs a µTOp with its bandwidth demand during applySpeeds.
+type bwItem struct {
+	u *utop
+	d float64
+}
+
+// takeUTop returns a recycled (or new) µTOp initialized for the spec.
+func (s *Simulator) takeUTop(t *tenant, opIdx int, spec compiler.UTopSpec) *utop {
+	if n := len(s.utopFree); n > 0 {
+		u := s.utopFree[n-1]
+		s.utopFree[n-1] = nil
+		s.utopFree = s.utopFree[:n-1]
+		*u = utop{}
+		u.init(t, opIdx, spec)
+		return u
+	}
+	u := &utop{}
+	u.init(t, opIdx, spec)
+	return u
 }
 
 const eps = 1e-6
@@ -191,9 +234,9 @@ func (s *Simulator) emitGroup(t *tenant) {
 	}
 	t.inFlight = len(g.UTops)
 	for _, spec := range g.UTops {
-		u := newUTop(t, t.opIdx, spec)
+		u := s.takeUTop(t, t.opIdx, spec)
 		if u.kind == isa.MEUTop {
-			t.readyME = append(t.readyME, u)
+			t.readyME.Push(u)
 		} else {
 			// "A ready VE µTOp is always executed" (§III-E): it enters
 			// the running set immediately and progresses as granted.
@@ -239,15 +282,13 @@ func (s *Simulator) bindTo(u *utop, m int, harvested bool) {
 }
 
 func (s *Simulator) popReady(t *tenant) *utop {
-	u := t.readyME[0]
-	t.readyME = t.readyME[1:]
-	return u
+	return t.readyME.Pop()
 }
 
 // bindOwn binds a tenant's ready ME µTOps to its own free engines.
 func (s *Simulator) bindOwn(t *tenant) {
 	for _, m := range t.ownMEs {
-		if len(t.readyME) == 0 {
+		if t.readyME.Len() == 0 {
 			return
 		}
 		if s.meFree(m) {
@@ -261,7 +302,7 @@ func (s *Simulator) bindOwn(t *tenant) {
 // from other vNPUs, these µTOps will be preempted"). The reclaimed ME is
 // blocked for the context-switch penalty (pop partials + pop weights).
 func (s *Simulator) reclaim(t *tenant) {
-	need := len(t.readyME)
+	need := t.readyME.Len()
 	if need == 0 {
 		return
 	}
@@ -272,7 +313,7 @@ func (s *Simulator) reclaim(t *tenant) {
 		u := s.meHeld[m]
 		if u != nil && u.harvested {
 			s.unbind(u)
-			u.ten.readyME = append(u.ten.readyME, u) // state saved; work resumes later
+			u.ten.readyME.Push(u) // state saved; work resumes later
 			s.meBlocked[m] = s.now + float64(s.cfg.Core.MEPreemptCycles)
 			need--
 		} else if u == nil && s.meBlocked[m] > s.now+eps {
@@ -301,32 +342,34 @@ func (s *Simulator) unbind(u *utop) {
 // harvestBind gives idle MEs (whose owner has nothing ready) to tenants
 // with excess ready µTOps, round-robin for fairness.
 func (s *Simulator) harvestBind() {
-	var freeMEs []int
+	freeMEs := s.scratch.freeMEs[:0]
 	for m := range s.meHeld {
 		if !s.meFree(m) {
 			continue
 		}
 		owner := s.meOwner[m]
-		if owner >= 0 && len(s.tenants[owner].readyME) > 0 {
+		if owner >= 0 && s.tenants[owner].readyME.Len() > 0 {
 			continue // owner wants it; bindOwn will have taken it already
 		}
 		freeMEs = append(freeMEs, m)
 	}
+	s.scratch.freeMEs = freeMEs
 	if len(freeMEs) == 0 {
 		return
 	}
 	// Round-robin across tenants with remaining ready µTOps.
-	for progress := true; progress && len(freeMEs) > 0; {
+	next := 0
+	for progress := true; progress && next < len(freeMEs); {
 		progress = false
 		for _, t := range s.tenants {
-			if len(freeMEs) == 0 {
+			if next == len(freeMEs) {
 				break
 			}
-			if len(t.readyME) == 0 {
+			if t.readyME.Len() == 0 {
 				continue
 			}
-			m := freeMEs[0]
-			freeMEs = freeMEs[1:]
+			m := freeMEs[next]
+			next++
 			s.bindTo(s.popReady(t), m, s.meOwner[m] != t.idx)
 			progress = true
 		}
@@ -352,7 +395,7 @@ func (s *Simulator) v10Bind() {
 	if s.complexOwner < 0 {
 		var pick *tenant
 		for _, t := range s.tenants {
-			if len(t.readyME) == 0 {
+			if t.readyME.Len() == 0 {
 				continue
 			}
 			if pick == nil || t.serviceCycles/t.priority() < pick.serviceCycles/pick.priority() {
@@ -373,7 +416,7 @@ func (s *Simulator) v10Bind() {
 	}
 	if s.complexOwner >= 0 {
 		o := s.tenants[s.complexOwner]
-		for m := 0; m < len(s.meHeld) && len(o.readyME) > 0; m++ {
+		for m := 0; m < len(s.meHeld) && o.readyME.Len() > 0; m++ {
 			if s.meFree(m) {
 				s.bindTo(s.popReady(o), m, false)
 			}
@@ -393,7 +436,7 @@ func (s *Simulator) hasBoundME(t *tenant) bool {
 // pmtBind models PREMA-style whole-core time sharing with a quantum.
 func (s *Simulator) pmtBind() {
 	hasWork := func(t *tenant) bool {
-		return len(t.readyME) > 0 || len(t.running) > 0
+		return t.readyME.Len() > 0 || len(t.running) > 0
 	}
 	// Quantum expiry or empty slot → switch to least-served tenant.
 	cur := s.activeTenant
@@ -417,7 +460,7 @@ func (s *Simulator) pmtBind() {
 				for m, u := range s.meHeld {
 					if u != nil && u.ten == old {
 						s.unbind(u)
-						old.readyME = append(old.readyME, u)
+						old.readyME.Push(u)
 						_ = m
 					}
 				}
@@ -433,7 +476,7 @@ func (s *Simulator) pmtBind() {
 	}
 	if s.activeTenant >= 0 {
 		a := s.tenants[s.activeTenant]
-		for m := 0; m < len(s.meHeld) && len(a.readyME) > 0; m++ {
+		for m := 0; m < len(s.meHeld) && a.readyME.Len() > 0; m++ {
 			if s.meFree(m) {
 				s.bindTo(s.popReady(a), m, false)
 			}
@@ -474,7 +517,8 @@ func (s *Simulator) grantVE() {
 			t := s.tenants[s.activeTenant]
 			pool := float64(s.cfg.Core.VEs)
 			pool -= s.grantMEUTopVE(t, pool)
-			s.grantVEUTops([]*tenant{t}, pool)
+			s.scratch.one[0] = t
+			s.grantVEUTops(s.scratch.one[:], pool)
 		}
 	}
 }
@@ -511,7 +555,7 @@ func (s *Simulator) grantVEUTops(ts []*tenant, budget float64) {
 	if budget <= 0 {
 		return
 	}
-	var ves []*utop
+	ves := s.scratch.ves[:0]
 	for _, t := range ts {
 		for _, u := range t.running {
 			if u.kind == isa.VEUTop {
@@ -519,6 +563,7 @@ func (s *Simulator) grantVEUTops(ts []*tenant, budget float64) {
 			}
 		}
 	}
+	s.scratch.ves = ves
 	if len(ves) == 0 {
 		return
 	}
@@ -541,12 +586,13 @@ func (s *Simulator) grantTenantVE(t *tenant, cap float64) float64 {
 	if cap <= 0 {
 		return 0
 	}
-	var ves []*utop
+	ves := s.scratch.ves[:0]
 	for _, u := range t.running {
 		if u.kind == isa.VEUTop {
 			ves = append(ves, u)
 		}
 	}
+	s.scratch.ves = ves
 	if len(ves) > 0 {
 		share := cap / float64(len(ves))
 		for _, u := range ves {
@@ -564,7 +610,7 @@ func (s *Simulator) redistributeVE(pool float64) {
 	if pool <= 0 {
 		return
 	}
-	var unmet []*utop
+	unmet := s.scratch.unmet[:0]
 	var totalUnmet float64
 	for _, t := range s.tenants {
 		for _, u := range t.running {
@@ -574,6 +620,7 @@ func (s *Simulator) redistributeVE(pool float64) {
 			}
 		}
 	}
+	s.scratch.unmet = unmet
 	if totalUnmet > 0 {
 		scale := 1.0
 		if totalUnmet > pool {
@@ -589,7 +636,7 @@ func (s *Simulator) redistributeVE(pool float64) {
 		return
 	}
 	// Remaining pool → VE µTOps (they can absorb arbitrary rate).
-	var ves []*utop
+	ves := s.scratch.ves[:0]
 	for _, t := range s.tenants {
 		for _, u := range t.running {
 			if u.kind == isa.VEUTop {
@@ -597,6 +644,7 @@ func (s *Simulator) redistributeVE(pool float64) {
 			}
 		}
 	}
+	s.scratch.ves = ves
 	if len(ves) == 0 {
 		return
 	}
@@ -634,18 +682,23 @@ func (s *Simulator) preSpeed(u *utop) float64 {
 
 // waterfill allocates cap across demands max-min fairly: demands below
 // the progressively recomputed fair share are fully satisfied; the rest
-// split the remainder equally. It returns per-demand grants.
-func waterfill(demands []float64, cap float64) []float64 {
-	grants := make([]float64, len(demands))
-	unsat := make([]int, 0, len(demands))
+// split the remainder equally. Grants are written into the caller's
+// slice (len(grants) == len(demands)); the unsatisfied-index worklist is
+// scratch owned by the simulator so repeated calls do not allocate.
+func (s *Simulator) waterfill(demands, grants []float64, cap float64) {
+	for i := range grants {
+		grants[i] = 0
+	}
+	unsat := s.scratch.unsat[:0]
 	var total float64
 	for i, d := range demands {
 		total += d
 		unsat = append(unsat, i)
 	}
+	s.scratch.unsat = unsat
 	if total <= cap {
 		copy(grants, demands)
-		return grants
+		return
 	}
 	remaining := cap
 	for len(unsat) > 0 {
@@ -665,11 +718,18 @@ func waterfill(demands []float64, cap float64) []float64 {
 			for _, i := range next {
 				grants[i] = share
 			}
-			return grants
+			return
 		}
 		unsat = next
 	}
-	return grants
+}
+
+// growFloats returns buf resized to n, reallocating only on growth.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n, n+n/2+8)
+	}
+	return buf[:n]
 }
 
 // applySpeeds sets every running µTOp's progress rate: the engine-grant
@@ -680,42 +740,47 @@ func waterfill(demands []float64, cap float64) []float64 {
 // on the heavy, memory-bound ones. It returns the bandwidth served
 // (bytes/cycle).
 func (s *Simulator) applySpeeds() float64 {
-	type item struct {
-		u *utop
-		d float64
-	}
-	perTenant := make([][]item, len(s.tenants))
-	tenantDemand := make([]float64, len(s.tenants))
+	sc := &s.scratch
+	sc.items = sc.items[:0]
+	sc.tStart = sc.tStart[:0]
+	sc.tDemand = growFloats(sc.tDemand, len(s.tenants))
 	var totalDemand float64
 	for ti, t := range s.tenants {
+		sc.tStart = append(sc.tStart, len(sc.items))
+		sc.tDemand[ti] = 0
 		for _, u := range t.running {
 			pre := s.preSpeed(u)
 			u.speed = pre
 			if pre > 0 && u.bwNeed > 0 {
 				d := u.bwNeed * pre
-				perTenant[ti] = append(perTenant[ti], item{u, d})
-				tenantDemand[ti] += d
+				sc.items = append(sc.items, bwItem{u, d})
+				sc.tDemand[ti] += d
 			}
 		}
 	}
-	for _, d := range tenantDemand {
+	sc.tStart = append(sc.tStart, len(sc.items))
+	for _, d := range sc.tDemand {
 		totalDemand += d
 	}
 	capacity := s.cfg.Core.HBMBytesPerCycle()
 	if totalDemand <= capacity {
 		return totalDemand
 	}
-	tenantGrant := waterfill(tenantDemand, capacity)
+	sc.tGrant = growFloats(sc.tGrant, len(s.tenants))
+	s.waterfill(sc.tDemand, sc.tGrant, capacity)
 	served := 0.0
-	for ti, items := range perTenant {
+	for ti := range s.tenants {
+		items := sc.items[sc.tStart[ti]:sc.tStart[ti+1]]
 		if len(items) == 0 {
 			continue
 		}
-		demands := make([]float64, len(items))
+		sc.demands = growFloats(sc.demands, len(items))
+		sc.grants = growFloats(sc.grants, len(items))
+		demands, grants := sc.demands, sc.grants
 		for i, it := range items {
 			demands[i] = it.d
 		}
-		grants := waterfill(demands, tenantGrant[ti])
+		s.waterfill(demands, grants, sc.tGrant[ti])
 		for i, it := range items {
 			if grants[i] < it.d {
 				it.u.speed *= grants[i] / it.d
@@ -817,7 +882,7 @@ func (s *Simulator) advance(dt float64, servedBW float64) {
 		// Table III accounting: the tenant is "blocked due to being
 		// harvested" when it has ready µTOps while one of its own MEs is
 		// running a harvester or draining a reclaim.
-		if len(t.readyME) > 0 {
+		if t.readyME.Len() > 0 {
 			blocked := false
 			for _, m := range t.ownMEs {
 				if u := s.meHeld[m]; u != nil && u.harvested {
@@ -868,6 +933,7 @@ func (s *Simulator) complete() bool {
 			}
 			s.unbind(u) // removes from t.running
 			t.inFlight--
+			s.utopFree = append(s.utopFree, u)
 		}
 		for !t.idle && t.inFlight == 0 && t.currentGroup() != nil {
 			s.advanceGroup(t)

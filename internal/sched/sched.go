@@ -174,8 +174,11 @@ type utop struct {
 	speed   float64
 }
 
-func newUTop(t *tenant, opIdx int, spec compiler.UTopSpec) *utop {
-	u := &utop{ten: t, opIdx: opIdx, kind: spec.Kind, me: -1}
+// init (re)initializes a µTOp instance for a spec; instances are pooled
+// by the simulator (Simulator.takeUTop) so the event loop stays off the
+// allocator.
+func (u *utop) init(t *tenant, opIdx int, spec compiler.UTopSpec) {
+	u.ten, u.opIdx, u.kind, u.me = t, opIdx, spec.Kind, -1
 	me := float64(spec.MECycles)
 	ve := float64(spec.VECycles)
 	switch spec.Kind {
@@ -197,7 +200,6 @@ func newUTop(t *tenant, opIdx int, spec compiler.UTopSpec) *utop {
 	}
 	u.rem = u.nominal
 	u.bwNeed = float64(spec.HBMBytes) / u.nominal
-	return u
 }
 
 // tenant is the runtime state of one collocated vNPU.
@@ -213,8 +215,8 @@ type tenant struct {
 	groupIdx int
 	inFlight int // µTOps of the current group still unfinished
 
-	readyME []*utop // ready, unbound ME µTOps of the current group
-	running []*utop // bound ME µTOps + active VE µTOps
+	readyME utopQueue // ready, unbound ME µTOps of the current group
+	running []*utop   // bound ME µTOps + active VE µTOps
 
 	reqStart  float64
 	completed int
@@ -237,6 +239,41 @@ type tenant struct {
 	opDurN         []int
 	opStart        float64
 	meTL, veTL     *metrics.TimeSeries
+}
+
+// utopQueue is a FIFO of ready µTOps with a head index instead of
+// re-slicing, so the backing array's capacity is reused across the
+// simulation instead of leaking one slot per pop.
+type utopQueue struct {
+	buf  []*utop
+	head int
+}
+
+func (q *utopQueue) Len() int { return len(q.buf) - q.head }
+
+func (q *utopQueue) Push(u *utop) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		// Compact before growing: usually frees enough room to avoid
+		// the reallocation entirely.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, u)
+}
+
+func (q *utopQueue) Pop() *utop {
+	u := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return u
 }
 
 func (t *tenant) priority() float64 {

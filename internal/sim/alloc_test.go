@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// nopFn is a static event body: scheduling it must not allocate once the
+// heap slice has grown to capacity.
+func nopFn(Time) {}
+
+// TestEngineZeroAllocSteadyState is the allocation budget for the event
+// kernel: after warm-up, a push+pop cycle performs zero allocations.
+// This is the property the value-based 4-ary heap exists to provide —
+// regressions here mean someone reintroduced per-event boxing.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	rng := NewRNG(1)
+	// Warm up the heap slice to its steady-state capacity.
+	for i := 0; i < 1024; i++ {
+		e.At(e.Now()+Time(rng.Intn(1000)), nopFn)
+	}
+	for e.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 64; i++ {
+			e.At(e.Now()+Time(rng.Intn(1000)), nopFn)
+		}
+		for e.Step() {
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("event kernel allocates %.1f objects per 64-event batch, want 0", allocs)
+	}
+}
+
+// TestEngineCancelMidHeap exercises removal from an interior heap
+// position (the 4-ary removeAt sift-down/sift-up path).
+func TestEngineCancelMidHeap(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	record := func(now Time) { ran = append(ran, now) }
+	var handles []Handle
+	for _, at := range []Time{50, 10, 40, 20, 30, 60, 5} {
+		handles = append(handles, e.At(at, record))
+	}
+	// Cancel the events at t=40 and t=20.
+	if !e.Cancel(handles[2]) || !e.Cancel(handles[3]) {
+		t.Fatal("Cancel failed for pending events")
+	}
+	if e.Cancel(Handle{}) {
+		t.Fatal("zero Handle cancelled something")
+	}
+	e.Run()
+	want := []Time{5, 10, 30, 50, 60}
+	if len(ran) != len(want) {
+		t.Fatalf("ran %v, want %v", ran, want)
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("ran %v, want %v", ran, want)
+		}
+	}
+}

@@ -6,115 +6,94 @@
 // the performance simulator, the schedulers, the workload generators —
 // is driven from this kernel so that whole experiments are reproducible
 // bit-for-bit from a seed.
+//
+// The queue is a value-based 4-ary implicit heap: events are stored
+// inline in a single slice rather than as individually heap-allocated
+// nodes behind an interface, so scheduling an event performs no
+// allocation once the slice has warmed up, and sift operations touch
+// 4x fewer cache lines than a binary pointer heap. This is the classic
+// low-overhead DES event-queue design; it is what keeps the fluid
+// scheduler and the cluster churn simulator off the allocator in their
+// hot loops.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation timestamp in NPU core cycles.
 type Time uint64
 
-// Event is a unit of scheduled work. Events compare by time, then by
-// priority (lower runs first), then by sequence number (FIFO within a
-// cycle) so execution order is fully deterministic.
-type Event struct {
-	At       Time
-	Priority int
-	Fn       func(now Time)
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid and never issued.
+type Handle struct{ seq uint64 }
 
-	seq   uint64
-	index int // heap bookkeeping; -1 when not queued
-}
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
-	if a.At != b.At {
-		return a.At < b.At
-	}
-	if a.Priority != b.Priority {
-		return a.Priority < b.Priority
-	}
-	return a.seq < b.seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// event is one queued unit of work, stored by value in the heap slice.
+// Events compare by time, then by priority (lower runs first), then by
+// sequence number (FIFO within a cycle) so execution order is fully
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	pri int
+	fn  func(now Time)
 }
 
 // Engine is a discrete-event simulation engine.
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	heap   []event // 4-ary implicit min-heap
 	nextID uint64
 	halted bool
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{nextID: 1} }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at the absolute time t. Scheduling in the past
 // panics: it always indicates a logic error in the caller.
-func (e *Engine) At(t Time, fn func(now Time)) *Event {
+func (e *Engine) At(t Time, fn func(now Time)) Handle {
 	return e.AtPriority(t, 0, fn)
 }
 
 // AtPriority schedules fn at time t with an explicit priority; events at
 // the same time run in ascending priority order.
-func (e *Engine) AtPriority(t Time, pri int, fn func(now Time)) *Event {
+func (e *Engine) AtPriority(t Time, pri int, fn func(now Time)) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
-	ev := &Event{At: t, Priority: pri, Fn: fn, seq: e.nextID, index: -1}
+	ev := event{at: t, pri: pri, seq: e.nextID, fn: fn}
 	e.nextID++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
+	return Handle{seq: ev.seq}
 }
 
 // After schedules fn to run d cycles from now.
-func (e *Engine) After(d Time, fn func(now Time)) *Event {
+func (e *Engine) After(d Time, fn func(now Time)) Handle {
 	return e.At(e.now+d, fn)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op and returns false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+// already-cancelled event is a no-op and returns false. Cancellation is
+// O(n) in the number of pending events — it is a cold path; the hot
+// push/pop paths stay branch-light because of it.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.seq == 0 {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
-	return true
+	for i := range e.heap {
+		if e.heap[i].seq == h.seq {
+			e.removeAt(i)
+			return true
+		}
+	}
+	return false
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Halt stops Run/RunUntil after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
@@ -122,12 +101,13 @@ func (e *Engine) Halt() { e.halted = true }
 // Step executes the single earliest event. It reports false when the
 // queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.At
-	ev.Fn(e.now)
+	at, fn := e.heap[0].at, e.heap[0].fn
+	e.removeAt(0)
+	e.now = at
+	fn(e.now)
 	return true
 }
 
@@ -145,11 +125,85 @@ func (e *Engine) Run() Time {
 // remains queued beyond the deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
-	for !e.halted && len(e.queue) > 0 && e.queue[0].At <= deadline {
+	for !e.halted && len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline && !e.halted {
 		e.now = deadline
 	}
 	return e.now
+}
+
+// ---- 4-ary heap internals ----
+
+// less orders events by (time, priority, sequence).
+func (e *Engine) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(&ev, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if !e.less(&h[min], &ev) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = ev
+}
+
+// removeAt deletes the event at heap index i, releasing its closure so
+// the garbage collector can reclaim captured state promptly.
+func (e *Engine) removeAt(i int) {
+	n := len(e.heap) - 1
+	if i != n {
+		moved := e.heap[n]
+		e.heap[n] = event{}
+		e.heap = e.heap[:n]
+		e.heap[i] = moved
+		e.siftDown(i)
+		if e.heap[i].seq == moved.seq {
+			e.siftUp(i)
+		}
+	} else {
+		e.heap[n] = event{}
+		e.heap = e.heap[:n]
+	}
 }

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"neu10/internal/arch"
 	"neu10/internal/compiler"
@@ -88,10 +89,23 @@ func BatchFor(name string) int {
 }
 
 // Compiled caches compiled graphs keyed by (model, batch, ISA) so sweeps
-// do not recompile the same workload.
+// do not recompile the same workload. It is safe for concurrent use:
+// the parallel experiment runner shares one cache across its worker
+// pool. Compilation is a pure function of the key, so whichever worker
+// populates an entry first produces the same graph any other would.
+// Entries are single-flighted per key: distinct keys compile
+// concurrently, a duplicate request waits for the first and shares it.
 type Compiled struct {
 	comp  *compiler.Compiler
-	cache map[string]*compiler.CompiledGraph
+	mu    sync.Mutex // guards cache map shape only
+	cache map[string]*compiledEntry
+}
+
+// compiledEntry is one single-flight cache slot.
+type compiledEntry struct {
+	once sync.Once
+	cg   *compiler.CompiledGraph
+	err  error
 }
 
 // NewCompiled builds a compilation cache for a core config.
@@ -100,25 +114,30 @@ func NewCompiled(core arch.CoreConfig) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{comp: comp, cache: map[string]*compiler.CompiledGraph{}}, nil
+	return &Compiled{comp: comp, cache: map[string]*compiledEntry{}}, nil
 }
 
-// Graph compiles (or returns cached) the named workload.
+// Graph compiles (or returns cached) the named workload. The map lock
+// is held only to claim the key's entry; compilation itself runs under
+// the entry's sync.Once, so distinct keys compile in parallel.
 func (c *Compiled) Graph(name string, batch int, kind compiler.ISAKind) (*compiler.CompiledGraph, error) {
 	key := fmt.Sprintf("%s/%d/%d", name, batch, kind)
-	if g, ok := c.cache[key]; ok {
-		return g, nil
+	c.mu.Lock()
+	e, ok := c.cache[key]
+	if !ok {
+		e = &compiledEntry{}
+		c.cache[key] = e
 	}
-	g, err := model.Build(name, batch)
-	if err != nil {
-		return nil, err
-	}
-	cg, err := c.comp.Compile(g, kind)
-	if err != nil {
-		return nil, err
-	}
-	c.cache[key] = cg
-	return cg, nil
+	c.mu.Unlock()
+	e.once.Do(func() {
+		g, err := model.Build(name, batch)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.cg, e.err = c.comp.Compile(g, kind)
+	})
+	return e.cg, e.err
 }
 
 // Tenants builds the two tenant specs for a pair under the given policy,
