@@ -68,6 +68,15 @@ func BenchmarkFig25Scaling(b *testing.B)            { benchExperiment(b, "fig25"
 func BenchmarkFig26Bandwidth(b *testing.B)          { benchExperiment(b, "fig26") }
 func BenchmarkFig27LLM(b *testing.B)                { benchExperiment(b, "fig27") }
 
+// ---- online serving scenarios ----
+
+// BenchmarkServeSteadyState measures a full steady-state serving run:
+// ~23k open-loop requests routed, admitted, batched and completed on an
+// autoscaled 4-pNPU fleet (the invocation-cost database amortizes
+// across iterations, exactly as it does across scenario runs).
+func BenchmarkServeSteadyState(b *testing.B) { benchExperiment(b, "serve-steady") }
+func BenchmarkServeFlashCrowd(b *testing.B)  { benchExperiment(b, "serve-flash") }
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSystolicArrayGEMM measures the functional matrix engine: one

@@ -5,6 +5,7 @@
 //
 //	neu10-alloc -model BERT -batch 32 -eus 4
 //	neu10-alloc -model DLRM -sweep
+//	neu10-alloc -cluster -cores 16     # placement policies under churn
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 
 	"neu10/internal/arch"
+	"neu10/internal/cluster"
 	"neu10/internal/compiler"
 	"neu10/internal/core"
 	"neu10/internal/model"
@@ -24,10 +26,19 @@ func main() {
 		batch = flag.Int("batch", 32, "batch size")
 		eus   = flag.Int("eus", 4, "total execution-unit budget (MEs + VEs)")
 		sweep = flag.Bool("sweep", false, "print the full Fig. 12-style sweep up to 16 EUs")
+		clst  = flag.Bool("cluster", false, "run the fleet churn study and print acceptance/fragmentation stats for every placement policy")
+		cores = flag.Int("cores", 16, "fleet size for -cluster")
+		rate  = flag.Float64("rate", 8, "tenant arrival rate for -cluster")
+		seed  = flag.Uint64("seed", 1, "seed for -cluster (same seed ⇒ same arrival trace for all policies)")
 	)
 	flag.Parse()
 
 	tpu := arch.TPUv4Like()
+
+	if *clst {
+		runCluster(tpu, *cores, *rate, *seed)
+		return
+	}
 	g, err := model.Build(*name, *batch)
 	if err != nil {
 		fatal(err)
@@ -66,6 +77,32 @@ func main() {
 		cfg.NumMEsPerCore, cfg.NumVEsPerCore, cfg.SRAMSizePerCore>>20,
 		float64(cfg.MemSizePerCore)/(1<<30))
 	fmt.Printf("  EU utilization %.3f, speedup %.2fx over 1 ME + 1 VE\n", a.Utilization, a.Speedup)
+}
+
+// runCluster prints the cluster-scale placement comparison end-to-end:
+// acceptance rate, mean EU utilization and fragmentation (stranded EUs)
+// for every placement policy under the identical churn trace. These
+// stats were previously computed by internal/cluster but only partially
+// surfaced; here the whole table reaches the terminal.
+func runCluster(tpu arch.CoreConfig, cores int, rate float64, seed uint64) {
+	cfg := cluster.DefaultConfig()
+	cfg.Core = tpu
+	cfg.Cores = cores
+	cfg.ArrivalRate = rate
+	cfg.Seed = seed
+	stats, err := cluster.Compare(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fleet churn study: %d cores, arrival rate %.1f, mean lifetime %.1f, duration %.0f, seed %d\n\n",
+		cfg.Cores, cfg.ArrivalRate, cfg.MeanLifetime, cfg.Duration, cfg.Seed)
+	fmt.Println("policy          arrived  accepted  rejected  acceptance  mean EU util  stranded EUs")
+	for _, pol := range []core.PlacementPolicy{core.GreedyBalance, core.FirstFit, core.WorstFit} {
+		st := stats[pol]
+		fmt.Printf("%-14s  %7d  %8d  %8d  %9.1f%%  %11.1f%%  %12.2f\n",
+			pol, st.Arrived, st.Accepted, st.Rejected,
+			st.AcceptanceRate()*100, st.MeanEUUtil*100, st.MeanStrandedEUs)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,87 @@
+// Command neu10-serve runs the online serving subsystem: open-loop
+// request traffic pushed through an autoscaled fleet of tenant vNPUs
+// under latency SLOs (internal/serve), reported as p50/p95/p99 latency,
+// SLO attainment, goodput and fleet utilization.
+//
+//	neu10-serve -scenario steady -seed 1
+//	neu10-serve -scenario flash-crowd          # autoscale vs fixed fleet
+//	neu10-serve -scenario mix-shift -json
+//	neu10-serve -list
+//
+// Scenarios are the canned serve.Config setups in internal/experiments;
+// output is deterministic for a given -seed at any -workers count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neu10/internal/experiments"
+)
+
+// scenarios maps CLI names to experiment ids.
+var scenarios = map[string]string{
+	"steady":      "serve-steady",
+	"flash-crowd": "serve-flash",
+	"mix-shift":   "serve-mix",
+}
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "steady", "scenario: steady, flash-crowd, or mix-shift")
+		seed     = flag.Uint64("seed", 1, "seed for arrivals, routing and therefore the whole report")
+		workers  = flag.Int("workers", 0, "worker pool for scenario-internal comparisons (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit the structured report(s) as JSON instead of a table")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("steady       three mixed tenants at moderate Poisson load, autoscaler on")
+		fmt.Println("flash-crowd  one tenant hit by a 5x burst; autoscaled vs fixed fleet, same trace")
+		fmt.Println("mix-shift    two diurnal tenants in antiphase; capacity migrates between them")
+		return
+	}
+
+	id, ok := scenarios[strings.TrimSpace(*scenario)]
+	if !ok {
+		id = strings.TrimSpace(*scenario) // allow raw experiment ids too
+		if !strings.HasPrefix(id, "serve-") {
+			fatal(fmt.Errorf("unknown scenario %q (want steady, flash-crowd or mix-shift)", *scenario))
+		}
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Workers = *workers
+	opts.ServeSeed = *seed
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := runner.Run(id)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		sr, ok := res.(*experiments.ServeResult)
+		if !ok {
+			fatal(fmt.Errorf("%s is not a serving scenario", id))
+		}
+		data, err := json.MarshalIndent(sr.Reports, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+	fmt.Print(res.Table())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neu10-serve:", err)
+	os.Exit(1)
+}

@@ -68,6 +68,23 @@ func (s Stats) AcceptanceRate() float64 {
 	return float64(s.Accepted) / float64(s.Arrived)
 }
 
+// StrandedEUs counts the free EUs sitting on cores that cannot host even
+// the smallest (1 ME + 1 VE) vNPU — engines with no engine-partner or no
+// free memory segment left, i.e. pure fragmentation waste. It is the
+// instantaneous form of Stats.MeanStrandedEUs and is shared with the
+// online serving fleet (internal/serve), which reports the same quantity
+// time-averaged over a serving run.
+func StrandedEUs(m *core.Mapper) int {
+	stranded := 0
+	for _, p := range m.PNPUs() {
+		free := p.FreeMEs() + p.FreeVEs()
+		if free > 0 && (p.FreeMEs() < 1 || p.FreeVEs() < 1 || p.FreeHBMSegments() < 1 || p.FreeSRAMSegments() < 1) {
+			stranded += free
+		}
+	}
+	return stranded
+}
+
 // requestCatalog builds realistic vNPU shapes: each bundled model
 // profiled and sized by the Eq. 4 allocator at a sampled EU budget.
 func requestCatalog(coreCfg arch.CoreConfig) ([]core.VNPUConfig, error) {
@@ -129,14 +146,7 @@ func Run(cfg Config) (*Stats, error) {
 	snapshot := func(now float64) {
 		dt := now - lastT
 		utilArea += float64(allocatedEUs) / totalEUs * dt
-		stranded := 0
-		for _, p := range mapper.PNPUs() {
-			free := p.FreeMEs() + p.FreeVEs()
-			if free > 0 && (p.FreeMEs() < 1 || p.FreeVEs() < 1 || p.FreeHBMSegments() < 1 || p.FreeSRAMSegments() < 1) {
-				stranded += free
-			}
-		}
-		strandedArea += float64(stranded) * dt
+		strandedArea += float64(StrandedEUs(mapper)) * dt
 		lastT = now
 	}
 

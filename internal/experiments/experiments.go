@@ -14,6 +14,7 @@ import (
 
 	"neu10/internal/arch"
 	"neu10/internal/sched"
+	"neu10/internal/serve"
 	"neu10/internal/workload"
 )
 
@@ -28,11 +29,14 @@ type Options struct {
 	// 0 = GOMAXPROCS, 1 = fully sequential. Results are byte-identical
 	// either way (see parallel.go).
 	Workers int
+	// ServeSeed drives the online-serving scenarios (serve-*): arrivals,
+	// routing coin flips and therefore every number in their reports.
+	ServeSeed uint64
 }
 
 // DefaultOptions mirrors the paper's Table II setup.
 func DefaultOptions() Options {
-	return Options{Core: arch.TPUv4Like(), Requests: 8, SampleEvery: 100_000}
+	return Options{Core: arch.TPUv4Like(), Requests: 8, SampleEvery: 100_000, ServeSeed: 1}
 }
 
 // Policies lists the four evaluated designs in paper order.
@@ -62,6 +66,11 @@ type Runner struct {
 	pairStudy *PairStudyResult
 	compMu    sync.Mutex
 	compCache map[string]*workload.Compiled
+
+	// serveDB memoizes measured invocation costs for the online-serving
+	// scenarios (serve.go); lazily built, shared across the worker pool.
+	serveMu sync.Mutex
+	serveDB *serve.CostDB
 }
 
 // workers returns the configured worker-pool size for parMap.
@@ -87,6 +96,7 @@ func IDs() []string {
 		"fig19", "fig20", "fig21", "fig22", "fig23", "table3",
 		"fig24", "fig25", "fig26", "fig27",
 		"ablation-harvest", "ablation-preempt", "slo", "cluster",
+		"serve-steady", "serve-flash", "serve-mix",
 	}
 }
 
@@ -129,6 +139,12 @@ func (r *Runner) Run(id string) (Result, error) {
 		return r.SLOStudy()
 	case "cluster":
 		return r.ClusterStudy()
+	case "serve-steady":
+		return r.ServeSteady()
+	case "serve-flash":
+		return r.ServeFlashCrowd()
+	case "serve-mix":
+		return r.ServeMixShift()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"neu10/internal/serve"
+)
+
+// The online-serving scenarios: canned serve.Config setups that exercise
+// the SLO-aware serving subsystem end-to-end (open-loop traffic →
+// admission/routing → dynamic batching → autoscaling through the §III-B
+// allocator and §III-C mapper). They run through Runner/RunMany like the
+// figure sweeps, sharing one measured CostDB across the worker pool, and
+// their tables are byte-identical for any worker count.
+
+// ServeResult wraps one scenario's report(s) as an experiment result.
+// Reports holds the underlying structured data for JSON output
+// (cmd/neu10-serve -json).
+type ServeResult struct {
+	ID      string
+	Reports []*serve.Report
+}
+
+func (r *ServeResult) Name() string { return r.ID }
+
+func (r *ServeResult) Table() string {
+	var sb strings.Builder
+	for i, rep := range r.Reports {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(rep.Table())
+	}
+	return sb.String()
+}
+
+// serveCosts returns the runner's shared invocation-cost database,
+// building it on first use. Entries are pure functions of their keys, so
+// sharing it across scenarios and workers never changes a report.
+func (r *Runner) serveCosts() *serve.CostDB {
+	r.serveMu.Lock()
+	defer r.serveMu.Unlock()
+	if r.serveDB == nil {
+		r.serveDB = serve.NewCostDB(r.opts.Core)
+	}
+	return r.serveDB
+}
+
+// ServeSteady is the bring-up scenario: three tenants with distinct
+// service-time scales (a transformer, a detector, a recommender) at
+// moderate Poisson load on a 4-pNPU fleet, autoscaler on. Healthy
+// output: high attainment for all three, a mostly flat replica count,
+// and fleet utilization comfortably under allocation.
+func (r *Runner) ServeSteady() (*ServeResult, error) {
+	cfg := serve.Config{
+		Scenario:    "steady",
+		Core:        r.opts.Core,
+		Cores:       4,
+		Router:      serve.LeastLoaded,
+		DurationSec: 2.0,
+		Seed:        r.opts.ServeSeed,
+		Autoscale:   true,
+		Tenants: []serve.TenantConfig{
+			{Name: "chat", Model: "BERT", Load: 0.55, EUs: 4, MaxBatch: 8,
+				InitialReplicas: 1, MaxReplicas: 3},
+			{Name: "vision", Model: "RtNt", Load: 0.50, EUs: 4, MaxBatch: 8,
+				InitialReplicas: 1, MaxReplicas: 3},
+			{Name: "rank", Model: "DLRM", Load: 0.45, EUs: 2, MaxBatch: 16,
+				InitialReplicas: 1, MaxReplicas: 3},
+		},
+	}
+	rep, err := serve.Run(cfg, r.serveCosts())
+	if err != nil {
+		return nil, fmt.Errorf("serve-steady: %w", err)
+	}
+	return &ServeResult{ID: "serve-steady", Reports: []*serve.Report{rep}}, nil
+}
+
+// ServeFlashCrowd hits one tenant with a 5× flash crowd for the middle
+// third of the run and reports the same trace twice — autoscaler on vs.
+// off — in one result. The autoscaled run should recover SLO attainment
+// that the fixed fleet loses to queue sheds and tail blowup.
+func (r *Runner) ServeFlashCrowd() (*ServeResult, error) {
+	mk := func(autoscale bool) serve.Config {
+		label := "flash-crowd"
+		if !autoscale {
+			label = "flash-crowd/no-autoscale"
+		}
+		return serve.Config{
+			Scenario:      label,
+			Core:          r.opts.Core,
+			Cores:         6,
+			Router:        serve.PowerOfTwo,
+			DurationSec:   3.0,
+			Seed:          r.opts.ServeSeed,
+			Autoscale:     autoscale,
+			ScaleEverySec: 0.1,
+			Tenants: []serve.TenantConfig{
+				{Name: "web", Model: "ENet", Load: 0.5, EUs: 2, MaxBatch: 8,
+					Arrival: serve.Flash, BurstFactor: 5, BurstStart: 0.35, BurstEnd: 0.65,
+					InitialReplicas: 1, MaxReplicas: 3},
+				{Name: "batch", Model: "TFMR", Load: 0.4, EUs: 4, MaxBatch: 8,
+					InitialReplicas: 1, MaxReplicas: 2},
+			},
+		}
+	}
+	reports, err := parMapPairs(r.workers(), []bool{true, false},
+		func(_ int, autoscale bool) (*serve.Report, error) {
+			return serve.Run(mk(autoscale), r.serveCosts())
+		})
+	if err != nil {
+		return nil, fmt.Errorf("serve-flash: %w", err)
+	}
+	return &ServeResult{ID: "serve-flash", Reports: reports}, nil
+}
+
+// ServeMixShift runs two diurnal tenants in antiphase — as one's
+// traffic wanes the other's peaks — so the autoscaler must migrate
+// capacity between them on a fleet too small to hold both peaks at
+// once.
+func (r *Runner) ServeMixShift() (*ServeResult, error) {
+	cfg := serve.Config{
+		Scenario:    "mix-shift",
+		Core:        r.opts.Core,
+		Cores:       5,
+		Router:      serve.JSQ,
+		DurationSec: 4.0,
+		Seed:        r.opts.ServeSeed,
+		Autoscale:   true,
+		Tenants: []serve.TenantConfig{
+			{Name: "east", Model: "RtNt", Load: 0.55, EUs: 4, MaxBatch: 8,
+				Arrival: serve.Diurnal, DiurnalDepth: 0.7,
+				InitialReplicas: 2, MinReplicas: 1, MaxReplicas: 4},
+			{Name: "west", Model: "BERT", Load: 0.55, EUs: 4, MaxBatch: 8,
+				Arrival: serve.Diurnal, DiurnalDepth: 0.7, DiurnalPhase: 3.141592653589793,
+				InitialReplicas: 2, MinReplicas: 1, MaxReplicas: 4},
+		},
+	}
+	rep, err := serve.Run(cfg, r.serveCosts())
+	if err != nil {
+		return nil, fmt.Errorf("serve-mix: %w", err)
+	}
+	return &ServeResult{ID: "serve-mix", Reports: []*serve.Report{rep}}, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeParallelDeterminism extends the byte-identical guarantee to
+// the serving scenarios: serve-flash fans its autoscale/no-autoscale
+// pair across the worker pool and both runs lazily populate the shared
+// cost database, so it is the serving analogue of the figure sweeps'
+// TestParallelMatchesSequential. workers=1 and workers=N must render
+// identical bytes for the same seed.
+func TestServeParallelDeterminism(t *testing.T) {
+	mk := func(workers int) *Runner {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		r, err := NewRunner(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ids := []string{"serve-flash", "serve-steady"}
+	seqRes, err := mk(1).RunMany(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := mk(4).RunMany(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if s, p := seqRes[i].Table(), parRes[i].Table(); s != p {
+			t.Errorf("%s: parallel table differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", id, s, p)
+		}
+	}
+	// Re-running on the same runner (warm cost DB) must also reproduce.
+	r := mk(2)
+	a, err := r.Run("serve-steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("serve-steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Error("serve-steady is not reproducible on a warm runner")
+	}
+}
+
+// TestServeFlashCrowdRecovery asserts the scenario's headline claim: the
+// autoscaled fleet recovers SLO attainment the fixed fleet loses to the
+// flash crowd, for the identical arrival trace.
+func TestServeFlashCrowdRecovery(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.ServeFlashCrowd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("flash-crowd result has %d reports, want autoscale on+off", len(res.Reports))
+	}
+	on, off := res.Reports[0], res.Reports[1]
+	if !on.Autoscale || off.Autoscale {
+		t.Fatalf("report order wrong: got autoscale=%v,%v", on.Autoscale, off.Autoscale)
+	}
+	if on.Tenants[0].Arrivals != off.Tenants[0].Arrivals {
+		t.Errorf("arrival traces diverge across the pair: %d vs %d — seed plumbing broken",
+			on.Tenants[0].Arrivals, off.Tenants[0].Arrivals)
+	}
+	gain := on.Tenants[0].SLOAttainment - off.Tenants[0].SLOAttainment
+	if gain < 0.1 {
+		t.Errorf("autoscaler recovered only %+.3f attainment (on %.3f, off %.3f)",
+			gain, on.Tenants[0].SLOAttainment, off.Tenants[0].SLOAttainment)
+	}
+	if on.Tenants[0].ScaleUps == 0 {
+		t.Error("autoscaled run recorded no scale-ups")
+	}
+}
+
+// TestServeSteadyHealthy pins the steady scenario's healthy shape: every
+// tenant holds a high SLO attainment and the fleet stays busy below its
+// allocation.
+func TestServeSteadyHealthy(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.ServeSteady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Reports[0]
+	for _, tr := range rep.Tenants {
+		if tr.SLOAttainment < 0.95 {
+			t.Errorf("tenant %s attainment %.3f < 0.95 in the steady scenario", tr.Name, tr.SLOAttainment)
+		}
+		if tr.Completed == 0 {
+			t.Errorf("tenant %s completed nothing", tr.Name)
+		}
+	}
+	if rep.FleetEUUtil <= 0 || rep.FleetEUUtil > rep.AllocatedEUFrac+1e-9 {
+		t.Errorf("fleet accounting implausible: busy %.3f, allocated %.3f",
+			rep.FleetEUUtil, rep.AllocatedEUFrac)
+	}
+	if !strings.Contains(res.Table(), "steady") {
+		t.Error("table does not name its scenario")
+	}
+}

@@ -61,8 +61,34 @@ func (l *Latencies) Percentile(p float64) float64 {
 	return l.samples[rank-1]
 }
 
+// P50 is the median request latency.
+func (l *Latencies) P50() float64 { return l.Percentile(50) }
+
 // P95 is the tail-latency statistic the paper reports (Fig. 19).
 func (l *Latencies) P95() float64 { return l.Percentile(95) }
+
+// P99 is the tail statistic online-serving SLOs are written against
+// (internal/serve): one slow request in a hundred already breaks a
+// user-facing latency agreement.
+func (l *Latencies) P99() float64 { return l.Percentile(99) }
+
+// CountBelow returns how many samples are ≤ v — the numerator of an
+// SLO-attainment ratio.
+func (l *Latencies) CountBelow(v float64) int {
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	return sort.SearchFloat64s(l.samples, math.Nextafter(v, math.Inf(1)))
+}
+
+// Reset discards all samples but keeps the backing array, so windowed
+// recorders (the serving autoscaler's observation windows) do not
+// reallocate every interval.
+func (l *Latencies) Reset() {
+	l.samples = l.samples[:0]
+	l.sorted = false
+}
 
 // Max returns the largest sample.
 func (l *Latencies) Max() float64 { return l.Percentile(100) }

@@ -148,3 +148,35 @@ func TestTimeSeriesEdgeCases(t *testing.T) {
 		t.Fatal("single-point mean")
 	}
 }
+
+// TestLatenciesServingStats covers the percentile and SLO helpers the
+// online serving subsystem reports through.
+func TestLatenciesServingStats(t *testing.T) {
+	l := &Latencies{}
+	for i := 100; i >= 1; i-- { // descending: forces the sort paths
+		l.Add(float64(i))
+	}
+	if got := l.P50(); got != 50 {
+		t.Errorf("P50 = %v, want 50", got)
+	}
+	if got := l.P99(); got != 99 {
+		t.Errorf("P99 = %v, want 99", got)
+	}
+	if got := l.CountBelow(25); got != 25 {
+		t.Errorf("CountBelow(25) = %v, want 25 (bound is inclusive)", got)
+	}
+	if got := l.CountBelow(25.5); got != 25 {
+		t.Errorf("CountBelow(25.5) = %v, want 25", got)
+	}
+	if got := l.CountBelow(0); got != 0 {
+		t.Errorf("CountBelow(0) = %v, want 0", got)
+	}
+	l.Reset()
+	if l.Count() != 0 || l.P99() != 0 {
+		t.Error("Reset did not clear samples")
+	}
+	l.Add(7)
+	if got := l.CountBelow(10); got != 1 {
+		t.Errorf("post-Reset CountBelow = %v, want 1", got)
+	}
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"fmt"
+
+	"neu10/internal/cluster"
+	"neu10/internal/core"
+	"neu10/internal/sim"
+)
+
+// The autoscaler: a periodic control loop that compares each tenant's
+// windowed p99 latency against its SLO and adjusts the tenant's vNPU
+// fleet through the paper's machinery — every replica is sized by the
+// §III-B allocator (EU budget → utilization-optimal ME:VE split) and
+// placed by the §III-C mapper under the configured cluster policy.
+//
+// Decision ladder per tenant, per interval:
+//
+//  1. violated & below MaxReplicas      → scale OUT: spawn one replica.
+//  2. violated & at MaxReplicas         → scale UP: spawn one replica at
+//     EUs+2 (make-before-break) and drain a small one — the vertical
+//     grow path, re-running the allocator at the larger budget.
+//  3. calm & above MinReplicas          → scale IN: drain one replica.
+//  4. calm & grown & at MinReplicas     → scale DOWN: spawn one replica
+//     at EUs−2 and drain a big one — vertical shrink back toward the
+//     configured budget.
+//
+// "Violated" means the window saw rejections, a p99 above
+// ScaleUpP99Frac×SLO, or queued work with zero completions (a stalled
+// fleet has no percentiles to read). "Calm" means no rejections and a
+// p99 under ScaleDownP99Frac×SLO. Draining replicas stop receiving new
+// requests and retire once their queue empties, so no admitted request
+// is ever dropped by a scaling action.
+
+// scheduleScale runs the control loop every `every` cycles until the
+// scenario's traffic ends.
+func (f *fleet) scheduleScale(every float64) {
+	var tick func(at float64)
+	tick = func(at float64) {
+		if at > f.durCycles {
+			return
+		}
+		f.eng.At(sim.Time(at), func(now sim.Time) {
+			f.snapshot(float64(now))
+			for _, t := range f.tenants {
+				f.scaleTenant(t, now)
+			}
+			tick(at + every)
+		})
+	}
+	tick(every)
+}
+
+func (f *fleet) scaleTenant(t *tenantState, now sim.Time) {
+	samples := t.windowLat.Count()
+	p99 := t.windowLat.P99()
+	backlog := 0
+	for _, r := range t.replicas {
+		backlog += r.backlog()
+	}
+	violated := t.windowRejected > 0 ||
+		(samples > 0 && p99 > f.cfg.ScaleUpP99Frac*t.sloCycles) ||
+		(samples == 0 && backlog > t.cfg.MaxBatch)
+	calm := t.windowRejected == 0 && samples > 0 && p99 < f.cfg.ScaleDownP99Frac*t.sloCycles
+
+	switch {
+	case violated && t.activeCount() < t.cfg.MaxReplicas:
+		if err := f.spawnReplica(t, t.curEUs); err != nil {
+			t.scaleFails++
+		} else {
+			t.scaleUps++
+		}
+	case violated && f.splitFits(t, t.curEUs+2):
+		// Horizontal headroom exhausted: grow the vNPU size instead.
+		if err := f.spawnReplica(t, t.curEUs+2); err != nil {
+			t.scaleFails++
+		} else {
+			t.curEUs += 2
+			t.resizes++
+			f.drainOne(t, now, true)
+		}
+	case calm && t.activeCount() > t.cfg.MinReplicas:
+		f.drainOne(t, now, false)
+		t.scaleDowns++
+	case calm && t.curEUs > t.cfg.EUs:
+		// Idle and previously grown: shrink back toward the configured
+		// budget, again make-before-break.
+		if err := f.spawnReplica(t, t.curEUs-2); err != nil {
+			t.scaleFails++
+		} else {
+			t.curEUs -= 2
+			t.resizes++
+			f.drainOne(t, now, true)
+		}
+	}
+	t.windowLat.Reset()
+	t.windowRejected = 0
+}
+
+// splitFits reports whether the allocator's split at the given EU budget
+// can map onto one physical core at all.
+func (f *fleet) splitFits(t *tenantState, eus int) bool {
+	nm, nv, err := f.alloc.ChooseSplit(t.profile.M, t.profile.V, eus)
+	if err != nil {
+		return false
+	}
+	return nm <= f.cfg.Core.MEs && nv <= f.cfg.Core.VEs
+}
+
+// spawnReplica sizes a new vNPU with the §III-B allocator at the given
+// EU budget, maps it through the §III-C mapper under the fleet's
+// placement policy, and puts it in service.
+func (f *fleet) spawnReplica(t *tenantState, eus int) error {
+	a, err := f.alloc.Allocate(t.profile, t.footprint, eus)
+	if err != nil {
+		return err
+	}
+	vc := f.alloc.ConfigFor(a)
+	if vc.NumMEsPerCore > f.cfg.Core.MEs || vc.NumVEsPerCore > f.cfg.Core.VEs {
+		return fmt.Errorf("serve: %dME+%dVE vNPU exceeds the physical core", vc.NumMEsPerCore, vc.NumVEsPerCore)
+	}
+	// Cap memory so several tenants can share one pNPU's HBM — the same
+	// collocation headroom internal/cluster's request catalog leaves.
+	if vc.MemSizePerCore > f.cfg.Core.HBMBytes/2 {
+		vc.MemSizePerCore = f.cfg.Core.HBMBytes / 2
+	}
+	v := &core.VNPU{ID: f.nextVNPU, Tenant: t.cfg.Name, Config: vc, State: core.StateCreated}
+	f.nextVNPU++
+	if err := f.mapper.Map(v, core.SpatialIsolated); err != nil {
+		f.mapRejects++
+		return err
+	}
+	f.mapAccepts++
+	now := float64(f.eng.Now())
+	f.snapshot(now)
+	f.allocatedEUs += vc.TotalEUs()
+	// Pre-measure the service-time buckets this replica can be asked
+	// for, so launches never fail and cost measurement stays off the
+	// serving hot path.
+	for b := 1; b <= PadBatch(t.cfg.MaxBatch); b <<= 1 {
+		if _, err := f.costs.ServiceCycles(t.cfg.Model, b, a.MEs, a.VEs); err != nil {
+			f.mapper.Unmap(v)
+			f.allocatedEUs -= vc.TotalEUs()
+			f.mapAccepts--
+			return err
+		}
+	}
+	r := &replica{id: t.nextReplicaID, ten: t, vnpu: v, nm: a.MEs, nv: a.VEs, eus: eus}
+	t.nextReplicaID++
+	t.replicas = append(t.replicas, r)
+	if n := t.activeCount(); n > t.peakReplicas {
+		t.peakReplicas = n
+	}
+	t.replicaTL.Add(now, float64(t.activeCount()))
+	return nil
+}
+
+// drainOne marks one replica as draining: the router stops sending it
+// work and it retires once idle. With bySize, the replica whose EU
+// budget differs most from the tenant's current target goes first (the
+// vertical-resize path retiring the old size); otherwise the
+// least-backlogged goes (the cheapest to finish off).
+func (f *fleet) drainOne(t *tenantState, now sim.Time, bySize bool) {
+	var pick *replica
+	score := func(r *replica) int {
+		if bySize {
+			d := r.eus - t.curEUs
+			if d < 0 {
+				d = -d
+			}
+			// Most-mismatched size first; backlog breaks ties.
+			return -(d*1_000_000 - r.backlog())
+		}
+		return r.backlog()
+	}
+	for _, r := range t.replicas {
+		if r.draining {
+			continue
+		}
+		if pick == nil || score(r) < score(pick) || (score(r) == score(pick) && r.id > pick.id) {
+			// Prefer the youngest among equals: older replicas carry the
+			// longer-lived queues.
+			pick = r
+		}
+	}
+	if pick == nil {
+		return
+	}
+	pick.draining = true
+	if len(pick.inflight) == 0 && len(pick.queue) == 0 {
+		f.retire(pick, now)
+	}
+	t.replicaTL.Add(float64(now), float64(t.activeCount()))
+}
+
+// retire unmaps a drained replica and returns its resources to the
+// fleet.
+func (f *fleet) retire(r *replica, now sim.Time) {
+	t := r.ten
+	if r.retired {
+		return
+	}
+	r.retired = true
+	if r.timerSet {
+		f.eng.Cancel(r.timer)
+		r.timerSet = false
+	}
+	f.snapshot(float64(now))
+	f.allocatedEUs -= r.vnpu.Config.TotalEUs()
+	f.busySum += r.busyEUCycles
+	f.mapper.Unmap(r.vnpu)
+	for i, x := range t.replicas {
+		if x == r {
+			t.replicas = append(t.replicas[:i], t.replicas[i+1:]...)
+			break
+		}
+	}
+}
+
+// snapshot accrues the time-weighted fleet accumulators (allocated EU
+// fraction, stranded EUs) up to now — the lazy-update pattern shared
+// with internal/cluster's churn study.
+func (f *fleet) snapshot(now float64) {
+	dt := now - f.lastSnap
+	if dt <= 0 {
+		return
+	}
+	f.allocArea += float64(f.allocatedEUs) * dt
+	f.strandArea += float64(cluster.StrandedEUs(f.mapper)) * dt
+	f.lastSnap = now
+}

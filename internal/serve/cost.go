@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/model"
+	"neu10/internal/sched"
+)
+
+// CostDB resolves (model, batch, vNPU shape) → service cycles for one
+// batched inference invocation. Costs are not a closed-form guess: each
+// entry is measured by compiling the model at the padded batch size and
+// replaying it solo through the §III-G fluid simulator on a core carved
+// down to the vNPU's engine counts and its fair HBM-bandwidth share
+// (§III-B: bandwidth is shared in proportion to EUs by default). The
+// fluid model therefore prices in ME/VE pipelining, reduction-split
+// overheads and memory-boundedness exactly as the figure experiments do.
+//
+// Batch sizes are padded up to the next power of two before costing —
+// real serving kernels are compiled for bucketed shapes, and bucketing
+// bounds the cache to O(log MaxBatch) entries per (model, shape).
+//
+// Entries are single-flighted per key (the workload.Compiled pattern):
+// the map lock is held only to claim a slot, measurement runs under the
+// entry's sync.Once, so distinct keys measure concurrently and the
+// parallel experiment runner shares one CostDB across its worker pool.
+// Every entry is a pure function of its key, so population order cannot
+// leak into results.
+type CostDB struct {
+	core    arch.CoreConfig
+	mu      sync.Mutex
+	entries map[costKey]*costEntry
+}
+
+type costKey struct {
+	model  string
+	batch  int // padded
+	nm, nv int
+}
+
+type costEntry struct {
+	once   sync.Once
+	cycles float64
+	err    error
+}
+
+// NewCostDB builds a cost database for a physical core family.
+func NewCostDB(core arch.CoreConfig) *CostDB {
+	return &CostDB{core: core, entries: map[costKey]*costEntry{}}
+}
+
+// Core returns the physical core family the database prices against.
+func (db *CostDB) Core() arch.CoreConfig { return db.core }
+
+// PadBatch returns the power-of-two bucket a batch size is costed at.
+func PadBatch(b int) int {
+	p := 1
+	for p < b {
+		p <<= 1
+	}
+	return p
+}
+
+// ServiceCycles returns the cycles one invocation of `name` at the given
+// batch size takes on a vNPU with nm MEs and nv VEs.
+func (db *CostDB) ServiceCycles(name string, batch, nm, nv int) (float64, error) {
+	if batch < 1 || nm < 1 || nv < 1 {
+		return 0, fmt.Errorf("serve: bad cost query %s/%d on %dME+%dVE", name, batch, nm, nv)
+	}
+	key := costKey{model: name, batch: PadBatch(batch), nm: nm, nv: nv}
+	db.mu.Lock()
+	e, ok := db.entries[key]
+	if !ok {
+		e = &costEntry{}
+		db.entries[key] = e
+	}
+	db.mu.Unlock()
+	e.once.Do(func() { e.cycles, e.err = db.measure(key) })
+	return e.cycles, e.err
+}
+
+// measure runs the solo fluid simulation behind one cache entry.
+func (db *CostDB) measure(key costKey) (float64, error) {
+	g, err := model.Build(key.model, key.batch)
+	if err != nil {
+		return 0, err
+	}
+	// The vNPU sees its own engines and its proportional bandwidth slice.
+	frac := float64(key.nm+key.nv) / float64(db.core.MEs+db.core.VEs)
+	if frac > 1 {
+		frac = 1
+	}
+	sub := db.core.WithEUs(key.nm, key.nv).WithHBMBandwidth(db.core.HBMBwBytes * frac)
+	comp, err := compiler.New(sub)
+	if err != nil {
+		return 0, err
+	}
+	cg, err := comp.Compile(g, compiler.ISANeu)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sched.Run(
+		sched.Config{Core: sub, Policy: sched.NeuNH, Requests: 1},
+		[]sched.TenantSpec{{Name: key.model, Graph: cg, MEs: key.nm, VEs: key.nv}})
+	if err != nil {
+		return 0, fmt.Errorf("serve: costing %s/%d on %dME+%dVE: %w", key.model, key.batch, key.nm, key.nv, err)
+	}
+	return res.Tenants[0].MeanLatency, nil
+}

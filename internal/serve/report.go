@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"neu10/internal/metrics"
+)
+
+// TenantReport summarizes one tenant's serving outcome.
+type TenantReport struct {
+	Name  string  `json:"name"`
+	Model string  `json:"model"`
+	SLOMs float64 `json:"slo_ms"`
+
+	Arrivals  int `json:"arrivals"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+
+	// SLOAttainment is sloOK/arrivals: the fraction of ALL offered
+	// requests served within the SLO — rejections count as violations.
+	SLOAttainment float64 `json:"slo_attainment"`
+	// GoodputRPS is SLO-compliant completions per second of scenario time.
+	GoodputRPS float64 `json:"goodput_rps"`
+
+	Replicas      int `json:"replicas"`
+	PeakReplicas  int `json:"peak_replicas"`
+	EUsPerReplica int `json:"eus_per_replica"`
+	ScaleUps      int `json:"scale_ups"`
+	ScaleDowns    int `json:"scale_downs"`
+	Resizes       int `json:"resizes"`
+	ScaleFails    int `json:"scale_fails"`
+	MaxQueue      int `json:"max_queue"`
+
+	ReplicaTimeline *metrics.TimeSeries `json:"-"`
+}
+
+// Report is the outcome of one serving run.
+type Report struct {
+	Scenario    string  `json:"scenario"`
+	Seed        uint64  `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+	Cores       int     `json:"cores"`
+	Router      string  `json:"router"`
+	Placement   string  `json:"placement"`
+	Autoscale   bool    `json:"autoscale"`
+
+	Tenants []TenantReport `json:"tenants"`
+
+	// FleetEUUtil is the fraction of all fleet EU-cycles spent serving.
+	FleetEUUtil float64 `json:"fleet_eu_util"`
+	// AllocatedEUFrac is the time-averaged fraction of fleet EUs bound to
+	// some vNPU (allocated ≥ busy; the gap is provisioned-but-idle).
+	AllocatedEUFrac float64 `json:"allocated_eu_frac"`
+	// MeanStrandedEUs is time-averaged fragmentation waste
+	// (cluster.StrandedEUs).
+	MeanStrandedEUs float64 `json:"mean_stranded_eus"`
+	MapAccepts      int     `json:"map_accepts"`
+	MapRejects      int     `json:"map_rejects"`
+}
+
+// Table renders the report as a plain-text table. The output is a pure
+// function of the report contents, which is what the determinism tests
+// byte-compare.
+func (rep *Report) Table() string {
+	var sb strings.Builder
+	mode := "off"
+	if rep.Autoscale {
+		mode = "on"
+	}
+	fmt.Fprintf(&sb, "Online serving — scenario %q (seed %d): %d pNPUs, router %s, placement %s, autoscale %s, %.2fs\n",
+		rep.Scenario, rep.Seed, rep.Cores, rep.Router, rep.Placement, mode, rep.DurationSec)
+
+	header := []string{"tenant", "model", "SLO(ms)", "arrived", "rejected", "p50(ms)", "p99(ms)", "attain", "goodput(rps)", "repl(peak)", "EUs", "up/dn/rsz/fail"}
+	rows := [][]string{}
+	for _, t := range rep.Tenants {
+		rows = append(rows, []string{
+			t.Name, t.Model,
+			fmt.Sprintf("%.2f", t.SLOMs),
+			fmt.Sprint(t.Arrivals), fmt.Sprint(t.Rejected),
+			fmt.Sprintf("%.2f", t.P50Ms), fmt.Sprintf("%.2f", t.P99Ms),
+			fmt.Sprintf("%.1f%%", t.SLOAttainment*100),
+			fmt.Sprintf("%.1f", t.GoodputRPS),
+			fmt.Sprintf("%d(%d)", t.Replicas, t.PeakReplicas),
+			fmt.Sprint(t.EUsPerReplica),
+			fmt.Sprintf("%d/%d/%d/%d", t.ScaleUps, t.ScaleDowns, t.Resizes, t.ScaleFails),
+		})
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Fprintf(&sb, "fleet: EU util %.1f%%, allocated EUs %.1f%%, stranded EUs %.2f, placements %d ok / %d failed\n",
+		rep.FleetEUUtil*100, rep.AllocatedEUFrac*100, rep.MeanStrandedEUs, rep.MapAccepts, rep.MapRejects)
+	return sb.String()
+}

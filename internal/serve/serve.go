@@ -1,0 +1,673 @@
+// Package serve is the online serving subsystem: a deterministic,
+// event-driven simulator that pushes continuous per-request inference
+// traffic through a fleet of pNPUs hosting tenant vNPUs under latency
+// SLOs. It is the layer the paper defers to KubeVirt/Kubernetes — the
+// piece that turns the repository's batch figure-reproducer into a
+// continuously running serving system.
+//
+// The pipeline per tenant is:
+//
+//	arrivals ──► admission ──► router ──► replica queue ──► dynamic
+//	batcher ──► batched invocation (costed through internal/compiler +
+//	internal/sched, see CostDB) ──► completion + latency record
+//
+// with a periodic autoscaler observing windowed p99 latency against the
+// tenant's SLO and growing/shrinking the tenant's vNPU fleet through the
+// paper's §III-B allocator (EU-budget → ME:VE split) and §III-C mapper
+// (segment-isolated placement under a cluster policy).
+//
+// Everything runs on internal/sim's event kernel with seeded RNG
+// streams, so a whole serving run — arrivals, routing coin flips,
+// scaling actions, every percentile in the report — is reproducible
+// bit-for-bit from Config.Seed.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"neu10/internal/arch"
+	"neu10/internal/compiler"
+	"neu10/internal/core"
+	"neu10/internal/metrics"
+	"neu10/internal/model"
+	"neu10/internal/sim"
+)
+
+// RouterPolicy selects how the SLO-aware router spreads a tenant's
+// admitted requests across its replicas.
+type RouterPolicy int
+
+const (
+	// LeastLoaded picks the replica with the fewest outstanding requests
+	// (queued + in service); ties break toward the older replica.
+	LeastLoaded RouterPolicy = iota
+	// JSQ (join-shortest-queue) considers only the wait queue, ignoring
+	// the batch currently in service.
+	JSQ
+	// PowerOfTwo samples two distinct replicas uniformly and joins the
+	// less loaded — the classic O(1) approximation of least-loaded.
+	PowerOfTwo
+)
+
+func (p RouterPolicy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case JSQ:
+		return "jsq"
+	case PowerOfTwo:
+		return "power-of-two"
+	default:
+		return fmt.Sprintf("router(%d)", int(p))
+	}
+}
+
+// ArrivalKind selects a tenant's open-loop arrival process. All three
+// are Poisson processes thinned from a deterministic rate envelope, so
+// the trace depends only on the seed.
+type ArrivalKind int
+
+const (
+	// Poisson is a homogeneous Poisson stream at the base rate.
+	Poisson ArrivalKind = iota
+	// Flash is Poisson with the rate multiplied by BurstFactor inside
+	// the [BurstStartFrac, BurstEndFrac) window of the run — a flash
+	// crowd.
+	Flash
+	// Diurnal modulates the rate sinusoidally: base·(1 + depth·sin(...)),
+	// the shape of a day/night traffic trace.
+	Diurnal
+)
+
+func (k ArrivalKind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case Flash:
+		return "flash"
+	case Diurnal:
+		return "diurnal"
+	default:
+		return fmt.Sprintf("arrival(%d)", int(k))
+	}
+}
+
+// TenantConfig describes one served tenant: its model, traffic, SLO and
+// scaling envelope.
+type TenantConfig struct {
+	Name  string
+	Model string // one of model.Names()
+
+	// Load is the offered load as a fraction of the initial fleet's
+	// max-batch service capacity; RatePerSec overrides it when > 0.
+	Load       float64
+	RatePerSec float64
+
+	Arrival       ArrivalKind
+	BurstFactor   float64 // Flash: rate multiplier during the burst window
+	BurstStart    float64 // Flash: window start, fraction of the run (default 1/3)
+	BurstEnd      float64 // Flash: window end, fraction of the run (default 2/3)
+	DiurnalDepth  float64 // Diurnal: modulation depth in [0, 1) (default 0.8)
+	DiurnalPeriod float64 // Diurnal: period as a fraction of the run (default 1)
+	DiurnalPhase  float64 // Diurnal: phase offset in radians
+
+	// SLOMs is the per-request latency objective in milliseconds; when 0
+	// it is derived as SLOFactor × the ideal full-batch service time on
+	// one replica (default factor 3).
+	SLOMs     float64
+	SLOFactor float64
+
+	MaxBatch      int     // dynamic batcher cap (default 8)
+	BatchWindowMs float64 // max coalescing wait; default SLOMs/10
+	QueueCap      int     // per-replica admission bound (default 64)
+
+	// EUs is the per-replica execution-unit budget handed to the §III-B
+	// allocator (default 4). The autoscaler may grow it in steps of 2 up
+	// to what fits one physical core, and shrink it back.
+	EUs             int
+	InitialReplicas int // default 1
+	MinReplicas     int // default 1
+	MaxReplicas     int // default InitialReplicas
+}
+
+func (tc *TenantConfig) defaults() {
+	if tc.SLOFactor == 0 {
+		tc.SLOFactor = 3
+	}
+	if tc.MaxBatch == 0 {
+		tc.MaxBatch = 8
+	}
+	if tc.QueueCap == 0 {
+		tc.QueueCap = 64
+	}
+	if tc.EUs == 0 {
+		tc.EUs = 4
+	}
+	if tc.InitialReplicas == 0 {
+		tc.InitialReplicas = 1
+	}
+	if tc.MinReplicas == 0 {
+		tc.MinReplicas = 1
+	}
+	if tc.MaxReplicas == 0 {
+		tc.MaxReplicas = tc.InitialReplicas
+	}
+	if tc.BurstFactor == 0 {
+		tc.BurstFactor = 1
+	}
+	if tc.BurstStart == 0 && tc.BurstEnd == 0 {
+		tc.BurstStart, tc.BurstEnd = 1.0/3, 2.0/3
+	}
+	if tc.DiurnalDepth == 0 {
+		tc.DiurnalDepth = 0.8
+	}
+	if tc.DiurnalPeriod == 0 {
+		tc.DiurnalPeriod = 1
+	}
+}
+
+func (tc *TenantConfig) validate() error {
+	switch {
+	case tc.Name == "":
+		return fmt.Errorf("serve: tenant without a name")
+	case tc.Load <= 0 && tc.RatePerSec <= 0:
+		return fmt.Errorf("serve: tenant %s has no offered load", tc.Name)
+	case tc.BurstFactor < 1:
+		return fmt.Errorf("serve: tenant %s burst factor %v < 1", tc.Name, tc.BurstFactor)
+	case tc.Arrival == Flash && !(tc.BurstStart >= 0 && tc.BurstStart < tc.BurstEnd && tc.BurstEnd <= 1):
+		return fmt.Errorf("serve: tenant %s burst window [%v, %v) must satisfy 0 ≤ start < end ≤ 1",
+			tc.Name, tc.BurstStart, tc.BurstEnd)
+	case tc.DiurnalDepth < 0 || tc.DiurnalDepth >= 1:
+		return fmt.Errorf("serve: tenant %s diurnal depth %v out of [0,1)", tc.Name, tc.DiurnalDepth)
+	case tc.MinReplicas < 1:
+		return fmt.Errorf("serve: tenant %s needs ≥1 replica", tc.Name)
+	case tc.InitialReplicas < tc.MinReplicas || tc.MaxReplicas < tc.InitialReplicas:
+		return fmt.Errorf("serve: tenant %s replica bounds %d ≤ %d ≤ %d malformed",
+			tc.Name, tc.MinReplicas, tc.InitialReplicas, tc.MaxReplicas)
+	case tc.QueueCap < 1:
+		return fmt.Errorf("serve: tenant %s queue cap %d", tc.Name, tc.QueueCap)
+	case tc.MaxBatch < 1:
+		return fmt.Errorf("serve: tenant %s max batch %d", tc.Name, tc.MaxBatch)
+	case tc.EUs < 2:
+		return fmt.Errorf("serve: tenant %s EU budget %d < 2 (1 ME + 1 VE)", tc.Name, tc.EUs)
+	}
+	return nil
+}
+
+// Config parameterizes one serving run.
+type Config struct {
+	Scenario string // label carried into the report
+	Core     arch.CoreConfig
+	Cores    int // pNPU fleet size (single-core pNPUs, like internal/cluster)
+
+	Placement core.PlacementPolicy
+	Router    RouterPolicy
+
+	DurationSec float64
+	Seed        uint64
+
+	// Autoscale enables the control loop; when false the fleet stays at
+	// each tenant's InitialReplicas — the no-autoscale baseline.
+	Autoscale bool
+	// ScaleEverySec is the control interval (default 0.25s).
+	ScaleEverySec float64
+	// ScaleUpP99Frac: scale up when windowed p99 > frac × SLO (default 1).
+	ScaleUpP99Frac float64
+	// ScaleDownP99Frac: scale down when windowed p99 < frac × SLO and the
+	// window saw no rejections (default 0.4).
+	ScaleDownP99Frac float64
+
+	Tenants []TenantConfig
+}
+
+func (c *Config) defaults() {
+	if c.ScaleEverySec == 0 {
+		c.ScaleEverySec = 0.25
+	}
+	if c.ScaleUpP99Frac == 0 {
+		c.ScaleUpP99Frac = 1
+	}
+	if c.ScaleDownP99Frac == 0 {
+		c.ScaleDownP99Frac = 0.4
+	}
+}
+
+func (c *Config) validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("serve: fleet needs ≥1 pNPU, got %d", c.Cores)
+	case c.DurationSec <= 0:
+		return fmt.Errorf("serve: duration %v", c.DurationSec)
+	case len(c.Tenants) == 0:
+		return fmt.Errorf("serve: no tenants")
+	}
+	// Per-tenant validation happens in Run, against each tenant's
+	// defaulted private copy.
+	return nil
+}
+
+// ---- runtime state ----
+
+// request is one queued inference request, identified by arrival time.
+type request = sim.Time
+
+// replica is one mapped vNPU serving a tenant.
+type replica struct {
+	id     int
+	ten    *tenantState
+	vnpu   *core.VNPU
+	nm, nv int
+	eus    int // EU budget this replica was allocated at
+
+	queue    []request // admitted, waiting
+	inflight []request // the batch currently in service
+	timerSet bool
+	timer    sim.Handle
+	draining bool
+	retired  bool
+
+	busyEUCycles float64 // Σ service-cycles × (nm+nv)
+}
+
+// backlog is the router's load signal: queued plus in-service requests.
+func (r *replica) backlog() int { return len(r.queue) + len(r.inflight) }
+
+// tenantState is the runtime of one tenant.
+type tenantState struct {
+	cfg TenantConfig
+	idx int
+
+	profile   compiler.Profile
+	footprint int64
+
+	curEUs       int     // current per-replica EU budget (autoscaler-adjusted)
+	sloCycles    float64 // per-request latency objective
+	batchWindow  float64 // coalescing wait, cycles
+	basePerCycle float64 // base arrival rate, requests per cycle
+	peakMult     float64 // max of the rate envelope (thinning bound)
+	capacityRPS  float64 // one initial replica's max-batch throughput
+
+	arrRNG   *sim.RNG // arrival gaps + thinning coin
+	routeRNG *sim.RNG // power-of-two sampling
+
+	replicas      []*replica // active + draining (retired ones removed)
+	nextReplicaID int
+
+	// metrics
+	lat            metrics.Latencies // all completed requests, cycles
+	windowLat      metrics.Latencies // since the last autoscale decision
+	arrivals       int
+	rejected       int
+	completed      int
+	windowRejected int
+	maxQueue       int
+	peakReplicas   int
+	scaleUps       int
+	scaleDowns     int
+	resizes        int
+	scaleFails     int
+	replicaTL      *metrics.TimeSeries
+}
+
+// rateMult evaluates the deterministic rate envelope at time t (cycles).
+func (t *tenantState) rateMult(at, durCycles float64) float64 {
+	switch t.cfg.Arrival {
+	case Flash:
+		frac := at / durCycles
+		if frac >= t.cfg.BurstStart && frac < t.cfg.BurstEnd {
+			return t.cfg.BurstFactor
+		}
+		return 1
+	case Diurnal:
+		period := t.cfg.DiurnalPeriod * durCycles
+		return 1 + t.cfg.DiurnalDepth*math.Sin(2*math.Pi*at/period+t.cfg.DiurnalPhase)
+	default:
+		return 1
+	}
+}
+
+func (t *tenantState) activeCount() int {
+	n := 0
+	for _, r := range t.replicas {
+		if !r.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// fleet is the whole serving simulation.
+type fleet struct {
+	cfg    Config
+	eng    *sim.Engine
+	costs  *CostDB
+	mapper *core.Mapper
+	alloc  *core.Allocator
+
+	tenants   []*tenantState
+	nextVNPU  int
+	durCycles float64
+
+	// time-weighted fleet accounting (lazy snapshots, like internal/cluster)
+	lastSnap     float64
+	allocatedEUs int
+	allocArea    float64
+	strandArea   float64
+	busySum      float64 // busyEUCycles of retired replicas
+	mapAccepts   int
+	mapRejects   int
+	routeScratch []*replica
+}
+
+// Run executes one serving scenario. The optional CostDB carries
+// measured invocation costs across runs (scenario comparisons, repeated
+// seeds); pass nil to build a private one. Costs are pure functions of
+// (model, batch, shape), so sharing the database never changes results.
+func Run(cfg Config, db *CostDB) (*Report, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if db == nil || db.Core() != cfg.Core {
+		db = NewCostDB(cfg.Core)
+	}
+	mapper, err := core.NewMapper(cfg.Cores, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	mapper.Policy = cfg.Placement
+	alloc, err := core.NewAllocator(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	f := &fleet{
+		cfg:       cfg,
+		eng:       sim.NewEngine(),
+		costs:     db,
+		mapper:    mapper,
+		alloc:     alloc,
+		durCycles: cfg.DurationSec * cfg.Core.FrequencyHz,
+	}
+	cm := compiler.NewCostModel(cfg.Core)
+	for i := range cfg.Tenants {
+		t := &tenantState{cfg: cfg.Tenants[i], idx: i}
+		t.cfg.defaults()
+		if err := t.cfg.validate(); err != nil {
+			return nil, err
+		}
+		g, err := model.Build(t.cfg.Model, PadBatch(t.cfg.MaxBatch))
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %s: %w", t.cfg.Name, err)
+		}
+		t.profile = cm.ProfileGraph(g)
+		t.footprint = g.HBMFootprint
+		t.curEUs = t.cfg.EUs
+		t.arrRNG = sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+		t.routeRNG = sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0xbf58476d1ce4e5b9)
+		t.replicaTL = metrics.NewTimeSeries(t.cfg.Name+"/replicas", 4096)
+		f.tenants = append(f.tenants, t)
+
+		for k := 0; k < t.cfg.InitialReplicas; k++ {
+			if err := f.spawnReplica(t, t.curEUs); err != nil {
+				return nil, fmt.Errorf("serve: tenant %s initial replica %d: %w", t.cfg.Name, k, err)
+			}
+		}
+		// SLO and offered rate derive from the measured full-batch
+		// service time of one freshly spawned replica.
+		r0 := t.replicas[0]
+		full, err := db.ServiceCycles(t.cfg.Model, t.cfg.MaxBatch, r0.nm, r0.nv)
+		if err != nil {
+			return nil, err
+		}
+		if t.cfg.SLOMs > 0 {
+			t.sloCycles = t.cfg.SLOMs / 1e3 * cfg.Core.FrequencyHz
+		} else {
+			t.sloCycles = t.cfg.SLOFactor * full
+			t.cfg.SLOMs = t.sloCycles / cfg.Core.FrequencyHz * 1e3
+		}
+		if t.cfg.BatchWindowMs > 0 {
+			t.batchWindow = t.cfg.BatchWindowMs / 1e3 * cfg.Core.FrequencyHz
+		} else {
+			// Never burn more than a tenth of the latency budget waiting
+			// for batchmates.
+			t.batchWindow = t.sloCycles / 10
+		}
+		t.capacityRPS = float64(t.cfg.MaxBatch) / (full / cfg.Core.FrequencyHz)
+		rps := t.cfg.RatePerSec
+		if rps <= 0 {
+			rps = t.cfg.Load * float64(t.cfg.InitialReplicas) * t.capacityRPS
+		}
+		t.basePerCycle = rps / cfg.Core.FrequencyHz
+		t.peakMult = 1
+		if t.cfg.Arrival == Flash {
+			t.peakMult = t.cfg.BurstFactor
+		} else if t.cfg.Arrival == Diurnal {
+			t.peakMult = 1 + t.cfg.DiurnalDepth
+		}
+		f.scheduleArrival(t)
+	}
+	if cfg.Autoscale {
+		f.scheduleScale(cfg.ScaleEverySec * cfg.Core.FrequencyHz)
+	}
+	f.eng.Run()
+	return f.report(), nil
+}
+
+// scheduleArrival queues the next candidate arrival of the tenant's
+// thinned Poisson stream. Candidates are drawn at the peak rate; each is
+// accepted with probability rate(t)/peak, which realizes the exact
+// non-homogeneous process deterministically from the tenant's RNG.
+func (f *fleet) scheduleArrival(t *tenantState) {
+	gap := t.arrRNG.Exp(1 / (t.basePerCycle * t.peakMult))
+	at := float64(f.eng.Now()) + gap
+	if at > f.durCycles {
+		return // traffic ends with the scenario; in-flight work drains
+	}
+	f.eng.At(sim.Time(at), func(now sim.Time) {
+		if t.arrRNG.Float64()*t.peakMult <= t.rateMult(float64(now), f.durCycles) {
+			f.arrive(t, now)
+		}
+		f.scheduleArrival(t)
+	})
+}
+
+// arrive routes one request and applies admission control: a request
+// bound for a replica whose queue is at QueueCap is rejected (shed at
+// the front door) rather than queued into certain SLO violation.
+func (f *fleet) arrive(t *tenantState, now sim.Time) {
+	t.arrivals++
+	r := f.route(t)
+	if len(r.queue) >= t.cfg.QueueCap {
+		t.rejected++
+		if f.cfg.Autoscale {
+			t.windowRejected++
+		}
+		return
+	}
+	r.queue = append(r.queue, now)
+	if len(r.queue) > t.maxQueue {
+		t.maxQueue = len(r.queue)
+	}
+	f.maybeLaunch(r)
+}
+
+// route picks the target replica among the tenant's non-draining
+// replicas. All ties break toward the older replica, keeping the
+// decision deterministic.
+func (f *fleet) route(t *tenantState) *replica {
+	cands := f.routeScratch[:0]
+	for _, r := range t.replicas {
+		if !r.draining {
+			cands = append(cands, r)
+		}
+	}
+	f.routeScratch = cands
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	load := func(r *replica) int {
+		if f.cfg.Router == JSQ {
+			return len(r.queue)
+		}
+		return r.backlog()
+	}
+	if f.cfg.Router == PowerOfTwo {
+		i := t.routeRNG.Intn(len(cands))
+		j := t.routeRNG.Intn(len(cands) - 1)
+		if j >= i {
+			j++
+		}
+		a, b := cands[i], cands[j]
+		if load(b) < load(a) || (load(b) == load(a) && b.id < a.id) {
+			return b
+		}
+		return a
+	}
+	best := cands[0]
+	for _, r := range cands[1:] {
+		if load(r) < load(best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// maybeLaunch starts a batch on an idle replica: immediately when the
+// queue already fills the batch, otherwise after the batch window so
+// stragglers can coalesce.
+func (f *fleet) maybeLaunch(r *replica) {
+	if len(r.inflight) > 0 || len(r.queue) == 0 || r.retired {
+		return
+	}
+	if len(r.queue) >= r.ten.cfg.MaxBatch {
+		f.launch(r)
+		return
+	}
+	if !r.timerSet {
+		r.timerSet = true
+		r.timer = f.eng.After(sim.Time(r.ten.batchWindow)+1, func(sim.Time) {
+			r.timerSet = false
+			if len(r.inflight) == 0 && len(r.queue) > 0 && !r.retired {
+				f.launch(r)
+			}
+		})
+	}
+}
+
+// launch takes up to MaxBatch requests off the queue and schedules the
+// batched invocation's completion at its measured service time.
+func (f *fleet) launch(r *replica) {
+	t := r.ten
+	if r.timerSet {
+		f.eng.Cancel(r.timer)
+		r.timerSet = false
+	}
+	n := len(r.queue)
+	if n > t.cfg.MaxBatch {
+		n = t.cfg.MaxBatch
+	}
+	r.inflight = append(r.inflight[:0], r.queue[:n]...)
+	rest := copy(r.queue, r.queue[n:])
+	r.queue = r.queue[:rest]
+	cycles, err := f.costs.ServiceCycles(t.cfg.Model, n, r.nm, r.nv)
+	if err != nil {
+		// Model and shapes were validated at spawn; a miss here is a bug.
+		panic(fmt.Sprintf("serve: costing launched batch: %v", err))
+	}
+	r.busyEUCycles += cycles * float64(r.nm+r.nv)
+	f.eng.After(sim.Time(cycles)+1, func(now sim.Time) { f.complete(r, now) })
+}
+
+// complete retires a finished batch, records per-request latencies, and
+// immediately relaunches when a backlog is waiting (no window: the
+// batcher only dawdles when idle).
+func (f *fleet) complete(r *replica, now sim.Time) {
+	t := r.ten
+	for _, at := range r.inflight {
+		lat := float64(now - at)
+		t.lat.Add(lat)
+		if f.cfg.Autoscale {
+			// The observation window only exists for the autoscaler; a
+			// fixed fleet would just duplicate every sample unread.
+			t.windowLat.Add(lat)
+		}
+		t.completed++
+	}
+	r.inflight = r.inflight[:0]
+	if r.draining && len(r.queue) == 0 {
+		f.retire(r, now)
+		return
+	}
+	if len(r.queue) > 0 {
+		f.launch(r)
+	}
+}
+
+// report assembles the final Report once the event queue has drained.
+func (f *fleet) report() *Report {
+	end := float64(f.eng.Now())
+	if end < f.durCycles {
+		end = f.durCycles
+	}
+	f.snapshot(end)
+	freq := f.cfg.Core.FrequencyHz
+	ms := func(cycles float64) float64 { return cycles / freq * 1e3 }
+
+	rep := &Report{
+		Scenario:    f.cfg.Scenario,
+		Seed:        f.cfg.Seed,
+		DurationSec: f.cfg.DurationSec,
+		Cores:       f.cfg.Cores,
+		Router:      f.cfg.Router.String(),
+		Placement:   f.cfg.Placement.String(),
+		Autoscale:   f.cfg.Autoscale,
+	}
+	busy := f.busySum
+	for _, t := range f.tenants {
+		for _, r := range t.replicas {
+			busy += r.busyEUCycles
+		}
+		sloOK := t.lat.CountBelow(t.sloCycles)
+		tr := TenantReport{
+			Name:            t.cfg.Name,
+			Model:           t.cfg.Model,
+			SLOMs:           t.cfg.SLOMs,
+			Arrivals:        t.arrivals,
+			Rejected:        t.rejected,
+			Completed:       t.completed,
+			P50Ms:           ms(t.lat.P50()),
+			P95Ms:           ms(t.lat.P95()),
+			P99Ms:           ms(t.lat.P99()),
+			MeanMs:          ms(t.lat.Mean()),
+			GoodputRPS:      float64(sloOK) / f.cfg.DurationSec,
+			Replicas:        t.activeCount(),
+			PeakReplicas:    t.peakReplicas,
+			EUsPerReplica:   t.curEUs,
+			ScaleUps:        t.scaleUps,
+			ScaleDowns:      t.scaleDowns,
+			Resizes:         t.resizes,
+			ScaleFails:      t.scaleFails,
+			MaxQueue:        t.maxQueue,
+			ReplicaTimeline: t.replicaTL,
+		}
+		if t.arrivals > 0 {
+			// Rejected requests count against attainment: a shed request
+			// is a broken promise too.
+			tr.SLOAttainment = float64(sloOK) / float64(t.arrivals)
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	totalEUs := float64(f.cfg.Cores * (f.cfg.Core.MEs + f.cfg.Core.VEs))
+	if end > 0 {
+		rep.FleetEUUtil = busy / (end * totalEUs)
+		rep.AllocatedEUFrac = f.allocArea / (end * totalEUs)
+		rep.MeanStrandedEUs = f.strandArea / end
+	}
+	rep.MapAccepts = f.mapAccepts
+	rep.MapRejects = f.mapRejects
+	return rep
+}

@@ -15,6 +15,21 @@
 // low-overhead DES event-queue design; it is what keeps the fluid
 // scheduler and the cluster churn simulator off the allocator in their
 // hot loops.
+//
+// # Cancellation semantics
+//
+// Every At/AtPriority/After call returns a Handle naming that one
+// scheduled occurrence. Handles are issued from a monotonically
+// increasing sequence, are never reused, and the zero Handle is never
+// issued — so a retained zero value can always be passed to Cancel
+// safely. Cancel(h) removes the pending event and returns true exactly
+// once; cancelling an event that has already fired, was already
+// cancelled, or was never issued is a harmless no-op returning false.
+// Cancellation does not disturb the clock or the ordering of the
+// remaining events. The cost is O(n) in the pending-event count: Cancel
+// is the cold path (a serving replica tearing down its batch-window
+// timer), and keeping it linear keeps the hot push/pop paths free of
+// per-event index bookkeeping.
 package sim
 
 import "fmt"
