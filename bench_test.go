@@ -77,6 +77,12 @@ func BenchmarkFig27LLM(b *testing.B)                { benchExperiment(b, "fig27"
 func BenchmarkServeSteadyState(b *testing.B) { benchExperiment(b, "serve-steady") }
 func BenchmarkServeFlashCrowd(b *testing.B)  { benchExperiment(b, "serve-flash") }
 
+// BenchmarkServePriority measures the preemptive temporal-sharing
+// scenario: ~6k interactive requests preempting ~25 ms batch
+// invocations on shared slots (plus the FIFO baseline run), the
+// hottest path through the slot scheduler's suspend/resume machinery.
+func BenchmarkServePriority(b *testing.B) { benchExperiment(b, "serve-priority") }
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSystolicArrayGEMM measures the functional matrix engine: one

@@ -96,7 +96,7 @@ func IDs() []string {
 		"fig19", "fig20", "fig21", "fig22", "fig23", "table3",
 		"fig24", "fig25", "fig26", "fig27",
 		"ablation-harvest", "ablation-preempt", "slo", "cluster",
-		"serve-steady", "serve-flash", "serve-mix",
+		"serve-steady", "serve-flash", "serve-mix", "serve-priority",
 	}
 }
 
@@ -145,6 +145,8 @@ func (r *Runner) Run(id string) (Result, error) {
 		return r.ServeFlashCrowd()
 	case "serve-mix":
 		return r.ServeMixShift()
+	case "serve-priority":
+		return r.ServePriority()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

@@ -115,6 +115,54 @@ func (r *Runner) ServeFlashCrowd() (*ServeResult, error) {
 	return &ServeResult{ID: "serve-flash", Reports: reports}, nil
 }
 
+// ServePriority is the mixed interactive/batch scenario: a
+// latency-sensitive EfficientNet tenant (sub-ms batches, few-ms SLO)
+// and a throughput-oriented Transformer tenant (~25 ms batches) pool
+// their replicas in one temporal-share group, and the same trace is
+// reported twice — priority-aware preemptive scheduling vs. the
+// FIFO-shared baseline. In the FIFO run an interactive request caught
+// behind a TFMR invocation serves an order of magnitude past its SLO;
+// with preemption it checkpoints the batch at the next µTOp-quantum
+// boundary (0.5 ms here, so every resumed segment makes real progress)
+// and the batch tenant pays a bounded, reported goodput/latency cost
+// (see the per-priority section and the preemption line of the table).
+func (r *Runner) ServePriority() (*ServeResult, error) {
+	mk := func(preempt bool) serve.Config {
+		label := "priority"
+		if !preempt {
+			label = "priority/fifo"
+		}
+		return serve.Config{
+			Scenario:    label,
+			Core:        r.opts.Core,
+			Cores:       3,
+			Router:      serve.LeastLoaded,
+			DurationSec: 2.0,
+			Seed:        r.opts.ServeSeed,
+			Preempt:     preempt,
+			// ~50 quantum boundaries per TFMR batch; the budget is sized
+			// so a batch is effectively always preemptible while its wait
+			// stays hard-bounded.
+			PreemptQuantumCycles: 524_288,
+			MaxPreemptsPerBatch:  64,
+			Tenants: []serve.TenantConfig{
+				{Name: "chat", Model: "ENet", Priority: serve.Interactive, ShareGroup: "pool",
+					Load: 0.35, EUs: 4, MaxBatch: 4, InitialReplicas: 1, MaxReplicas: 1},
+				{Name: "analytics", Model: "TFMR", Priority: serve.Batch, ShareGroup: "pool",
+					Load: 0.7, EUs: 4, MaxBatch: 8, SLOFactor: 4, InitialReplicas: 2, MaxReplicas: 2},
+			},
+		}
+	}
+	reports, err := parMapPairs(r.workers(), []bool{true, false},
+		func(_ int, preempt bool) (*serve.Report, error) {
+			return serve.Run(mk(preempt), r.serveCosts())
+		})
+	if err != nil {
+		return nil, fmt.Errorf("serve-priority: %w", err)
+	}
+	return &ServeResult{ID: "serve-priority", Reports: reports}, nil
+}
+
 // ServeMixShift runs two diurnal tenants in antiphase — as one's
 // traffic wanes the other's peaks — so the autoscaler must migrate
 // capacity between them on a fleet too small to hold both peaks at

@@ -21,7 +21,7 @@ func TestServeParallelDeterminism(t *testing.T) {
 		}
 		return r
 	}
-	ids := []string{"serve-flash", "serve-steady"}
+	ids := []string{"serve-flash", "serve-steady", "serve-priority"}
 	seqRes, err := mk(1).RunMany(ids)
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +77,56 @@ func TestServeFlashCrowdRecovery(t *testing.T) {
 	}
 	if on.Tenants[0].ScaleUps == 0 {
 		t.Error("autoscaled run recorded no scale-ups")
+	}
+}
+
+// TestServePriorityRecovery asserts the scenario's headline claim: on
+// the identical trace, priority-aware preemptive temporal sharing
+// recovers the Interactive tenant's SLO attainment that FIFO sharing
+// loses to head-of-line blocking behind ~25 ms batch invocations,
+// while the Batch tenant's goodput degrades only by a bounded amount.
+func TestServePriorityRecovery(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.ServePriority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("serve-priority result has %d reports, want preempt on+off", len(res.Reports))
+	}
+	on, off := res.Reports[0], res.Reports[1]
+	if !on.Preempt || off.Preempt {
+		t.Fatalf("report order wrong: got preempt=%v,%v", on.Preempt, off.Preempt)
+	}
+	for i := range on.Tenants {
+		if on.Tenants[i].Arrivals != off.Tenants[i].Arrivals {
+			t.Errorf("tenant %s: arrival traces diverge across the pair (%d vs %d) — seed plumbing broken",
+				on.Tenants[i].Name, on.Tenants[i].Arrivals, off.Tenants[i].Arrivals)
+		}
+	}
+	inter, batch := on.Tenants[0], on.Tenants[1]
+	gain := inter.SLOAttainment - off.Tenants[0].SLOAttainment
+	if gain < 0.2 {
+		t.Errorf("preemption recovered only %+.3f interactive attainment (on %.3f, off %.3f)",
+			gain, inter.SLOAttainment, off.Tenants[0].SLOAttainment)
+	}
+	// Bounded batch-goodput cost: the Batch tenant may pay for the
+	// interactive rescue, but not more than 30% of its baseline goodput.
+	if floor := 0.7 * off.Tenants[1].GoodputRPS; batch.GoodputRPS < floor {
+		t.Errorf("batch goodput %.1f fell below the bounded-degradation floor %.1f (baseline %.1f)",
+			batch.GoodputRPS, floor, off.Tenants[1].GoodputRPS)
+	}
+	if on.Preemptions == 0 || on.Resumes != on.Preemptions {
+		t.Errorf("preemptive run recorded %d preempts / %d resumes", on.Preemptions, on.Resumes)
+	}
+	if off.Preemptions != 0 {
+		t.Errorf("FIFO baseline recorded %d preemptions", off.Preemptions)
+	}
+	if len(on.Priorities) != 2 || on.Priorities[0].Priority != "interactive" {
+		t.Fatalf("per-priority report malformed: %+v", on.Priorities)
+	}
+	if on.Priorities[1].StolenMs <= 0 {
+		t.Error("batch class reports no stolen cycles despite preemptions")
 	}
 }
 

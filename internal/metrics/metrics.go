@@ -38,8 +38,11 @@ func (l *Latencies) Mean() float64 {
 	return s / float64(len(l.samples))
 }
 
-// Percentile returns the exact p-th percentile (nearest-rank) for
-// p in (0, 100]. It returns 0 when empty.
+// Percentile returns the exact p-th percentile (nearest-rank) of the
+// recorded samples. p is clamped into (0, 100]: p <= 0 returns the
+// smallest sample (nearest-rank would ask for rank 0, which does not
+// exist) and p >= 100 returns the largest. An empty recorder returns 0
+// for every p.
 func (l *Latencies) Percentile(p float64) float64 {
 	if len(l.samples) == 0 {
 		return 0

@@ -33,6 +33,35 @@ func TestLatenciesEmpty(t *testing.T) {
 	if l.Mean() != 0 || l.P95() != 0 || l.Count() != 0 {
 		t.Fatal("empty recorder not zero-valued")
 	}
+	// The documented clamp domain must hold on an empty recorder too:
+	// every p, in and out of range, returns 0 rather than indexing.
+	for _, p := range []float64{-10, 0, 50, 100, 250} {
+		if got := l.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+}
+
+// TestPercentileDomainClamp pins the documented clamp behavior at the
+// domain edges: p <= 0 is the smallest sample, p >= 100 the largest.
+func TestPercentileDomainClamp(t *testing.T) {
+	var l Latencies
+	for _, v := range []float64{30, 10, 20} {
+		l.Add(v)
+	}
+	for _, p := range []float64{-5, 0, 1e-9} {
+		if got := l.Percentile(p); got != 10 {
+			t.Errorf("Percentile(%v) = %v, want 10 (clamped to rank 1)", p, got)
+		}
+	}
+	if got := l.Percentile(100); got != 30 {
+		t.Errorf("Percentile(100) = %v, want 30", got)
+	}
+	for _, p := range []float64{100.5, 1000} {
+		if got := l.Percentile(p); got != 30 {
+			t.Errorf("Percentile(%v) = %v, want 30 (clamped to rank n)", p, got)
+		}
+	}
 }
 
 func TestLatenciesUnsortedInput(t *testing.T) {

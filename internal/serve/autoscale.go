@@ -54,14 +54,20 @@ func (f *fleet) scheduleScale(every float64) {
 func (f *fleet) scaleTenant(t *tenantState, now sim.Time) {
 	samples := t.windowLat.Count()
 	p99 := t.windowLat.P99()
-	backlog := 0
-	for _, r := range t.replicas {
-		backlog += r.backlog()
-	}
+	backlog := f.tenantBacklog(t)
 	violated := t.windowRejected > 0 ||
 		(samples > 0 && p99 > f.cfg.ScaleUpP99Frac*t.sloCycles) ||
 		(samples == 0 && backlog > t.cfg.MaxBatch)
-	calm := t.windowRejected == 0 && samples > 0 && p99 < f.cfg.ScaleDownP99Frac*t.sloCycles
+	// An empty window is read three ways, not two. With queued or
+	// suspended work it is either violated (deep backlog, above) or a
+	// deliberate HOLD (work in flight but nothing completed — a
+	// preemption-heavy interval, or service times longer than the
+	// window — where percentiles would be guesses). With no work at all
+	// it DECAYS: a truly idle tenant is calm, so the fleet shrinks
+	// toward MinReplicas instead of freezing at its last size forever.
+	idle := samples == 0 && backlog == 0
+	calm := t.windowRejected == 0 &&
+		((samples > 0 && p99 < f.cfg.ScaleDownP99Frac*t.sloCycles) || idle)
 
 	switch {
 	case violated && t.activeCount() < t.cfg.MaxReplicas:
@@ -95,6 +101,31 @@ func (f *fleet) scaleTenant(t *tenantState, now sim.Time) {
 	}
 	t.windowLat.Reset()
 	t.windowRejected = 0
+}
+
+// tenantBacklog counts t's own outstanding requests — queued, in
+// service or suspended — across every slot in its serving group. On
+// shared slots this deliberately follows the tenant's requests to
+// peers' replicas: each tenant autoscales against its own demand, not
+// the pool's.
+func (f *fleet) tenantBacklog(t *tenantState) int {
+	n := 0
+	for _, p := range t.peers {
+		for _, r := range p.replicas {
+			if q := r.queueFor(t); q != nil {
+				n += len(q.reqs)
+			}
+			if r.cur != nil && r.cur.ten == t {
+				n += len(r.cur.reqs)
+			}
+			for _, b := range r.susp {
+				if b.ten == t {
+					n += len(b.reqs)
+				}
+			}
+		}
+	}
+	return n
 }
 
 // splitFits reports whether the allocator's split at the given EU budget
@@ -134,19 +165,26 @@ func (f *fleet) spawnReplica(t *tenantState, eus int) error {
 	now := float64(f.eng.Now())
 	f.snapshot(now)
 	f.allocatedEUs += vc.TotalEUs()
-	// Pre-measure the service-time buckets this replica can be asked
-	// for, so launches never fail and cost measurement stays off the
-	// serving hot path.
-	for b := 1; b <= PadBatch(t.cfg.MaxBatch); b <<= 1 {
-		if _, err := f.costs.ServiceCycles(t.cfg.Model, b, a.MEs, a.VEs); err != nil {
-			f.mapper.Unmap(v)
-			f.allocatedEUs -= vc.TotalEUs()
-			f.mapAccepts--
-			return err
+	// Pre-measure the service-time buckets this slot can be asked for —
+	// for EVERY tenant in the share group, since any member's batches
+	// may land here — so launches never fail and cost measurement stays
+	// off the serving hot path.
+	for _, p := range t.peers {
+		for b := 1; b <= PadBatch(p.cfg.MaxBatch); b <<= 1 {
+			if _, err := f.costs.ServiceCycles(p.cfg.Model, b, a.MEs, a.VEs); err != nil {
+				f.mapper.Unmap(v)
+				f.allocatedEUs -= vc.TotalEUs()
+				f.mapAccepts--
+				return err
+			}
 		}
 	}
-	r := &replica{id: t.nextReplicaID, ten: t, vnpu: v, nm: a.MEs, nv: a.VEs, eus: eus}
+	r := &replica{id: t.nextReplicaID, uid: f.nextUID, ten: t, vnpu: v, nm: a.MEs, nv: a.VEs, eus: eus}
+	f.nextUID++
 	t.nextReplicaID++
+	for _, p := range t.peers {
+		r.qs = append(r.qs, slotQueue{ten: p})
+	}
 	t.replicas = append(t.replicas, r)
 	if n := t.activeCount(); n > t.peakReplicas {
 		t.peakReplicas = n
@@ -177,7 +215,7 @@ func (f *fleet) drainOne(t *tenantState, now sim.Time, bySize bool) {
 		if r.draining {
 			continue
 		}
-		if pick == nil || score(r) < score(pick) || (score(r) == score(pick) && r.id > pick.id) {
+		if pick == nil || score(r) < score(pick) || (score(r) == score(pick) && r.uid > pick.uid) {
 			// Prefer the youngest among equals: older replicas carry the
 			// longer-lived queues.
 			pick = r
@@ -187,7 +225,7 @@ func (f *fleet) drainOne(t *tenantState, now sim.Time, bySize bool) {
 		return
 	}
 	pick.draining = true
-	if len(pick.inflight) == 0 && len(pick.queue) == 0 {
+	if pick.idleEmpty() {
 		f.retire(pick, now)
 	}
 	t.replicaTL.Add(float64(now), float64(t.activeCount()))
@@ -204,6 +242,10 @@ func (f *fleet) retire(r *replica, now sim.Time) {
 	if r.timerSet {
 		f.eng.Cancel(r.timer)
 		r.timerSet = false
+	}
+	if r.preemptSet {
+		f.eng.Cancel(r.preemptH)
+		r.preemptSet = false
 	}
 	f.snapshot(float64(now))
 	f.allocatedEUs -= r.vnpu.Config.TotalEUs()

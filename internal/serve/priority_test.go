@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"neu10/internal/arch"
+)
+
+// priorityConfig is the fast mixed-priority scenario the preemption
+// tests run: an Interactive MNIST tenant and a Batch DLRM tenant
+// pooling their replicas in one share group. MNIST batches cost ~13k
+// cycles while DLRM batches cost ~350k, so without preemption an
+// interactive request routinely waits an order of magnitude past its
+// SLO behind an in-flight DLRM batch.
+func priorityConfig(seed uint64, preempt bool) Config {
+	return Config{
+		Scenario:             "prio-test",
+		Core:                 arch.TPUv4Like(),
+		Cores:                3,
+		Router:               LeastLoaded,
+		DurationSec:          0.02,
+		Seed:                 seed,
+		Autoscale:            true,
+		ScaleEverySec:        0.004,
+		Preempt:              preempt,
+		PreemptQuantumCycles: 2048,
+		Tenants: []TenantConfig{
+			{Name: "fg", Model: "MNIST", Priority: Interactive, ShareGroup: "pool",
+				Load: 0.35, EUs: 2, MaxBatch: 2, QueueCap: 16, InitialReplicas: 1, MaxReplicas: 2},
+			{Name: "bg", Model: "DLRM", Priority: Batch, ShareGroup: "pool",
+				Load: 0.7, EUs: 2, MaxBatch: 8, QueueCap: 32, InitialReplicas: 1, MaxReplicas: 2},
+		},
+	}
+}
+
+// TestRouteSurvivesFullDrain is the regression test for the full-drain
+// routing panic: make-before-break churn can leave every replica of a
+// tenant draining, and the pre-fix route() then indexed cands[0] on an
+// empty candidate slice (LeastLoaded/JSQ) or called routeRNG.Intn(0)
+// (PowerOfTwo) and panicked. The fixed router falls back to the
+// least-loaded draining replica, which still serves its queue to
+// completion. The drain sequence below is exactly the autoscaler's own
+// machinery: a make-before-break resize (spawn bigger, drain the old)
+// followed by one more drain of the replacement before any new
+// replica maps — the churn preemptive temporal sharing produces.
+func TestRouteSurvivesFullDrain(t *testing.T) {
+	for _, router := range []RouterPolicy{LeastLoaded, JSQ, PowerOfTwo} {
+		cfg := Config{
+			Scenario:    "drain-test",
+			Core:        arch.TPUv4Like(),
+			Cores:       2,
+			Router:      router,
+			DurationSec: 0.01,
+			Seed:        1,
+			Tenants: []TenantConfig{
+				{Name: "a", Model: "MNIST", Load: 0.5, EUs: 2, MaxBatch: 4, QueueCap: 8},
+			},
+		}
+		f, err := newFleet(cfg, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", router, err)
+		}
+		ten := f.tenants[0]
+
+		// Make-before-break resize: spawn the bigger replica, drain the
+		// old one (it is idle, so it retires on the spot).
+		if err := f.spawnReplica(ten, ten.curEUs+2); err != nil {
+			t.Fatalf("%s: resize spawn: %v", router, err)
+		}
+		ten.curEUs += 2
+		f.drainOne(ten, 0, true)
+		if got := ten.activeCount(); got != 1 {
+			t.Fatalf("%s: after resize, %d active replicas, want 1", router, got)
+		}
+
+		// Queue work on the survivor, then drain it too — the state the
+		// pre-fix router could not survive.
+		f.arrive(ten, 0)
+		f.drainOne(ten, 0, false)
+		if got := ten.activeCount(); got != 0 {
+			t.Fatalf("%s: tenant not fully draining (%d active)", router, got)
+		}
+
+		// Pre-fix: panic. Post-fix: deterministic fallback onto the
+		// least-loaded draining replica; nothing is shed.
+		f.arrive(ten, 0)
+		f.arrive(ten, 0)
+		if ten.rejected != 0 {
+			t.Errorf("%s: %d requests shed during full drain; want queued on a draining replica",
+				router, ten.rejected)
+		}
+
+		// The draining replica still serves its queue and then retires.
+		f.eng.Run()
+		if ten.completed != ten.arrivals {
+			t.Errorf("%s: %d/%d requests completed after full drain", router, ten.completed, ten.arrivals)
+		}
+		if len(ten.replicas) != 0 {
+			t.Errorf("%s: %d replicas linger after drain completed", router, len(ten.replicas))
+		}
+
+		// With no replicas at all, admission rejects instead of panicking.
+		before := ten.rejected
+		f.arrive(ten, f.eng.Now())
+		if ten.rejected != before+1 {
+			t.Errorf("%s: request for a replica-less tenant not admission-rejected", router)
+		}
+	}
+}
+
+// TestPreemptionWorkConservation is the core preempt/resume invariant:
+// every batch's service cycles are priced once at launch and must be
+// delivered exactly once across all of its segments — no work lost, no
+// work duplicated, regardless of how often it was suspended. The FIFO
+// baseline must additionally never preempt at all.
+func TestPreemptionWorkConservation(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	totalPreempts := 0
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := priorityConfig(seed, true)
+		f, err := newFleet(cfg, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ten := range f.tenants {
+			f.scheduleArrival(ten)
+		}
+		f.scheduleScale(cfg.ScaleEverySec * cfg.Core.FrequencyHz)
+		f.eng.Run()
+		rep := f.report()
+
+		pre, res, overhead := f.switches.Snapshot()
+		totalPreempts += pre
+		if pre != res {
+			t.Errorf("seed %d: %d preemptions but %d resumes — a suspended batch was lost", seed, pre, res)
+		}
+		if pre > 0 && overhead <= 0 {
+			t.Errorf("seed %d: %d preemptions with no switch overhead recorded", seed, pre)
+		}
+		for _, ten := range f.tenants {
+			if diff := math.Abs(ten.issuedServiceCycles - ten.servedServiceCycles); diff > 1e-6*ten.issuedServiceCycles {
+				t.Errorf("seed %d tenant %s: issued %.3f service cycles, served %.3f — work not conserved",
+					seed, ten.cfg.Name, ten.issuedServiceCycles, ten.servedServiceCycles)
+			}
+		}
+		for _, tr := range rep.Tenants {
+			if tr.Arrivals != tr.Rejected+tr.Completed {
+				t.Errorf("seed %d tenant %s: %d arrivals ≠ %d rejected + %d completed",
+					seed, tr.Name, tr.Arrivals, tr.Rejected, tr.Completed)
+			}
+		}
+
+		// The FIFO baseline on the identical trace must never preempt.
+		off, err := Run(priorityConfig(seed, false), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Preemptions != 0 || off.Resumes != 0 {
+			t.Errorf("seed %d: FIFO baseline recorded %d preempts / %d resumes",
+				seed, off.Preemptions, off.Resumes)
+		}
+	}
+	if totalPreempts == 0 {
+		t.Error("no preemption occurred across any seed — the invariant was never exercised")
+	}
+}
+
+// TestBatchBoundedWait is the no-starvation property: under sustained
+// Interactive pressure, no Batch batch may be preempted or bypassed
+// more than MaxPreemptsPerBatch times, so its wait is bounded and all
+// of its admitted work completes.
+func TestBatchBoundedWait(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := priorityConfig(seed, true)
+		cfg.Tenants[0].Load = 0.9 // sustained interactive load
+		f, err := newFleet(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ten := range f.tenants {
+			f.scheduleArrival(ten)
+		}
+		f.scheduleScale(cfg.ScaleEverySec * cfg.Core.FrequencyHz)
+		f.eng.Run()
+		bg := f.tenants[1]
+		if bg.maxPreempts > f.cfg.MaxPreemptsPerBatch {
+			t.Errorf("seed %d: a batch suffered %d preempts+bypasses, bound %d",
+				seed, bg.maxPreempts, f.cfg.MaxPreemptsPerBatch)
+		}
+		if bg.completed == 0 {
+			t.Errorf("seed %d: Batch tenant starved outright (0 completions)", seed)
+		}
+		if bg.arrivals != bg.rejected+bg.completed {
+			t.Errorf("seed %d: Batch accounting broken: %d ≠ %d + %d",
+				seed, bg.arrivals, bg.rejected, bg.completed)
+		}
+	}
+}
+
+// TestPriorityByteIdenticalReport extends the determinism guarantee to
+// preemptive runs: same seed, same bytes, warm or cold cost database.
+func TestPriorityByteIdenticalReport(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	r1, err := Run(priorityConfig(9, true), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(priorityConfig(9, true), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Run(priorityConfig(9, true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Table() != r2.Table() || r1.Table() != r3.Table() {
+		t.Errorf("preemptive run is not byte-reproducible:\n%s\nvs\n%s\nvs\n%s",
+			r1.Table(), r2.Table(), r3.Table())
+	}
+	if len(r1.Priorities) != 2 {
+		t.Fatalf("priority report has %d classes, want 2:\n%s", len(r1.Priorities), r1.Table())
+	}
+	if r1.Priorities[0].Priority != Interactive.String() {
+		t.Errorf("priority classes not ordered highest-first: %q", r1.Priorities[0].Priority)
+	}
+}
+
+// TestPriorityImprovesInteractiveTail checks the mechanism does what it
+// is for: on the identical trace, preemptive sharing must improve the
+// Interactive class's SLO attainment over the FIFO baseline while the
+// Batch class keeps completing work.
+func TestPriorityImprovesInteractiveTail(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	on, err := Run(priorityConfig(2, true), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(priorityConfig(2, false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Tenants[0].Arrivals != off.Tenants[0].Arrivals {
+		t.Fatalf("traces diverge: %d vs %d arrivals", on.Tenants[0].Arrivals, off.Tenants[0].Arrivals)
+	}
+	if on.Tenants[0].SLOAttainment <= off.Tenants[0].SLOAttainment {
+		t.Errorf("preemption did not improve interactive attainment: %.3f vs %.3f",
+			on.Tenants[0].SLOAttainment, off.Tenants[0].SLOAttainment)
+	}
+	if on.Tenants[1].Completed == 0 {
+		t.Error("batch tenant completed nothing under preemption")
+	}
+}
+
+// TestEmptyWindowAutoscalerDecision pins the documented three-way read
+// of an empty observation window: backlogged-but-silent windows HOLD
+// the fleet, truly idle windows DECAY it toward MinReplicas (pre-fix,
+// both held forever, freezing an idle tenant at its peak size).
+func TestEmptyWindowAutoscalerDecision(t *testing.T) {
+	mk := func() (*fleet, *tenantState) {
+		cfg := Config{
+			Scenario:    "window-test",
+			Core:        arch.TPUv4Like(),
+			Cores:       2,
+			DurationSec: 0.01,
+			Seed:        1,
+			Autoscale:   true,
+			Tenants: []TenantConfig{
+				{Name: "a", Model: "MNIST", Load: 0.5, EUs: 2, MaxBatch: 4, QueueCap: 8,
+					InitialReplicas: 2, MinReplicas: 1, MaxReplicas: 2},
+			},
+		}
+		f, err := newFleet(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, f.tenants[0]
+	}
+
+	// Hold: an empty window with a small backlog (work in flight,
+	// nothing completed) must change nothing.
+	f, ten := mk()
+	f.arrive(ten, 0)
+	f.scaleTenant(ten, 0)
+	if ten.activeCount() != 2 || ten.scaleDowns != 0 || ten.scaleUps != 0 {
+		t.Errorf("hold: empty window with backlog acted (%d active, %d downs, %d ups)",
+			ten.activeCount(), ten.scaleDowns, ten.scaleUps)
+	}
+
+	// Decay: an empty window with no work at all scales in.
+	f, ten = mk()
+	f.scaleTenant(ten, 0)
+	if ten.activeCount() != 1 || ten.scaleDowns != 1 {
+		t.Errorf("decay: idle window kept %d active replicas (%d scale-downs); want decay toward MinReplicas",
+			ten.activeCount(), ten.scaleDowns)
+	}
+	// And never below MinReplicas.
+	f.scaleTenant(ten, 0)
+	if ten.activeCount() != 1 {
+		t.Errorf("decay went below MinReplicas: %d active", ten.activeCount())
+	}
+}

@@ -13,6 +13,10 @@ type TenantReport struct {
 	Model string  `json:"model"`
 	SLOMs float64 `json:"slo_ms"`
 
+	// Priority class and temporal-sharing pool (empty = private replicas).
+	Priority   string `json:"priority,omitempty"`
+	ShareGroup string `json:"share_group,omitempty"`
+
 	Arrivals  int `json:"arrivals"`
 	Rejected  int `json:"rejected"`
 	Completed int `json:"completed"`
@@ -37,7 +41,40 @@ type TenantReport struct {
 	ScaleFails    int `json:"scale_fails"`
 	MaxQueue      int `json:"max_queue"`
 
+	// Preemptive temporal sharing: how often this tenant's batches were
+	// suspended (and later resumed), how many preemptions its own
+	// batches triggered, the context-switch cycles charged against its
+	// service (as milliseconds), and the worst preempt+bypass count any
+	// single batch suffered (bounded by Config.MaxPreemptsPerBatch).
+	Preemptions     int     `json:"preemptions,omitempty"`
+	PreemptsIssued  int     `json:"preempts_issued,omitempty"`
+	Resumes         int     `json:"resumes,omitempty"`
+	StolenMs        float64 `json:"stolen_ms,omitempty"`
+	MaxBatchPreempt int     `json:"max_batch_preempts,omitempty"`
+
 	ReplicaTimeline *metrics.TimeSeries `json:"-"`
+}
+
+// PriorityReport aggregates the tenants of one priority class: the
+// per-priority latency distribution, SLO attainment and the preemption
+// traffic the class suffered. Only populated when the run configures
+// priorities, share groups or preemption.
+type PriorityReport struct {
+	Priority  string `json:"priority"`
+	Arrivals  int    `json:"arrivals"`
+	Rejected  int    `json:"rejected"`
+	Completed int    `json:"completed"`
+
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+
+	SLOAttainment float64 `json:"slo_attainment"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+
+	Preemptions int     `json:"preemptions"`
+	Resumes     int     `json:"resumes"`
+	StolenMs    float64 `json:"stolen_ms"`
 }
 
 // Report is the outcome of one serving run.
@@ -49,8 +86,16 @@ type Report struct {
 	Router      string  `json:"router"`
 	Placement   string  `json:"placement"`
 	Autoscale   bool    `json:"autoscale"`
+	Preempt     bool    `json:"preempt,omitempty"`
 
 	Tenants []TenantReport `json:"tenants"`
+
+	// Priorities (highest class first) and the fleet-wide preemption
+	// totals; empty/zero for priority-unaware runs.
+	Priorities       []PriorityReport `json:"priorities,omitempty"`
+	Preemptions      int              `json:"preemptions,omitempty"`
+	Resumes          int              `json:"resumes,omitempty"`
+	SwitchOverheadMs float64          `json:"switch_overhead_ms,omitempty"`
 
 	// FleetEUUtil is the fraction of all fleet EU-cycles spent serving.
 	FleetEUUtil float64 `json:"fleet_eu_util"`
@@ -91,6 +136,42 @@ func (rep *Report) Table() string {
 			fmt.Sprintf("%d/%d/%d/%d", t.ScaleUps, t.ScaleDowns, t.Resizes, t.ScaleFails),
 		})
 	}
+	renderTable(&sb, header, rows)
+	if len(rep.Priorities) > 0 {
+		sb.WriteString(rep.priorityTable())
+	}
+	fmt.Fprintf(&sb, "fleet: EU util %.1f%%, allocated EUs %.1f%%, stranded EUs %.2f, placements %d ok / %d failed\n",
+		rep.FleetEUUtil*100, rep.AllocatedEUFrac*100, rep.MeanStrandedEUs, rep.MapAccepts, rep.MapRejects)
+	if rep.Preempt || rep.Preemptions > 0 {
+		fmt.Fprintf(&sb, "preemption: %d preempts, %d resumes, %.2f ms switch overhead\n",
+			rep.Preemptions, rep.Resumes, rep.SwitchOverheadMs)
+	}
+	return sb.String()
+}
+
+// priorityTable renders the per-priority-class section.
+func (rep *Report) priorityTable() string {
+	var sb strings.Builder
+	header := []string{"priority", "arrived", "rejected", "p50(ms)", "p99(ms)", "attain", "goodput(rps)", "preempts", "resumes", "stolen(ms)"}
+	rows := [][]string{}
+	for _, p := range rep.Priorities {
+		rows = append(rows, []string{
+			p.Priority,
+			fmt.Sprint(p.Arrivals), fmt.Sprint(p.Rejected),
+			fmt.Sprintf("%.2f", p.P50Ms), fmt.Sprintf("%.2f", p.P99Ms),
+			fmt.Sprintf("%.1f%%", p.SLOAttainment*100),
+			fmt.Sprintf("%.1f", p.GoodputRPS),
+			fmt.Sprint(p.Preemptions), fmt.Sprint(p.Resumes),
+			fmt.Sprintf("%.2f", p.StolenMs),
+		})
+	}
+	renderTable(&sb, header, rows)
+	return sb.String()
+}
+
+// renderTable writes an aligned plain-text table: header, dashed
+// separator, rows, with column widths fitted to the widest cell.
+func renderTable(sb *strings.Builder, header []string, rows [][]string) {
 	widths := make([]int, len(header))
 	for i, h := range header {
 		widths[i] = len(h)
@@ -107,7 +188,7 @@ func (rep *Report) Table() string {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			fmt.Fprintf(sb, "%-*s", widths[i], c)
 		}
 		sb.WriteByte('\n')
 	}
@@ -122,7 +203,4 @@ func (rep *Report) Table() string {
 	for _, r := range rows {
 		line(r)
 	}
-	fmt.Fprintf(&sb, "fleet: EU util %.1f%%, allocated EUs %.1f%%, stranded EUs %.2f, placements %d ok / %d failed\n",
-		rep.FleetEUUtil*100, rep.AllocatedEUFrac*100, rep.MeanStrandedEUs, rep.MapAccepts, rep.MapRejects)
-	return sb.String()
 }

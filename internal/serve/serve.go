@@ -16,6 +16,11 @@
 // paper's §III-B allocator (EU-budget → ME:VE split) and §III-C mapper
 // (segment-isolated placement under a cluster policy).
 //
+// Tenants can additionally pool their replicas into temporal-shared
+// slots (TenantConfig.ShareGroup) scheduled by request priority with
+// quantum-boundary preemption (Config.Preempt) — see slot.go and
+// docs/SERVING.md.
+//
 // Everything runs on internal/sim's event kernel with seeded RNG
 // streams, so a whole serving run — arrivals, routing coin flips,
 // scaling actions, every percentile in the report — is reproducible
@@ -32,6 +37,7 @@ import (
 	"neu10/internal/metrics"
 	"neu10/internal/model"
 	"neu10/internal/sim"
+	"neu10/internal/virt"
 )
 
 // RouterPolicy selects how the SLO-aware router spreads a tenant's
@@ -60,6 +66,37 @@ func (p RouterPolicy) String() string {
 		return "power-of-two"
 	default:
 		return fmt.Sprintf("router(%d)", int(p))
+	}
+}
+
+// Priority is a request priority class. Every request carries its
+// tenant's priority; on temporal-shared replica slots (see
+// TenantConfig.ShareGroup) a higher-priority batch preempts an
+// in-flight lower-priority one at a µTOp-quantum boundary when
+// Config.Preempt is set.
+type Priority int
+
+const (
+	// Batch is the background class: throughput-oriented work that
+	// tolerates preemption (the zero value, so priority-unaware configs
+	// keep their old behavior).
+	Batch Priority = iota
+	// Interactive is the latency-sensitive class: its batches preempt
+	// Batch work on shared slots.
+	Interactive
+)
+
+// numPriorities sizes per-class accounting arrays.
+const numPriorities = int(Interactive) + 1
+
+func (p Priority) String() string {
+	switch p {
+	case Batch:
+		return "batch"
+	case Interactive:
+		return "interactive"
+	default:
+		return fmt.Sprintf("priority(%d)", int(p))
 	}
 }
 
@@ -129,6 +166,16 @@ type TenantConfig struct {
 	InitialReplicas int // default 1
 	MinReplicas     int // default 1
 	MaxReplicas     int // default InitialReplicas
+
+	// Priority is the class every request of this tenant carries
+	// (default Batch). It only matters on temporal-shared slots.
+	Priority Priority
+	// ShareGroup names a temporal-sharing pool: tenants with the same
+	// non-empty group pool ALL their replicas — any member's requests
+	// may be served by any slot in the pool, each slot keeping one wait
+	// queue per member. Empty (the default) keeps replicas private to
+	// their tenant, exactly the pre-priority behavior.
+	ShareGroup string
 }
 
 func (tc *TenantConfig) defaults() {
@@ -191,6 +238,8 @@ func (tc *TenantConfig) validate() error {
 		return fmt.Errorf("serve: tenant %s max batch %d", tc.Name, tc.MaxBatch)
 	case tc.EUs < 2:
 		return fmt.Errorf("serve: tenant %s EU budget %d < 2 (1 ME + 1 VE)", tc.Name, tc.EUs)
+	case tc.Priority < Batch || tc.Priority > Interactive:
+		return fmt.Errorf("serve: tenant %s priority %d unknown", tc.Name, tc.Priority)
 	}
 	return nil
 }
@@ -218,6 +267,25 @@ type Config struct {
 	// window saw no rejections (default 0.4).
 	ScaleDownP99Frac float64
 
+	// Preempt enables priority-aware preemptive scheduling on
+	// temporal-shared slots: a waiting higher-priority batch preempts an
+	// in-flight lower-priority one at the next µTOp-quantum boundary,
+	// and the victim later resumes with exactly its remaining service
+	// cycles (sched.CheckpointAt models the checkpoint; each
+	// save/restore costs virt.SwitchCycles on the slot). When false,
+	// shared slots serve their queues FIFO by arrival — the no-priority
+	// baseline the serve-priority scenario compares against.
+	Preempt bool
+	// PreemptQuantumCycles is the µTOp-quantum granularity preemption
+	// checkpoints at (default 4096 cycles). Quanta longer than a batch's
+	// service time make that batch effectively non-preemptible.
+	PreemptQuantumCycles float64
+	// MaxPreemptsPerBatch bounds how many times one batch may be
+	// preempted or bypassed before it becomes non-preemptible (default
+	// 4) — the anti-starvation bound for Batch work under sustained
+	// Interactive load.
+	MaxPreemptsPerBatch int
+
 	Tenants []TenantConfig
 }
 
@@ -230,6 +298,12 @@ func (c *Config) defaults() {
 	}
 	if c.ScaleDownP99Frac == 0 {
 		c.ScaleDownP99Frac = 0.4
+	}
+	if c.PreemptQuantumCycles == 0 {
+		c.PreemptQuantumCycles = 4096
+	}
+	if c.MaxPreemptsPerBatch == 0 {
+		c.MaxPreemptsPerBatch = 4
 	}
 }
 
@@ -244,8 +318,12 @@ func (c *Config) validate() error {
 		return fmt.Errorf("serve: duration %v", c.DurationSec)
 	case len(c.Tenants) == 0:
 		return fmt.Errorf("serve: no tenants")
+	case c.PreemptQuantumCycles < 0:
+		return fmt.Errorf("serve: preemption quantum %v", c.PreemptQuantumCycles)
+	case c.MaxPreemptsPerBatch < 1:
+		return fmt.Errorf("serve: max preempts per batch %d", c.MaxPreemptsPerBatch)
 	}
-	// Per-tenant validation happens in Run, against each tenant's
+	// Per-tenant validation happens in newFleet, against each tenant's
 	// defaulted private copy.
 	return nil
 }
@@ -255,26 +333,99 @@ func (c *Config) validate() error {
 // request is one queued inference request, identified by arrival time.
 type request = sim.Time
 
-// replica is one mapped vNPU serving a tenant.
+// slotQueue is one tenant's wait queue on a replica slot. Private
+// replicas have exactly one (the owner's); temporal-shared slots carry
+// one per share-group member, in tenant-index order.
+type slotQueue struct {
+	ten  *tenantState
+	reqs []request
+}
+
+// batch is one batched invocation bound to a slot: in service, or
+// suspended mid-service by a preemption. total and remaining partition
+// its pure service cycles exactly (work conservation); restore is the
+// context-switch debt paid at the start of the next segment.
+type batch struct {
+	ten  *tenantState
+	reqs []request
+
+	total     float64 // pure service cycles (CostDB, fixed at launch)
+	remaining float64 // service cycles still owed
+	restore   float64 // switch cycles to pay before service (re)starts
+
+	started  sim.Time   // start of the current segment
+	doneH    sim.Handle // scheduled completion of the current segment
+	preempts int        // preemptions + priority bypasses suffered
+}
+
+// replica is one mapped vNPU slot. It is owned (spawned, drained,
+// retired) by one tenant's autoscaler, but when that tenant is in a
+// share group the slot serves every group member.
 type replica struct {
-	id     int
+	id  int // owner-tenant spawn ordinal (display)
+	uid int // fleet-unique spawn ordinal: global age for tie-breaks
+
 	ten    *tenantState
 	vnpu   *core.VNPU
 	nm, nv int
 	eus    int // EU budget this replica was allocated at
 
-	queue    []request // admitted, waiting
-	inflight []request // the batch currently in service
-	timerSet bool
-	timer    sim.Handle
-	draining bool
-	retired  bool
+	qs   []slotQueue // admitted, waiting; one queue per serving tenant
+	cur  *batch      // the batch currently in service
+	susp []*batch    // preempted batches awaiting resume (LIFO)
 
-	busyEUCycles float64 // Σ service-cycles × (nm+nv)
+	timerSet   bool
+	timer      sim.Handle
+	timerAt    sim.Time // armed batch-window deadline
+	preemptSet bool
+	preemptH   sim.Handle
+	draining   bool
+	retired    bool
+
+	busyEUCycles float64 // Σ occupied-cycles × (nm+nv), incl. switch overhead
+}
+
+// queueFor returns t's wait queue on this slot (nil when t is not
+// served here).
+func (r *replica) queueFor(t *tenantState) *slotQueue {
+	for i := range r.qs {
+		if r.qs[i].ten == t {
+			return &r.qs[i]
+		}
+	}
+	return nil
+}
+
+// queued counts waiting requests across the slot's queues.
+func (r *replica) queued() int {
+	n := 0
+	for i := range r.qs {
+		n += len(r.qs[i].reqs)
+	}
+	return n
+}
+
+// inService counts requests bound to the slot: the running batch plus
+// every suspended one.
+func (r *replica) inService() int {
+	n := 0
+	if r.cur != nil {
+		n += len(r.cur.reqs)
+	}
+	for _, b := range r.susp {
+		n += len(b.reqs)
+	}
+	return n
 }
 
 // backlog is the router's load signal: queued plus in-service requests.
-func (r *replica) backlog() int { return len(r.queue) + len(r.inflight) }
+func (r *replica) backlog() int { return r.queued() + r.inService() }
+
+// idleEmpty reports whether the slot holds no work at all — the retire
+// condition for a draining slot.
+func (r *replica) idleEmpty() bool {
+	return r.cur == nil && len(r.susp) == 0 && r.queued() == 0
+}
 
 // tenantState is the runtime of one tenant.
 type tenantState struct {
@@ -294,6 +445,11 @@ type tenantState struct {
 	arrRNG   *sim.RNG // arrival gaps + thinning coin
 	routeRNG *sim.RNG // power-of-two sampling
 
+	// peers are the share-group members this tenant pools slots with,
+	// in tenant-index order, always including the tenant itself. An
+	// ungrouped tenant's peers are just {itself}.
+	peers []*tenantState
+
 	replicas      []*replica // active + draining (retired ones removed)
 	nextReplicaID int
 
@@ -311,6 +467,18 @@ type tenantState struct {
 	resizes        int
 	scaleFails     int
 	replicaTL      *metrics.TimeSeries
+
+	// preemption accounting
+	preempted      int     // this tenant's batches suspended mid-service
+	preemptsIssued int     // preemptions its batches triggered on others
+	resumes        int     // suspended batches resumed
+	stolenCycles   float64 // switch overhead charged against its batches
+	maxPreempts    int     // worst preempt+bypass count on a single batch
+
+	// work-conservation ledger (tests): service cycles priced at launch
+	// versus service cycles actually delivered across all segments.
+	issuedServiceCycles float64
+	servedServiceCycles float64
 }
 
 // rateMult evaluates the deterministic rate envelope at time t (cycles).
@@ -350,17 +518,27 @@ type fleet struct {
 
 	tenants   []*tenantState
 	nextVNPU  int
+	nextUID   int
 	durCycles float64
 
+	// prioEnabled: any share group, non-default priority, or Preempt —
+	// gates the per-priority report section so priority-unaware configs
+	// render exactly as before.
+	prioEnabled bool
+	prioLat     [numPriorities]metrics.Latencies
+	switches    virt.SwitchLedger
+
 	// time-weighted fleet accounting (lazy snapshots, like internal/cluster)
-	lastSnap     float64
-	allocatedEUs int
-	allocArea    float64
-	strandArea   float64
-	busySum      float64 // busyEUCycles of retired replicas
-	mapAccepts   int
-	mapRejects   int
-	routeScratch []*replica
+	lastSnap      float64
+	allocatedEUs  int
+	allocArea     float64
+	strandArea    float64
+	busySum       float64 // busyEUCycles of retired replicas
+	mapAccepts    int
+	mapRejects    int
+	routeScratch  []*replica
+	routeScratch2 []*replica
+	batchFree     []*batch // recycled batch instances (zero-alloc steady state)
 }
 
 // Run executes one serving scenario. The optional CostDB carries
@@ -368,6 +546,25 @@ type fleet struct {
 // seeds); pass nil to build a private one. Costs are pure functions of
 // (model, batch, shape), so sharing the database never changes results.
 func Run(cfg Config, db *CostDB) (*Report, error) {
+	f, err := newFleet(cfg, db)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range f.tenants {
+		f.scheduleArrival(t)
+	}
+	if f.cfg.Autoscale {
+		f.scheduleScale(f.cfg.ScaleEverySec * f.cfg.Core.FrequencyHz)
+	}
+	f.eng.Run()
+	return f.report(), nil
+}
+
+// newFleet validates the config and builds the fully initialized fleet
+// — tenants, share groups, initial replicas, SLOs and rates — without
+// scheduling any traffic, so tests can drive autoscaler and routing
+// paths directly.
+func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 	cfg.defaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -393,6 +590,8 @@ func Run(cfg Config, db *CostDB) (*Report, error) {
 		durCycles: cfg.DurationSec * cfg.Core.FrequencyHz,
 	}
 	cm := compiler.NewCostModel(cfg.Core)
+	// Phase 1: build every tenant, so share groups can be resolved
+	// before any slot (whose queues span the whole group) is spawned.
 	for i := range cfg.Tenants {
 		t := &tenantState{cfg: cfg.Tenants[i], idx: i}
 		t.cfg.defaults()
@@ -410,14 +609,28 @@ func Run(cfg Config, db *CostDB) (*Report, error) {
 		t.routeRNG = sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0xbf58476d1ce4e5b9)
 		t.replicaTL = metrics.NewTimeSeries(t.cfg.Name+"/replicas", 4096)
 		f.tenants = append(f.tenants, t)
-
+		if t.cfg.ShareGroup != "" || t.cfg.Priority != Batch {
+			f.prioEnabled = true
+		}
+	}
+	if cfg.Preempt {
+		f.prioEnabled = true
+	}
+	for _, t := range f.tenants {
+		for _, p := range f.tenants { // tenant-index order: deterministic
+			if p == t || (t.cfg.ShareGroup != "" && p.cfg.ShareGroup == t.cfg.ShareGroup) {
+				t.peers = append(t.peers, p)
+			}
+		}
+	}
+	// Phase 2: spawn initial replicas and derive SLOs and offered rates
+	// from the measured full-batch service time of one fresh replica.
+	for _, t := range f.tenants {
 		for k := 0; k < t.cfg.InitialReplicas; k++ {
 			if err := f.spawnReplica(t, t.curEUs); err != nil {
 				return nil, fmt.Errorf("serve: tenant %s initial replica %d: %w", t.cfg.Name, k, err)
 			}
 		}
-		// SLO and offered rate derive from the measured full-batch
-		// service time of one freshly spawned replica.
 		r0 := t.replicas[0]
 		full, err := db.ServiceCycles(t.cfg.Model, t.cfg.MaxBatch, r0.nm, r0.nv)
 		if err != nil {
@@ -448,13 +661,8 @@ func Run(cfg Config, db *CostDB) (*Report, error) {
 		} else if t.cfg.Arrival == Diurnal {
 			t.peakMult = 1 + t.cfg.DiurnalDepth
 		}
-		f.scheduleArrival(t)
 	}
-	if cfg.Autoscale {
-		f.scheduleScale(cfg.ScaleEverySec * cfg.Core.FrequencyHz)
-	}
-	f.eng.Run()
-	return f.report(), nil
+	return f, nil
 }
 
 // scheduleArrival queues the next candidate arrival of the tenant's
@@ -476,42 +684,107 @@ func (f *fleet) scheduleArrival(t *tenantState) {
 }
 
 // arrive routes one request and applies admission control: a request
-// bound for a replica whose queue is at QueueCap is rejected (shed at
-// the front door) rather than queued into certain SLO violation.
+// bound for a slot where the tenant's queue is at QueueCap is rejected
+// (shed at the front door) rather than queued into certain SLO
+// violation. A tenant with no replica at all — not even a draining one
+// — also sheds (admission-reject); route documents when that happens.
 func (f *fleet) arrive(t *tenantState, now sim.Time) {
 	t.arrivals++
 	r := f.route(t)
-	if len(r.queue) >= t.cfg.QueueCap {
+	if r == nil {
 		t.rejected++
 		if f.cfg.Autoscale {
 			t.windowRejected++
 		}
 		return
 	}
-	r.queue = append(r.queue, now)
-	if len(r.queue) > t.maxQueue {
-		t.maxQueue = len(r.queue)
+	q := r.queueFor(t)
+	if len(q.reqs) >= t.cfg.QueueCap {
+		t.rejected++
+		if f.cfg.Autoscale {
+			t.windowRejected++
+		}
+		return
 	}
-	f.maybeLaunch(r)
+	q.reqs = append(q.reqs, now)
+	if len(q.reqs) > t.maxQueue {
+		t.maxQueue = len(q.reqs)
+	}
+	f.poke(r, t, now)
 }
 
-// route picks the target replica among the tenant's non-draining
-// replicas. All ties break toward the older replica, keeping the
+// route picks the target slot among the serving group's non-draining
+// replicas (the tenant's own, plus every share-group peer's). All ties
+// break toward the older slot (smaller fleet-wide uid), keeping the
 // decision deterministic.
+//
+// When every slot in the group is draining — make-before-break resize
+// churn and preemptive drains reach exactly this state — the request
+// falls back deterministically to the least-loaded *draining* slot: a
+// draining slot still serves its queue to completion, so queueing
+// there beats shedding. (Before this guard the function indexed
+// cands[0] on an empty slice, and the PowerOfTwo path called
+// routeRNG.Intn(0); a fully draining tenant panicked the router.)
+// Only a tenant with no replicas at all returns nil, and arrive then
+// sheds the request.
 func (f *fleet) route(t *tenantState) *replica {
 	cands := f.routeScratch[:0]
-	for _, r := range t.replicas {
-		if !r.draining {
-			cands = append(cands, r)
+	for _, p := range t.peers {
+		for _, r := range p.replicas {
+			if !r.draining {
+				cands = append(cands, r)
+			}
 		}
 	}
 	f.routeScratch = cands
+	if len(cands) == 0 {
+		// Prefer a draining slot where t's queue still has room (the
+		// same open-queue filter the non-draining path applies below) so
+		// the fallback never sheds while a sibling could still queue.
+		var pick, open *replica
+		better := func(r, cur *replica) bool {
+			return cur == nil || r.backlog() < cur.backlog() ||
+				(r.backlog() == cur.backlog() && r.uid < cur.uid)
+		}
+		for _, p := range t.peers {
+			for _, r := range p.replicas {
+				if better(r, pick) {
+					pick = r
+				}
+				if len(r.queueFor(t).reqs) < t.cfg.QueueCap && better(r, open) {
+					open = r
+				}
+			}
+		}
+		if open != nil {
+			return open
+		}
+		return pick
+	}
+	// On a shared pool the load signal (whole-slot backlog) can disagree
+	// with the tenant's own queue depth — a slot can look light because
+	// the PEER's queue is empty while t's queue there is already at
+	// QueueCap. Never route into a full per-tenant queue while a sibling
+	// slot still has room; when every queue is full, fall through to the
+	// plain candidates and let admission shed as before.
+	if len(t.peers) > 1 {
+		open := f.routeScratch2[:0]
+		for _, r := range cands {
+			if len(r.queueFor(t).reqs) < t.cfg.QueueCap {
+				open = append(open, r)
+			}
+		}
+		f.routeScratch2 = open
+		if len(open) > 0 {
+			cands = open
+		}
+	}
 	if len(cands) == 1 {
 		return cands[0]
 	}
 	load := func(r *replica) int {
 		if f.cfg.Router == JSQ {
-			return len(r.queue)
+			return r.queued()
 		}
 		return r.backlog()
 	}
@@ -522,89 +795,18 @@ func (f *fleet) route(t *tenantState) *replica {
 			j++
 		}
 		a, b := cands[i], cands[j]
-		if load(b) < load(a) || (load(b) == load(a) && b.id < a.id) {
+		if load(b) < load(a) || (load(b) == load(a) && b.uid < a.uid) {
 			return b
 		}
 		return a
 	}
 	best := cands[0]
 	for _, r := range cands[1:] {
-		if load(r) < load(best) {
+		if load(r) < load(best) || (load(r) == load(best) && r.uid < best.uid) {
 			best = r
 		}
 	}
 	return best
-}
-
-// maybeLaunch starts a batch on an idle replica: immediately when the
-// queue already fills the batch, otherwise after the batch window so
-// stragglers can coalesce.
-func (f *fleet) maybeLaunch(r *replica) {
-	if len(r.inflight) > 0 || len(r.queue) == 0 || r.retired {
-		return
-	}
-	if len(r.queue) >= r.ten.cfg.MaxBatch {
-		f.launch(r)
-		return
-	}
-	if !r.timerSet {
-		r.timerSet = true
-		r.timer = f.eng.After(sim.Time(r.ten.batchWindow)+1, func(sim.Time) {
-			r.timerSet = false
-			if len(r.inflight) == 0 && len(r.queue) > 0 && !r.retired {
-				f.launch(r)
-			}
-		})
-	}
-}
-
-// launch takes up to MaxBatch requests off the queue and schedules the
-// batched invocation's completion at its measured service time.
-func (f *fleet) launch(r *replica) {
-	t := r.ten
-	if r.timerSet {
-		f.eng.Cancel(r.timer)
-		r.timerSet = false
-	}
-	n := len(r.queue)
-	if n > t.cfg.MaxBatch {
-		n = t.cfg.MaxBatch
-	}
-	r.inflight = append(r.inflight[:0], r.queue[:n]...)
-	rest := copy(r.queue, r.queue[n:])
-	r.queue = r.queue[:rest]
-	cycles, err := f.costs.ServiceCycles(t.cfg.Model, n, r.nm, r.nv)
-	if err != nil {
-		// Model and shapes were validated at spawn; a miss here is a bug.
-		panic(fmt.Sprintf("serve: costing launched batch: %v", err))
-	}
-	r.busyEUCycles += cycles * float64(r.nm+r.nv)
-	f.eng.After(sim.Time(cycles)+1, func(now sim.Time) { f.complete(r, now) })
-}
-
-// complete retires a finished batch, records per-request latencies, and
-// immediately relaunches when a backlog is waiting (no window: the
-// batcher only dawdles when idle).
-func (f *fleet) complete(r *replica, now sim.Time) {
-	t := r.ten
-	for _, at := range r.inflight {
-		lat := float64(now - at)
-		t.lat.Add(lat)
-		if f.cfg.Autoscale {
-			// The observation window only exists for the autoscaler; a
-			// fixed fleet would just duplicate every sample unread.
-			t.windowLat.Add(lat)
-		}
-		t.completed++
-	}
-	r.inflight = r.inflight[:0]
-	if r.draining && len(r.queue) == 0 {
-		f.retire(r, now)
-		return
-	}
-	if len(r.queue) > 0 {
-		f.launch(r)
-	}
 }
 
 // report assembles the final Report once the event queue has drained.
@@ -625,7 +827,16 @@ func (f *fleet) report() *Report {
 		Router:      f.cfg.Router.String(),
 		Placement:   f.cfg.Placement.String(),
 		Autoscale:   f.cfg.Autoscale,
+		Preempt:     f.cfg.Preempt,
 	}
+	type classAgg struct {
+		present            bool
+		arrivals, rejected int
+		completed, sloOK   int
+		preempted, resumes int
+		stolen             float64
+	}
+	var agg [numPriorities]classAgg
 	busy := f.busySum
 	for _, t := range f.tenants {
 		for _, r := range t.replicas {
@@ -652,7 +863,25 @@ func (f *fleet) report() *Report {
 			Resizes:         t.resizes,
 			ScaleFails:      t.scaleFails,
 			MaxQueue:        t.maxQueue,
+			Preemptions:     t.preempted,
+			PreemptsIssued:  t.preemptsIssued,
+			Resumes:         t.resumes,
+			StolenMs:        ms(t.stolenCycles),
+			MaxBatchPreempt: t.maxPreempts,
 			ReplicaTimeline: t.replicaTL,
+		}
+		if f.prioEnabled {
+			tr.Priority = t.cfg.Priority.String()
+			tr.ShareGroup = t.cfg.ShareGroup
+			a := &agg[t.cfg.Priority]
+			a.present = true
+			a.arrivals += t.arrivals
+			a.rejected += t.rejected
+			a.completed += t.completed
+			a.sloOK += sloOK
+			a.preempted += t.preempted
+			a.resumes += t.resumes
+			a.stolen += t.stolenCycles
 		}
 		if t.arrivals > 0 {
 			// Rejected requests count against attainment: a shed request
@@ -661,6 +890,33 @@ func (f *fleet) report() *Report {
 		}
 		rep.Tenants = append(rep.Tenants, tr)
 	}
+	for p := numPriorities - 1; p >= 0; p-- { // highest class first
+		a := agg[p]
+		if !a.present {
+			continue
+		}
+		lat := &f.prioLat[p]
+		pr := PriorityReport{
+			Priority:    Priority(p).String(),
+			Arrivals:    a.arrivals,
+			Rejected:    a.rejected,
+			Completed:   a.completed,
+			P50Ms:       ms(lat.P50()),
+			P95Ms:       ms(lat.P95()),
+			P99Ms:       ms(lat.P99()),
+			GoodputRPS:  float64(a.sloOK) / f.cfg.DurationSec,
+			Preemptions: a.preempted,
+			Resumes:     a.resumes,
+			StolenMs:    ms(a.stolen),
+		}
+		if a.arrivals > 0 {
+			pr.SLOAttainment = float64(a.sloOK) / float64(a.arrivals)
+		}
+		rep.Priorities = append(rep.Priorities, pr)
+	}
+	var overhead float64
+	rep.Preemptions, rep.Resumes, overhead = f.switches.Snapshot()
+	rep.SwitchOverheadMs = ms(overhead)
 	totalEUs := float64(f.cfg.Cores * (f.cfg.Core.MEs + f.cfg.Core.VEs))
 	if end > 0 {
 		rep.FleetEUUtil = busy / (end * totalEUs)

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"fmt"
+
+	"neu10/internal/sched"
+	"neu10/internal/sim"
+)
+
+// Slot scheduling: dynamic batching plus priority-aware preemptive
+// temporal sharing. A replica is a slot that can interleave batches
+// from every tenant in its share group. With Config.Preempt off, the
+// slot serves its queues FIFO by arrival (the no-priority baseline);
+// with it on, a waiting higher-priority batch preempts the in-flight
+// lower-priority one at the next µTOp-quantum boundary:
+//
+//	maybePreempt: pick boundary via sched.CheckpointAt ──► suspend:
+//	cancel completion, bank Remaining (work conservation), pay the
+//	checkpoint save (virt.SwitchCycles), launch the preemptor ──►
+//	dispatch on completion: resume the suspended batch (paying the
+//	restore) unless an even higher-priority queue is waiting and the
+//	victim still has bypass budget (MaxPreemptsPerBatch bounds
+//	preempts + bypasses, so Batch work cannot starve).
+
+// takeBatch returns a recycled (or new) batch instance; retired
+// batches go back through putBatch so the steady-state launch path
+// reuses both the struct and its request slice instead of allocating
+// per invocation (the same pooling discipline as sched's µTOp pool).
+func (f *fleet) takeBatch() *batch {
+	if n := len(f.batchFree); n > 0 {
+		b := f.batchFree[n-1]
+		f.batchFree[n-1] = nil
+		f.batchFree = f.batchFree[:n-1]
+		return b
+	}
+	return &batch{}
+}
+
+func (f *fleet) putBatch(b *batch) {
+	reqs := b.reqs[:0]
+	*b = batch{reqs: reqs}
+	f.batchFree = append(f.batchFree, b)
+}
+
+// bestReady returns the queue the slot would launch from next: the
+// highest-priority non-empty queue under Preempt, else FIFO by the
+// head request's arrival time. Ties break by arrival time, then by
+// tenant index (queue order), so the choice is deterministic.
+func (f *fleet) bestReady(r *replica) *slotQueue {
+	var pick *slotQueue
+	for i := range r.qs {
+		q := &r.qs[i]
+		if len(q.reqs) == 0 {
+			continue
+		}
+		if pick == nil {
+			pick = q
+			continue
+		}
+		if f.cfg.Preempt {
+			if q.ten.cfg.Priority > pick.ten.cfg.Priority {
+				pick = q
+				continue
+			}
+			if q.ten.cfg.Priority < pick.ten.cfg.Priority {
+				continue
+			}
+		}
+		if q.reqs[0] < pick.reqs[0] {
+			pick = q
+		}
+	}
+	return pick
+}
+
+// poke reacts to a new arrival of tenant t on slot r: it may preempt
+// the running batch, launch immediately when t's queue already fills a
+// batch, or arm the batch-window timer so stragglers can coalesce. On
+// a shared slot each tenant waits at most its OWN window: when the
+// armed deadline (set by a slower tenant's window) lands later than
+// this arrival's, the timer is re-armed to the sooner deadline, so an
+// Interactive request is never held behind a Batch tenant's much
+// longer coalescing wait.
+func (f *fleet) poke(r *replica, t *tenantState, now sim.Time) {
+	if r.retired {
+		return
+	}
+	if r.cur != nil {
+		f.maybePreempt(r, now)
+		return
+	}
+	if len(r.queueFor(t).reqs) >= t.cfg.MaxBatch {
+		f.dispatch(r, now)
+		return
+	}
+	deadline := now + sim.Time(t.batchWindow) + 1
+	if r.timerSet {
+		if deadline >= r.timerAt {
+			return
+		}
+		f.eng.Cancel(r.timer)
+	}
+	r.timerSet = true
+	r.timerAt = deadline
+	r.timer = f.eng.At(deadline, func(now sim.Time) {
+		r.timerSet = false
+		if r.cur == nil && !r.retired {
+			f.dispatch(r, now)
+		}
+	})
+}
+
+// dispatch fills a free slot: resume the most recently suspended batch
+// or launch from the best ready queue — and under Preempt, let a
+// strictly higher-priority queue bypass the suspended batch while its
+// preempt budget lasts. A draining slot with nothing left retires.
+func (f *fleet) dispatch(r *replica, now sim.Time) {
+	if r.retired || r.cur != nil {
+		return
+	}
+	if n := len(r.susp); n > 0 {
+		top := r.susp[n-1]
+		if f.cfg.Preempt {
+			if q := f.bestReady(r); q != nil && q.ten.cfg.Priority > top.ten.cfg.Priority &&
+				top.preempts < f.cfg.MaxPreemptsPerBatch {
+				// A bypass spends the same budget a preemption does:
+				// that is what bounds a Batch batch's total wait.
+				top.preempts++
+				if top.preempts > top.ten.maxPreempts {
+					top.ten.maxPreempts = top.preempts
+				}
+				f.launchFrom(r, q, now, 0)
+				return
+			}
+		}
+		r.susp = r.susp[:n-1]
+		f.resume(r, top, now)
+		return
+	}
+	if q := f.bestReady(r); q != nil {
+		f.launchFrom(r, q, now, 0)
+		return
+	}
+	if r.draining && r.idleEmpty() {
+		f.retire(r, now)
+	}
+}
+
+// launchFrom takes up to MaxBatch requests off queue q and starts the
+// batch on slot r, with `restore` switch cycles to pay first (the
+// checkpoint save of a just-preempted victim, or zero).
+func (f *fleet) launchFrom(r *replica, q *slotQueue, now sim.Time, restore float64) {
+	t := q.ten
+	if r.timerSet {
+		f.eng.Cancel(r.timer)
+		r.timerSet = false
+	}
+	n := len(q.reqs)
+	if n > t.cfg.MaxBatch {
+		n = t.cfg.MaxBatch
+	}
+	b := f.takeBatch()
+	b.ten, b.restore = t, restore
+	b.reqs = append(b.reqs[:0], q.reqs[:n]...)
+	rest := copy(q.reqs, q.reqs[n:])
+	q.reqs = q.reqs[:rest]
+	cycles, err := f.costs.ServiceCycles(t.cfg.Model, n, r.nm, r.nv)
+	if err != nil {
+		// Every group member's model was pre-measured at spawn for this
+		// slot shape; a miss here is a bug.
+		panic(fmt.Sprintf("serve: costing launched batch: %v", err))
+	}
+	b.total, b.remaining = cycles, cycles
+	t.issuedServiceCycles += cycles
+	f.startSegment(r, b, now)
+}
+
+// startSegment puts batch b in service on slot r and schedules the
+// segment's completion: restore debt first, then the remaining service.
+func (f *fleet) startSegment(r *replica, b *batch, now sim.Time) {
+	b.started = now
+	r.cur = b
+	seg := b.restore + b.remaining
+	b.doneH = f.eng.After(sim.Time(seg)+1, func(now sim.Time) { f.finish(r, b, now) })
+}
+
+// finish retires a completed batch: per-request latencies, per-priority
+// recorders, work-conservation ledger, then refills the slot.
+func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
+	t := b.ten
+	for _, at := range b.reqs {
+		lat := float64(now - at)
+		t.lat.Add(lat)
+		if f.cfg.Autoscale {
+			// The observation window only exists for the autoscaler; a
+			// fixed fleet would just duplicate every sample unread.
+			t.windowLat.Add(lat)
+		}
+		if f.prioEnabled {
+			f.prioLat[t.cfg.Priority].Add(lat)
+		}
+		t.completed++
+	}
+	r.busyEUCycles += (b.restore + b.remaining) * float64(r.nm+r.nv)
+	t.servedServiceCycles += b.remaining
+	r.cur = nil
+	if r.preemptSet { // defensive: a preemption can never outlive its target
+		f.eng.Cancel(r.preemptH)
+		r.preemptSet = false
+	}
+	f.putBatch(b)
+	f.dispatch(r, now)
+}
+
+// maybePreempt checks whether the running batch should yield to a
+// waiting higher-priority one and, if so, schedules the suspension at
+// the next µTOp-quantum boundary (sched.CheckpointAt). Each segment is
+// guaranteed at least one quantum of fresh progress, so preemption can
+// never livelock a batch, and MaxPreemptsPerBatch caps how often one
+// batch yields at all.
+func (f *fleet) maybePreempt(r *replica, now sim.Time) {
+	if !f.cfg.Preempt || r.cur == nil || r.preemptSet {
+		return
+	}
+	b := r.cur
+	q := f.bestReady(r)
+	if q == nil || q.ten.cfg.Priority <= b.ten.cfg.Priority {
+		return
+	}
+	if b.preempts >= f.cfg.MaxPreemptsPerBatch {
+		return
+	}
+	done := b.total - b.remaining
+	serviceStart := float64(b.started) + b.restore
+	elapsed := done + (float64(now) - serviceStart)
+	if elapsed < done {
+		elapsed = done // still paying the restore: no service progress yet
+	}
+	rp := sched.CheckpointAt(b.total, elapsed, f.cfg.PreemptQuantumCycles)
+	if rp.Completed <= done {
+		// Sitting exactly on the last checkpoint: insist on one quantum
+		// of fresh progress before yielding again.
+		rp = sched.CheckpointAt(b.total, done+f.cfg.PreemptQuantumCycles, f.cfg.PreemptQuantumCycles)
+	}
+	if rp.Remaining < 1 {
+		return // the batch completes at (or within a cycle of) the boundary
+	}
+	at := serviceStart + (rp.Completed - done)
+	r.preemptSet = true
+	r.preemptH = f.eng.At(sim.Time(at)+1, func(now sim.Time) { f.suspend(r, b, rp, now) })
+}
+
+// suspend checkpoints the running batch at its quantum boundary: the
+// completed fraction rp reports is banked (work conservation: served +
+// Remaining == total exactly), the checkpoint save is charged to the
+// slot, and the waiting higher-priority batch launches behind it.
+func (f *fleet) suspend(r *replica, b *batch, rp sched.ResumePoint, now sim.Time) {
+	r.preemptSet = false
+	if r.cur != b {
+		return // the batch finished first (defensive; finish cancels us)
+	}
+	q := f.bestReady(r)
+	if q == nil || q.ten.cfg.Priority <= b.ten.cfg.Priority {
+		return // urgency evaporated before the boundary (defensive)
+	}
+	f.eng.Cancel(b.doneH)
+	t := b.ten
+	t.servedServiceCycles += rp.Completed - (b.total - b.remaining)
+	r.busyEUCycles += float64(now-b.started) * float64(r.nm+r.nv)
+	b.remaining = rp.Remaining
+	b.preempts++
+	if b.preempts > t.maxPreempts {
+		t.maxPreempts = b.preempts
+	}
+	t.preempted++
+	q.ten.preemptsIssued++
+	sw := f.switches.RecordPreempt(r.nm, r.nv)
+	t.stolenCycles += sw
+	r.cur = nil
+	r.susp = append(r.susp, b)
+	// The preemptor pays the victim's checkpoint save before it runs.
+	f.launchFrom(r, q, now, sw)
+}
+
+// resume restores a suspended batch: it owes exactly its banked
+// remaining service plus the checkpoint-restore debt.
+func (f *fleet) resume(r *replica, b *batch, now sim.Time) {
+	t := b.ten
+	sw := f.switches.RecordResume(r.nm, r.nv)
+	b.restore = sw
+	t.resumes++
+	t.stolenCycles += sw
+	f.startSegment(r, b, now)
+}
