@@ -83,6 +83,12 @@ func BenchmarkServeFlashCrowd(b *testing.B)  { benchExperiment(b, "serve-flash")
 // hottest path through the slot scheduler's suspend/resume machinery.
 func BenchmarkServePriority(b *testing.B) { benchExperiment(b, "serve-priority") }
 
+// BenchmarkServeLLM measures the KV-cache-aware LLM serving scenario:
+// continuous vs static batching of ~100 autoregressive requests (one
+// prefill + per-token decode iterations each) on a two-replica fleet,
+// the hot path through the iteration-level batcher and KV accountant.
+func BenchmarkServeLLM(b *testing.B) { benchExperiment(b, "serve-llm") }
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSystolicArrayGEMM measures the functional matrix engine: one

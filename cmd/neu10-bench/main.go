@@ -5,10 +5,20 @@
 //	neu10-bench -exp fig19 -requests 16
 //	neu10-bench -list
 //	neu10-bench -exp all -json        # also write a BENCH_<n>.json perf snapshot
+//	neu10-bench -exp all -compare BENCH_3.json   # CI regression gate
 //
 // Experiments fan their scenario simulations across a worker pool
 // (-workers, default GOMAXPROCS); tables are byte-identical to a
 // sequential run for the same seed.
+//
+// With -compare, the fresh per-figure timings are checked against a
+// committed baseline snapshot: the run fails (exit 1) when any figure
+// both snapshots name slowed down by more than -tolerance× (default
+// 2.5×, deliberately generous — CI runners are noisy; the gate exists
+// to catch order-of-magnitude regressions, not jitter). Figures absent
+// from the baseline pass unchecked, and sub-5 ms baselines are floored
+// before comparing, so microsecond figures cannot trip the gate on
+// scheduler noise.
 package main
 
 import (
@@ -54,6 +64,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut  = flag.Bool("json", false, "write a BENCH_<n>.json perf snapshot (total ns/allocs/bytes per figure regeneration)")
 		jsonDir  = flag.String("json-dir", ".", "directory for the BENCH_<n>.json snapshot")
+		compare  = flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on any >tolerance slowdown")
+		tol      = flag.Float64("tolerance", 2.5, "slowdown factor tolerated by -compare before failing")
 	)
 	flag.Parse()
 
@@ -116,6 +128,72 @@ func main() {
 		}
 		fmt.Printf("perf snapshot written to %s\n", path)
 	}
+
+	if *compare != "" {
+		if err := compareSnapshots(*compare, snap, *tol); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// compareSnapshots is the bench-regression gate: every figure present
+// in both the baseline file and the fresh run must not have slowed by
+// more than tol×. Baselines under 5 ms are floored to 5 ms first —
+// microsecond figures measure scheduler noise, not the simulator.
+func compareSnapshots(baselinePath string, fresh benchSnapshot, tol float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseNs := make(map[string]int64, len(base.Figures))
+	for _, f := range base.Figures {
+		baseNs[f.ID] = f.TotalNs
+	}
+	const floorNs = int64(5e6)
+	var regressions []string
+	fmt.Printf("bench-regression gate vs %s (tolerance %.1fx):\n", baselinePath, tol)
+	// A figure that exists in the baseline but not in this run is a
+	// gate bypass (deleting the slow benchmark must not pass), so it
+	// fails too. Compare subsets without -compare.
+	freshIDs := make(map[string]bool, len(fresh.Figures))
+	for _, f := range fresh.Figures {
+		freshIDs[f.ID] = true
+	}
+	for _, f := range base.Figures {
+		if !freshIDs[f.ID] {
+			regressions = append(regressions, fmt.Sprintf("%s: in baseline but missing from this run", f.ID))
+			fmt.Printf("  %-18s MISSING (present in baseline)\n", f.ID)
+		}
+	}
+	for _, f := range fresh.Figures {
+		bn, ok := baseNs[f.ID]
+		if !ok {
+			fmt.Printf("  %-18s %8.1f ms  (new figure, unchecked)\n", f.ID, float64(f.TotalNs)/1e6)
+			continue
+		}
+		if bn < floorNs {
+			bn = floorNs
+		}
+		ratio := float64(f.TotalNs) / float64(bn)
+		verdict := "ok"
+		if ratio > tol {
+			verdict = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f ms vs baseline %.1f ms (%.2fx)", f.ID, float64(f.TotalNs)/1e6, float64(bn)/1e6, ratio))
+		}
+		fmt.Printf("  %-18s %8.1f ms  vs %8.1f ms  %.2fx  %s\n",
+			f.ID, float64(f.TotalNs)/1e6, float64(bn)/1e6, ratio, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench-regression gate failed (%d finding(s), tolerance %.1fx):\n  %s",
+			len(regressions), tol, strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("bench-regression gate: all figures within tolerance")
+	return nil
 }
 
 // writeSnapshot writes the snapshot to the first free BENCH_<n>.json in

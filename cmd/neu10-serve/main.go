@@ -6,6 +6,7 @@
 //	neu10-serve -scenario steady -seed 1
 //	neu10-serve -scenario flash-crowd          # autoscale vs fixed fleet
 //	neu10-serve -scenario priority             # preemptive sharing vs FIFO
+//	neu10-serve -scenario llm                  # continuous vs static batching
 //	neu10-serve -scenario mix-shift -json
 //	neu10-serve -list
 //
@@ -29,11 +30,12 @@ var scenarios = map[string]string{
 	"flash-crowd": "serve-flash",
 	"mix-shift":   "serve-mix",
 	"priority":    "serve-priority",
+	"llm":         "serve-llm",
 }
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "steady", "scenario: steady, flash-crowd, mix-shift, or priority")
+		scenario = flag.String("scenario", "steady", "scenario: steady, flash-crowd, mix-shift, priority, or llm")
 		seed     = flag.Uint64("seed", 1, "seed for arrivals, routing and therefore the whole report")
 		workers  = flag.Int("workers", 0, "worker pool for scenario-internal comparisons (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit the structured report(s) as JSON instead of a table")
@@ -46,6 +48,7 @@ func main() {
 		fmt.Println("flash-crowd  one tenant hit by a 5x burst; autoscaled vs fixed fleet, same trace")
 		fmt.Println("mix-shift    two diurnal tenants in antiphase; capacity migrates between them")
 		fmt.Println("priority     interactive+batch tenants on shared slots; preemptive vs FIFO, same trace")
+		fmt.Println("llm          KV-cache-aware LLM serving; continuous vs static batching, same trace")
 		return
 	}
 
@@ -53,7 +56,7 @@ func main() {
 	if !ok {
 		id = strings.TrimSpace(*scenario) // allow raw experiment ids too
 		if !strings.HasPrefix(id, "serve-") {
-			fatal(fmt.Errorf("unknown scenario %q (want steady, flash-crowd, mix-shift or priority)", *scenario))
+			fatal(fmt.Errorf("unknown scenario %q (want steady, flash-crowd, mix-shift, priority or llm)", *scenario))
 		}
 	}
 

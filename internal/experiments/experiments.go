@@ -96,7 +96,7 @@ func IDs() []string {
 		"fig19", "fig20", "fig21", "fig22", "fig23", "table3",
 		"fig24", "fig25", "fig26", "fig27",
 		"ablation-harvest", "ablation-preempt", "slo", "cluster",
-		"serve-steady", "serve-flash", "serve-mix", "serve-priority",
+		"serve-steady", "serve-flash", "serve-mix", "serve-priority", "serve-llm",
 	}
 }
 
@@ -147,6 +147,8 @@ func (r *Runner) Run(id string) (Result, error) {
 		return r.ServeMixShift()
 	case "serve-priority":
 		return r.ServePriority()
+	case "serve-llm":
+		return r.ServeLLM()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

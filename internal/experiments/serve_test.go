@@ -21,7 +21,7 @@ func TestServeParallelDeterminism(t *testing.T) {
 		}
 		return r
 	}
-	ids := []string{"serve-flash", "serve-steady", "serve-priority"}
+	ids := []string{"serve-flash", "serve-steady", "serve-priority", "serve-llm"}
 	seqRes, err := mk(1).RunMany(ids)
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +127,50 @@ func TestServePriorityRecovery(t *testing.T) {
 	}
 	if on.Priorities[1].StolenMs <= 0 {
 		t.Error("batch class reports no stolen cycles despite preemptions")
+	}
+}
+
+// TestServeLLMContinuousWins asserts the serve-llm scenario's headline
+// claim: on the identical request trace, continuous batching beats the
+// static baseline on goodput AND p99 per-token latency, and the
+// KV-cache admission rule visibly gates batch growth.
+func TestServeLLMContinuousWins(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.ServeLLM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("serve-llm result has %d reports, want continuous+static", len(res.Reports))
+	}
+	cont, stat := res.Reports[0].Tenants[0], res.Reports[1].Tenants[0]
+	if cont.LLM == nil || stat.LLM == nil {
+		t.Fatal("LLM report section missing")
+	}
+	if cont.LLM.Batcher != "continuous" || stat.LLM.Batcher != "static" {
+		t.Fatalf("report order wrong: batchers %q, %q", cont.LLM.Batcher, stat.LLM.Batcher)
+	}
+	if cont.Arrivals != stat.Arrivals || cont.LLM.TokensOut != stat.LLM.TokensOut {
+		t.Errorf("traces diverge across the pair: %d/%d arrivals, %d/%d tokens — seed plumbing broken",
+			cont.Arrivals, stat.Arrivals, cont.LLM.TokensOut, stat.LLM.TokensOut)
+	}
+	if cont.GoodputRPS <= stat.GoodputRPS {
+		t.Errorf("continuous goodput %.2f did not beat static %.2f", cont.GoodputRPS, stat.GoodputRPS)
+	}
+	if cont.LLM.TPOTP99Ms >= stat.LLM.TPOTP99Ms {
+		t.Errorf("continuous p99 TPOT %.2fms did not beat static %.2fms",
+			cont.LLM.TPOTP99Ms, stat.LLM.TPOTP99Ms)
+	}
+	if cont.LLM.TTFTP50Ms >= stat.LLM.TTFTP50Ms {
+		t.Errorf("continuous median TTFT %.2fms did not beat static %.2fms",
+			cont.LLM.TTFTP50Ms, stat.LLM.TTFTP50Ms)
+	}
+	if cont.LLM.KVOccPeak == 0 || cont.LLM.KVStalls == 0 {
+		t.Errorf("KV pressure invisible (peak %.2f, stalls %d) — the admission rule never acted",
+			cont.LLM.KVOccPeak, cont.LLM.KVStalls)
+	}
+	if !strings.Contains(res.Table(), "continuous") || !strings.Contains(res.Table(), "static") {
+		t.Error("table does not render both batchers")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"neu10/internal/cluster"
 	"neu10/internal/core"
+	"neu10/internal/model"
 	"neu10/internal/sim"
 )
 
@@ -113,13 +114,13 @@ func (f *fleet) tenantBacklog(t *tenantState) int {
 	for _, p := range t.peers {
 		for _, r := range p.replicas {
 			if q := r.queueFor(t); q != nil {
-				n += len(q.reqs)
+				n += len(q.reqs) + len(q.running)
 			}
-			if r.cur != nil && r.cur.ten == t {
+			if r.cur != nil && r.cur.ten == t && r.cur.kind == kindInvoke {
 				n += len(r.cur.reqs)
 			}
 			for _, b := range r.susp {
-				if b.ten == t {
+				if b.ten == t && b.kind == kindInvoke {
 					n += len(b.reqs)
 				}
 			}
@@ -155,6 +156,56 @@ func (f *fleet) spawnReplica(t *tenantState, eus int) error {
 	if vc.MemSizePerCore > f.cfg.Core.HBMBytes/2 {
 		vc.MemSizePerCore = f.cfg.Core.HBMBytes / 2
 	}
+	// LLM peers need a KV-cache partition carved out of this slot's HBM
+	// (§III memory partitioning): whatever MemSizePerCore leaves after
+	// the LLM's resident weights, block-granular. A slot whose share
+	// group includes LLM peers must provision for them even when its
+	// owner's own model is small: its partition grows to the LLM weights
+	// plus at least one maximal request's KV per LLM peer — the floor
+	// below which a queue head could block forever.
+	var kv *kvAccountant
+	{
+		var weights, minKV int64
+		blockTokens, capOverride, anyLLM := 0, 0, false
+		for _, p := range t.peers {
+			if p.llm == nil {
+				continue
+			}
+			anyLLM = true
+			weights += model.LLMWeightBytes()
+			if blockTokens == 0 {
+				blockTokens = p.cfg.LLM.BlockTokens
+			}
+			if p.cfg.LLM.KVCapTokens > 0 {
+				capOverride = p.cfg.LLM.KVCapTokens
+			}
+			worstTokens := (p.cfg.LLM.Trace.MaxTokens() + blockTokens - 1) / blockTokens * blockTokens
+			minKV += int64(worstTokens) * model.LLMKVBytesPerToken()
+		}
+		if anyLLM {
+			if need := weights + minKV; vc.MemSizePerCore < need {
+				if need > f.cfg.Core.HBMBytes {
+					return fmt.Errorf("serve: tenant %s: share group needs %d HBM bytes for LLM weights+KV, core has %d",
+						t.cfg.Name, need, f.cfg.Core.HBMBytes)
+				}
+				vc.MemSizePerCore = need
+			}
+			capBytes := vc.MemSizePerCore - weights
+			if capOverride > 0 {
+				capBytes = int64(capOverride) * model.LLMKVBytesPerToken()
+			}
+			kv = newKVAccountant(capBytes, model.LLMKVBytesPerToken(), blockTokens, float64(f.eng.Now()))
+			for _, p := range t.peers {
+				if p.llm == nil {
+					continue
+				}
+				if worst := kv.blocksFor(p.cfg.LLM.Trace.MaxTokens()); worst > kv.totalBlocks {
+					return fmt.Errorf("serve: tenant %s: replica KV capacity of %d blocks cannot hold one maximal request of %s (%d blocks)",
+						t.cfg.Name, kv.totalBlocks, p.cfg.Name, worst)
+				}
+			}
+		}
+	}
 	v := &core.VNPU{ID: f.nextVNPU, Tenant: t.cfg.Name, Config: vc, State: core.StateCreated}
 	f.nextVNPU++
 	if err := f.mapper.Map(v, core.SpatialIsolated); err != nil {
@@ -168,18 +219,25 @@ func (f *fleet) spawnReplica(t *tenantState, eus int) error {
 	// Pre-measure the service-time buckets this slot can be asked for —
 	// for EVERY tenant in the share group, since any member's batches
 	// may land here — so launches never fail and cost measurement stays
-	// off the serving hot path.
+	// off the serving hot path. LLM peers pre-measure their phase-cost
+	// buckets (prefill × prompt, decode × context) instead.
 	for _, p := range t.peers {
-		for b := 1; b <= PadBatch(p.cfg.MaxBatch); b <<= 1 {
-			if _, err := f.costs.ServiceCycles(p.cfg.Model, b, a.MEs, a.VEs); err != nil {
-				f.mapper.Unmap(v)
-				f.allocatedEUs -= vc.TotalEUs()
-				f.mapAccepts--
-				return err
+		var err error
+		if p.llm != nil {
+			err = f.preMeasureLLM(p, a.MEs, a.VEs)
+		} else {
+			for b := 1; b <= PadBatch(p.cfg.MaxBatch) && err == nil; b <<= 1 {
+				_, err = f.costs.ServiceCycles(p.cfg.Model, b, a.MEs, a.VEs)
 			}
 		}
+		if err != nil {
+			f.mapper.Unmap(v)
+			f.allocatedEUs -= vc.TotalEUs()
+			f.mapAccepts--
+			return err
+		}
 	}
-	r := &replica{id: t.nextReplicaID, uid: f.nextUID, ten: t, vnpu: v, nm: a.MEs, nv: a.VEs, eus: eus}
+	r := &replica{id: t.nextReplicaID, uid: f.nextUID, ten: t, vnpu: v, nm: a.MEs, nv: a.VEs, eus: eus, kv: kv}
 	f.nextUID++
 	t.nextReplicaID++
 	for _, p := range t.peers {
@@ -250,6 +308,9 @@ func (f *fleet) retire(r *replica, now sim.Time) {
 	f.snapshot(float64(now))
 	f.allocatedEUs -= r.vnpu.Config.TotalEUs()
 	f.busySum += r.busyEUCycles
+	if r.kv != nil {
+		t.foldKV(r.kv, float64(now))
+	}
 	f.mapper.Unmap(r.vnpu)
 	for i, x := range t.replicas {
 		if x == r {

@@ -33,11 +33,49 @@ type CostDB struct {
 	core    arch.CoreConfig
 	mu      sync.Mutex
 	entries map[costKey]*costEntry
+
+	// onMeasure, when non-nil, is invoked inside the entry's sync.Once
+	// immediately before measurement — a test hook that observes the
+	// single-flight property (each key must measure exactly once no
+	// matter how many lookups race).
+	onMeasure func(costKey)
+}
+
+// Phase distinguishes the invocation kinds a key can price. The zero
+// value is a whole-model inference (the pre-LLM behavior); the LLM
+// phases price one prefill or one decode iteration of the serving LLM
+// (model.LLMPrefill / model.LLMDecode).
+type Phase int
+
+const (
+	// PhaseFull is a whole-model batched inference invocation.
+	PhaseFull Phase = iota
+	// PhasePrefill is the prompt-processing phase of an LLM request:
+	// seq = prompt tokens per sequence.
+	PhasePrefill
+	// PhaseDecode is one autoregressive decode iteration: seq = cached
+	// context tokens attended over.
+	PhaseDecode
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseFull:
+		return "full"
+	case PhasePrefill:
+		return "prefill"
+	case PhaseDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
 }
 
 type costKey struct {
 	model  string
+	phase  Phase
 	batch  int // padded
+	seq    int // padded prompt (prefill) / context (decode); 0 for full
 	nm, nv int
 }
 
@@ -71,6 +109,33 @@ func (db *CostDB) ServiceCycles(name string, batch, nm, nv int) (float64, error)
 		return 0, fmt.Errorf("serve: bad cost query %s/%d on %dME+%dVE", name, batch, nm, nv)
 	}
 	key := costKey{model: name, batch: PadBatch(batch), nm: nm, nv: nv}
+	return db.cycles(key)
+}
+
+// llmModel names the serving LLM in phase-cost keys. The phase graphs
+// share the registry LLaMA's dimensions (see model/llm.go), so one
+// name covers the figure sweeps, the serving costs and KV accounting.
+const llmModel = "LLaMA"
+
+// LLMCycles returns the cycles of one LLM phase invocation on a vNPU
+// with nm MEs and nv VEs: a prefill of `seq` prompt tokens per
+// sequence, or one decode iteration over `seq` cached context tokens.
+// Batch and sequence both pad to power-of-two buckets (serving kernels
+// compile for bucketed shapes), bounding the cache at
+// O(log MaxBatch · log MaxTokens) entries per phase and shape.
+func (db *CostDB) LLMCycles(phase Phase, batch, seq, nm, nv int) (float64, error) {
+	if phase != PhasePrefill && phase != PhaseDecode {
+		return 0, fmt.Errorf("serve: LLM cost query with phase %v", phase)
+	}
+	if batch < 1 || seq < 1 || nm < 1 || nv < 1 {
+		return 0, fmt.Errorf("serve: bad LLM cost query %v/%d/%d on %dME+%dVE", phase, batch, seq, nm, nv)
+	}
+	key := costKey{model: llmModel, phase: phase, batch: PadBatch(batch), seq: PadBatch(seq), nm: nm, nv: nv}
+	return db.cycles(key)
+}
+
+// cycles resolves one key through the single-flight cache.
+func (db *CostDB) cycles(key costKey) (float64, error) {
 	db.mu.Lock()
 	e, ok := db.entries[key]
 	if !ok {
@@ -78,13 +143,27 @@ func (db *CostDB) ServiceCycles(name string, batch, nm, nv int) (float64, error)
 		db.entries[key] = e
 	}
 	db.mu.Unlock()
-	e.once.Do(func() { e.cycles, e.err = db.measure(key) })
+	e.once.Do(func() {
+		if db.onMeasure != nil {
+			db.onMeasure(key)
+		}
+		e.cycles, e.err = db.measure(key)
+	})
 	return e.cycles, e.err
 }
 
 // measure runs the solo fluid simulation behind one cache entry.
 func (db *CostDB) measure(key costKey) (float64, error) {
-	g, err := model.Build(key.model, key.batch)
+	var g *compiler.Graph
+	var err error
+	switch key.phase {
+	case PhasePrefill:
+		g = model.LLMPrefill(key.batch, key.seq)
+	case PhaseDecode:
+		g = model.LLMDecode(key.batch, key.seq)
+	default:
+		g, err = model.Build(key.model, key.batch)
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"neu10/internal/arch"
+)
+
+// TestCostDBSingleFlightConcurrent drives the documented single-flight
+// property under real concurrency (run with -race in CI): 32 goroutines
+// racing on the SAME key must trigger exactly one measurement and all
+// observe the identical value, while distinct keys measure
+// independently — once each, however many lookups race.
+func TestCostDBSingleFlightConcurrent(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	var measures atomic.Int64
+	db.onMeasure = func(costKey) { measures.Add(1) }
+
+	const racers = 32
+	vals := make([]float64, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Batch 3 pads to 4: every racer resolves the same key.
+			vals[i], errs[i] = db.ServiceCycles("MNIST", 3, 2, 2)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("racer %d: %v", i, errs[i])
+		}
+		if vals[i] != vals[0] {
+			t.Fatalf("racer %d observed %v, racer 0 observed %v", i, vals[i], vals[0])
+		}
+	}
+	if got := measures.Load(); got != 1 {
+		t.Errorf("same key measured %d times under %d concurrent lookups, want exactly 1", got, racers)
+	}
+
+	// Distinct keys — different models, phases and shapes — racing
+	// together: one measurement per key, no cross-talk.
+	measures.Store(0)
+	type query func() (float64, error)
+	queries := []query{
+		func() (float64, error) { return db.ServiceCycles("MNIST", 8, 2, 2) },
+		func() (float64, error) { return db.ServiceCycles("DLRM", 8, 2, 2) },
+		func() (float64, error) { return db.LLMCycles(PhasePrefill, 2, 32, 2, 2) },
+		func() (float64, error) { return db.LLMCycles(PhaseDecode, 2, 32, 2, 2) },
+	}
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := queries[i%len(queries)](); err != nil {
+				t.Errorf("query %d: %v", i%len(queries), err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := measures.Load(); got != int64(len(queries)) {
+		t.Errorf("%d distinct keys measured %d times, want one each", len(queries), got)
+	}
+}
+
+// TestLLMCyclesBuckets pins the phase-key bucketing: batch and sequence
+// both pad to powers of two, so lookups inside one bucket share an
+// entry, and the two phases never alias.
+func TestLLMCyclesBuckets(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	a, err := db.LLMCycles(PhaseDecode, 3, 33, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.LLMCycles(PhaseDecode, 4, 64, 2, 2) // same padded bucket (4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("bucketed lookups disagree: %v vs %v", a, b)
+	}
+	pre, err := db.LLMCycles(PhasePrefill, 4, 64, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre == b {
+		t.Error("prefill and decode of the same shape priced identically — phases alias")
+	}
+	// Prefill processes 64 tokens/sequence; a decode step emits one. The
+	// compute asymmetry must be reflected in the measured costs.
+	if pre < b {
+		t.Errorf("prefill (%v cycles) cheaper than one decode step (%v cycles)", pre, b)
+	}
+	if _, err := db.LLMCycles(PhaseFull, 4, 64, 2, 2); err == nil {
+		t.Error("PhaseFull accepted by LLMCycles")
+	}
+	if _, err := db.LLMCycles(PhaseDecode, 0, 64, 2, 2); err == nil {
+		t.Error("zero batch accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import "fmt"
+
+// kvAccountant models the KV-cache partition of one replica's vNPU HBM
+// (§III memory partitioning): the capacity left in MemSizePerCore after
+// the LLM's resident weights, handed out in fixed-size blocks of
+// blockTokens tokens — paged-attention-style block granularity, which
+// bounds fragmentation to under one block per sequence. A sequence
+// reserves its full prompt+output footprint at admission, so a running
+// generation can never overcommit mid-flight; its blocks free when it
+// completes. The accountant also integrates occupancy over time for the
+// report's KV-utilization numbers.
+type kvAccountant struct {
+	blockTokens int
+	totalBlocks int
+	usedBlocks  int
+	peakBlocks  int
+
+	born     float64 // creation time, cycles (origin of the block·time area)
+	lastAt   float64
+	usedArea float64 // ∫ usedBlocks dt since born
+}
+
+// newKVAccountant carves capBytes into blocks of blockTokens tokens at
+// bytesPerToken each.
+func newKVAccountant(capBytes, bytesPerToken int64, blockTokens int, now float64) *kvAccountant {
+	total := 0
+	if blockBytes := bytesPerToken * int64(blockTokens); capBytes > 0 && blockBytes > 0 {
+		total = int(capBytes / blockBytes)
+	}
+	return &kvAccountant{blockTokens: blockTokens, totalBlocks: total, born: now, lastAt: now}
+}
+
+// blocksFor returns the reservation for a footprint of `tokens` tokens.
+func (a *kvAccountant) blocksFor(tokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + a.blockTokens - 1) / a.blockTokens
+}
+
+// fits reports whether a reservation of `blocks` can be admitted now.
+func (a *kvAccountant) fits(blocks int) bool { return a.usedBlocks+blocks <= a.totalBlocks }
+
+// alloc reserves blocks; the caller must have checked fits (admission is
+// the only gate, so overcommit here is a scheduler bug, not load).
+func (a *kvAccountant) alloc(blocks int, now float64) {
+	a.accrue(now)
+	a.usedBlocks += blocks
+	if a.usedBlocks > a.peakBlocks {
+		a.peakBlocks = a.usedBlocks
+	}
+	if a.usedBlocks > a.totalBlocks {
+		panic(fmt.Sprintf("serve: KV accountant overcommitted (%d/%d blocks)", a.usedBlocks, a.totalBlocks))
+	}
+}
+
+// free returns a completed sequence's reservation.
+func (a *kvAccountant) free(blocks int, now float64) {
+	a.accrue(now)
+	a.usedBlocks -= blocks
+	if a.usedBlocks < 0 {
+		panic("serve: KV accountant freed more blocks than allocated")
+	}
+}
+
+// accrue advances the occupancy integral to now.
+func (a *kvAccountant) accrue(now float64) {
+	if now > a.lastAt {
+		a.usedArea += float64(a.usedBlocks) * (now - a.lastAt)
+		a.lastAt = now
+	}
+}

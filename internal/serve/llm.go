@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"fmt"
+
+	"neu10/internal/metrics"
+	"neu10/internal/sim"
+	"neu10/internal/workload"
+)
+
+// LLM serving: autoregressive tenants with KV-cache-aware batching.
+//
+// A request of an LLM tenant is a generation, not one invocation: a
+// prefill over its prompt (which emits the first token) followed by one
+// decode iteration per remaining output token, the whole sequence
+// pinning prompt+output tokens of KV cache on its replica from
+// admission to completion. Two batchers are modeled on the same slot
+// machinery:
+//
+//   - Continuous (the default): every invocation is ONE iteration.
+//     At each iteration boundary finished sequences exit (freeing KV),
+//     and queued prompts whose full KV reservation fits join via a
+//     prefill invocation (prefill-prioritized, vLLM-style); otherwise
+//     the running set takes one decode step. Batch composition therefore
+//     changes every iteration.
+//   - Static (the baseline): a batch forms from the queue, prefills
+//     together, then decodes as one monolithic invocation to the
+//     LONGEST output in the batch — finished lanes ride along as dead
+//     weight, and every request returns only when the whole batch does.
+//
+// Because both run through the ordinary batch/slot path, priorities and
+// quantum-boundary preemption compose: a preempted decode iteration
+// checkpoints via sched.CheckpointAt like any invocation, and its
+// sequences' KV blocks stay resident until the batch resumes and its
+// sequences complete.
+
+// LLMConfig switches a tenant to autoregressive LLM serving.
+type LLMConfig struct {
+	// Trace draws each request's prompt/output shape at arrival (the
+	// draw happens before admission, so compared configurations see the
+	// identical trace).
+	Trace workload.LLMTrace
+	// Static selects the static-batching baseline; false (default) is
+	// continuous batching.
+	Static bool
+	// BlockTokens is the KV-cache block granularity in tokens
+	// (default 16).
+	BlockTokens int
+	// KVCapTokens overrides the derived per-replica KV capacity
+	// (MemSizePerCore − LLM weights), in tokens. For tests and
+	// pressure studies; 0 keeps the derived capacity.
+	KVCapTokens int
+}
+
+func (lc *LLMConfig) defaults() {
+	lc.Trace.Defaults()
+	if lc.BlockTokens == 0 {
+		lc.BlockTokens = 16
+	}
+}
+
+func (lc *LLMConfig) validate(tenant string) error {
+	if err := lc.Trace.Validate(); err != nil {
+		return fmt.Errorf("serve: tenant %s: %w", tenant, err)
+	}
+	if lc.BlockTokens < 1 {
+		return fmt.Errorf("serve: tenant %s KV block of %d tokens", tenant, lc.BlockTokens)
+	}
+	if lc.KVCapTokens < 0 {
+		return fmt.Errorf("serve: tenant %s KV capacity override %d", tenant, lc.KVCapTokens)
+	}
+	return nil
+}
+
+// llmTenant is the runtime LLM state of one tenant.
+type llmTenant struct {
+	rng *sim.RNG // request-shape draws (one stream, consumed at arrival)
+
+	ttft metrics.Latencies // time to first token (prefill finish − arrival)
+	tpot metrics.Latencies // per-token latency: (completion − TTFT)/(output−1)
+
+	admitted      int   // sequences admitted into an engine
+	prefills      int   // prefill invocations completed
+	decodeIters   int   // decode iterations completed
+	staticBatches int   // static batches launched
+	tokensOut     int   // output tokens emitted
+	promptTokens  int64 // Σ prompt tokens over admitted sequences
+	outputTokens  int64 // Σ output tokens over admitted sequences
+	kvStalls      int   // batch-growth attempts blocked by KV exhaustion
+}
+
+// llmSeq is one admitted sequence: a request plus its KV reservation
+// and generation progress. It lives in its slot queue's running set
+// from admission (prefill launch) to completion.
+type llmSeq struct {
+	req       request
+	blocks    int  // KV blocks reserved (full prompt+output footprint)
+	ctx       int  // tokens resident in the KV cache
+	produced  int  // output tokens emitted
+	prefilled bool // prompt processed; eligible for decode iterations
+	ttftAt    sim.Time
+}
+
+// llmAdmit moves admittable requests from the queue head into running
+// sequences: FIFO, stopping at MaxBatch or at the first request whose
+// full KV reservation does not fit (no head-of-line bypass — admission
+// order stays deterministic and starvation-free). A stop forced by KV
+// pressure is counted as a stall.
+func (f *fleet) llmAdmit(r *replica, q *slotQueue, now sim.Time) []*llmSeq {
+	t := q.ten
+	var joined []*llmSeq
+	for len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch {
+		req := q.reqs[0]
+		blocks := r.kv.blocksFor(req.prompt + req.output)
+		if !r.kv.fits(blocks) {
+			break
+		}
+		r.kv.alloc(blocks, float64(now))
+		s := &llmSeq{req: req, blocks: blocks, ctx: req.prompt}
+		q.running = append(q.running, s)
+		joined = append(joined, s)
+		n := copy(q.reqs, q.reqs[1:])
+		q.reqs = q.reqs[:n]
+		t.llm.admitted++
+		t.llm.promptTokens += int64(req.prompt)
+		t.llm.outputTokens += int64(req.output)
+	}
+	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch {
+		t.llm.kvStalls++
+	}
+	return joined
+}
+
+// launchLLMPrefill starts a prefill invocation for the queue's
+// admittable joiners — kind selects continuous (kindLLMPrefill, whose
+// batch retires at the prefill) or static (kindLLMStaticPrefill, whose
+// decode leg chains at the prefill's completion). bestWork only
+// proposes either when the head fits, so at least one sequence always
+// joins.
+func (f *fleet) launchLLMPrefill(r *replica, q *slotQueue, kind batchKind, now sim.Time, restore float64) {
+	t := q.ten
+	f.disarmTimer(r)
+	joined := f.llmAdmit(r, q, now)
+	if len(joined) == 0 {
+		panic("serve: prefill launch admitted no sequence")
+	}
+	if kind == kindLLMStaticPrefill {
+		t.llm.staticBatches++
+	}
+	maxPrompt := 0
+	for _, s := range joined {
+		if s.req.prompt > maxPrompt {
+			maxPrompt = s.req.prompt
+		}
+	}
+	cycles, err := f.costs.LLMCycles(PhasePrefill, len(joined), maxPrompt, r.nm, r.nv)
+	if err != nil {
+		panic(fmt.Sprintf("serve: costing prefill batch: %v", err))
+	}
+	b := f.takeBatch()
+	b.ten, b.restore, b.kind = t, restore, kind
+	b.seqs = append(b.seqs[:0], joined...)
+	b.total, b.remaining = cycles, cycles
+	t.issuedServiceCycles += cycles
+	f.startSegment(r, b, now)
+}
+
+// launchLLMDecode starts one decode iteration over the queue's
+// prefilled, unfinished sequences. An iteration that could not also
+// grow the batch because the queue head's KV reservation does not fit
+// counts as a stall — the KV-pressure signal in the report.
+func (f *fleet) launchLLMDecode(r *replica, q *slotQueue, now sim.Time, restore float64) {
+	t := q.ten
+	f.disarmTimer(r)
+	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch &&
+		!r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+		t.llm.kvStalls++
+	}
+	b := f.takeBatch()
+	b.ten, b.restore, b.kind = t, restore, kindLLMDecode
+	maxCtx := 0
+	for _, s := range q.running {
+		if s.prefilled && s.produced < s.req.output {
+			b.seqs = append(b.seqs, s)
+			if s.ctx > maxCtx {
+				maxCtx = s.ctx
+			}
+		}
+	}
+	if len(b.seqs) == 0 {
+		panic("serve: decode launch with no decodable sequence")
+	}
+	cycles, err := f.costs.LLMCycles(PhaseDecode, len(b.seqs), maxCtx, r.nm, r.nv)
+	if err != nil {
+		panic(fmt.Sprintf("serve: costing decode iteration: %v", err))
+	}
+	b.total, b.remaining = cycles, cycles
+	t.issuedServiceCycles += cycles
+	f.startSegment(r, b, now)
+}
+
+// finishLLMPrefill retires a continuous-mode prefill: every joiner has
+// its first token (TTFT), single-token requests complete outright, the
+// rest become decodable.
+func (f *fleet) finishLLMPrefill(r *replica, b *batch, now sim.Time) {
+	t := b.ten
+	t.llm.prefills++
+	for _, s := range b.seqs {
+		f.emitFirstToken(t, s, now)
+		if s.produced >= s.req.output {
+			f.completeSeq(r, t, s, now)
+		}
+	}
+}
+
+// finishLLMDecode retires one decode iteration: every sequence gains a
+// token; finished ones exit and free their KV.
+func (f *fleet) finishLLMDecode(r *replica, b *batch, now sim.Time) {
+	t := b.ten
+	t.llm.decodeIters++
+	for _, s := range b.seqs {
+		s.produced++
+		s.ctx++
+		t.llm.tokensOut++
+		if s.produced >= s.req.output {
+			f.completeSeq(r, t, s, now)
+		}
+	}
+}
+
+// finishLLMStaticPrefill retires a static batch's prefill leg and
+// returns the chained decode leg: one monolithic invocation covering
+// max(output−1) iterations at the batch's FULL launch width — finished
+// lanes are padding, the static-batching inefficiency. With no decode
+// work left (all outputs of length 1) it completes the batch and
+// returns nil.
+func (f *fleet) finishLLMStaticPrefill(r *replica, b *batch, now sim.Time) *batch {
+	t := b.ten
+	t.llm.prefills++
+	maxRem, maxCtx := 0, 0
+	for _, s := range b.seqs {
+		f.emitFirstToken(t, s, now)
+		if rem := s.req.output - 1; rem > maxRem {
+			maxRem = rem
+		}
+		if s.ctx > maxCtx {
+			maxCtx = s.ctx
+		}
+	}
+	if maxRem == 0 {
+		for _, s := range b.seqs {
+			f.completeSeq(r, t, s, now)
+		}
+		return nil
+	}
+	var cycles float64
+	for i := 0; i < maxRem; i++ {
+		c, err := f.costs.LLMCycles(PhaseDecode, len(b.seqs), maxCtx+i, r.nm, r.nv)
+		if err != nil {
+			panic(fmt.Sprintf("serve: costing static decode leg: %v", err))
+		}
+		cycles += c
+	}
+	nb := f.takeBatch()
+	nb.ten, nb.kind = t, kindLLMStaticDecode
+	nb.seqs = append(nb.seqs[:0], b.seqs...)
+	nb.total, nb.remaining = cycles, cycles
+	t.issuedServiceCycles += cycles
+	return nb
+}
+
+// finishLLMStaticDecode retires a static batch's decode leg: every
+// request returns together (the synchronous static batcher), however
+// short its own output was.
+func (f *fleet) finishLLMStaticDecode(r *replica, b *batch, now sim.Time) {
+	t := b.ten
+	maxRem := 0
+	for _, s := range b.seqs {
+		if rem := s.req.output - 1; rem > maxRem {
+			maxRem = rem
+		}
+	}
+	t.llm.decodeIters += maxRem
+	for _, s := range b.seqs {
+		t.llm.tokensOut += s.req.output - 1
+		s.produced = s.req.output
+		s.ctx = s.req.prompt + s.req.output
+		f.completeSeq(r, t, s, now)
+	}
+}
+
+// emitFirstToken records a sequence's prefill completion: first token
+// out, TTFT measured from arrival (queueing included).
+func (f *fleet) emitFirstToken(t *tenantState, s *llmSeq, now sim.Time) {
+	s.prefilled = true
+	s.produced = 1
+	s.ctx++
+	s.ttftAt = now
+	t.llm.ttft.Add(float64(now - s.req.at))
+	t.llm.tokensOut++
+}
+
+// completeSeq retires a finished sequence: end-to-end latency recorded
+// against the SLO, per-token latency derived from TTFT, KV freed, and
+// the sequence removed from its running set.
+func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time) {
+	q := r.queueFor(t)
+	for i, x := range q.running {
+		if x == s {
+			q.running = append(q.running[:i], q.running[i+1:]...)
+			break
+		}
+	}
+	r.kv.free(s.blocks, float64(now))
+	lat := float64(now - s.req.at)
+	t.lat.Add(lat)
+	if f.cfg.Autoscale {
+		t.windowLat.Add(lat)
+	}
+	if f.prioEnabled {
+		f.prioLat[t.cfg.Priority].Add(lat)
+	}
+	t.completed++
+	if s.req.output > 1 {
+		t.llm.tpot.Add(float64(now-s.ttftAt) / float64(s.req.output-1))
+	}
+}
+
+// preMeasureLLM warms every phase-cost bucket this tenant can be asked
+// for on an nm×nv slot, so launches never fail and measurement stays
+// off the serving hot path (the LLM analogue of the whole-model
+// pre-measurement in spawnReplica).
+func (f *fleet) preMeasureLLM(t *tenantState, nm, nv int) error {
+	tr := t.cfg.LLM.Trace
+	maxCtx := PadBatch(tr.PromptMax + tr.OutputMax)
+	for b := 1; b <= PadBatch(t.cfg.MaxBatch); b <<= 1 {
+		for p := PadBatch(tr.PromptMin); p <= PadBatch(tr.PromptMax); p <<= 1 {
+			if _, err := f.costs.LLMCycles(PhasePrefill, b, p, nm, nv); err != nil {
+				return err
+			}
+		}
+		for c := PadBatch(tr.PromptMin + 1); c <= maxCtx; c <<= 1 {
+			if _, err := f.costs.LLMCycles(PhaseDecode, b, c, nm, nv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

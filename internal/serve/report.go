@@ -52,7 +52,46 @@ type TenantReport struct {
 	StolenMs        float64 `json:"stolen_ms,omitempty"`
 	MaxBatchPreempt int     `json:"max_batch_preempts,omitempty"`
 
+	// LLM carries the autoregressive-serving section for LLM tenants
+	// (nil otherwise).
+	LLM *LLMTenantReport `json:"llm,omitempty"`
+
 	ReplicaTimeline *metrics.TimeSeries `json:"-"`
+}
+
+// LLMTenantReport is the per-phase outcome of one LLM tenant: time to
+// first token and per-output-token latency distributions, generation
+// throughput, and KV-cache pressure. TTFT is prefill-finish − arrival
+// (queueing included); TPOT is (completion − TTFT)/(output−1), so a
+// static batch's padded tail inflates it exactly as it should.
+type LLMTenantReport struct {
+	Batcher  string `json:"batcher"` // "continuous" or "static"
+	Admitted int    `json:"admitted"`
+
+	PromptTokensMean float64 `json:"prompt_tokens_mean"`
+	OutputTokensMean float64 `json:"output_tokens_mean"`
+
+	TTFTP50Ms float64 `json:"ttft_p50_ms"`
+	TTFTP95Ms float64 `json:"ttft_p95_ms"`
+	TTFTP99Ms float64 `json:"ttft_p99_ms"`
+	TPOTP50Ms float64 `json:"tpot_p50_ms"`
+	TPOTP95Ms float64 `json:"tpot_p95_ms"`
+	TPOTP99Ms float64 `json:"tpot_p99_ms"`
+
+	Prefills      int     `json:"prefills"`
+	DecodeIters   int     `json:"decode_iters"`
+	StaticBatches int     `json:"static_batches,omitempty"`
+	TokensOut     int     `json:"tokens_out"`
+	TokensPerSec  float64 `json:"tokens_per_sec"`
+
+	// KV-cache accounting: block granularity, time-averaged and peak
+	// occupancy fractions across the tenant's replicas, and how often an
+	// iteration could not grow its batch because the queue head's
+	// reservation did not fit.
+	KVBlockTokens int     `json:"kv_block_tokens"`
+	KVOccMean     float64 `json:"kv_occupancy_mean"`
+	KVOccPeak     float64 `json:"kv_occupancy_peak"`
+	KVStalls      int     `json:"kv_stalls"`
 }
 
 // PriorityReport aggregates the tenants of one priority class: the
@@ -137,6 +176,9 @@ func (rep *Report) Table() string {
 		})
 	}
 	renderTable(&sb, header, rows)
+	if llm := rep.llmTable(); llm != "" {
+		sb.WriteString(llm)
+	}
 	if len(rep.Priorities) > 0 {
 		sb.WriteString(rep.priorityTable())
 	}
@@ -146,6 +188,34 @@ func (rep *Report) Table() string {
 		fmt.Fprintf(&sb, "preemption: %d preempts, %d resumes, %.2f ms switch overhead\n",
 			rep.Preemptions, rep.Resumes, rep.SwitchOverheadMs)
 	}
+	return sb.String()
+}
+
+// llmTable renders the autoregressive-serving section: one row per LLM
+// tenant, empty when the run has none.
+func (rep *Report) llmTable() string {
+	var rows [][]string
+	for _, t := range rep.Tenants {
+		l := t.LLM
+		if l == nil {
+			continue
+		}
+		rows = append(rows, []string{
+			t.Name, l.Batcher,
+			fmt.Sprintf("%.2f", l.TTFTP50Ms), fmt.Sprintf("%.2f", l.TTFTP99Ms),
+			fmt.Sprintf("%.2f", l.TPOTP50Ms), fmt.Sprintf("%.2f", l.TPOTP99Ms),
+			fmt.Sprintf("%.1f", l.TokensPerSec),
+			fmt.Sprint(l.Prefills), fmt.Sprint(l.DecodeIters),
+			fmt.Sprintf("%.1f%%(%.1f%%)", l.KVOccMean*100, l.KVOccPeak*100),
+			fmt.Sprint(l.KVStalls),
+		})
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	header := []string{"llm tenant", "batcher", "ttft-p50(ms)", "ttft-p99(ms)", "tpot-p50(ms)", "tpot-p99(ms)", "tok/s", "prefills", "decode-iters", "kv-occ(peak)", "kv-stalls"}
+	renderTable(&sb, header, rows)
 	return sb.String()
 }
 

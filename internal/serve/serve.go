@@ -176,6 +176,12 @@ type TenantConfig struct {
 	// queue per member. Empty (the default) keeps replicas private to
 	// their tenant, exactly the pre-priority behavior.
 	ShareGroup string
+
+	// LLM, when non-nil, makes the tenant autoregressive: requests draw
+	// a prompt/output shape, replicas carve a KV-cache partition out of
+	// their vNPU HBM, and the slot runs a continuous (or, for the
+	// baseline, static) batcher over generation iterations — see llm.go.
+	LLM *LLMConfig
 }
 
 func (tc *TenantConfig) defaults() {
@@ -212,6 +218,9 @@ func (tc *TenantConfig) defaults() {
 	if tc.DiurnalPeriod == 0 {
 		tc.DiurnalPeriod = 1
 	}
+	if tc.LLM != nil {
+		tc.LLM.defaults()
+	}
 }
 
 func (tc *TenantConfig) validate() error {
@@ -240,6 +249,9 @@ func (tc *TenantConfig) validate() error {
 		return fmt.Errorf("serve: tenant %s EU budget %d < 2 (1 ME + 1 VE)", tc.Name, tc.EUs)
 	case tc.Priority < Batch || tc.Priority > Interactive:
 		return fmt.Errorf("serve: tenant %s priority %d unknown", tc.Name, tc.Priority)
+	}
+	if tc.LLM != nil {
+		return tc.LLM.validate(tc.Name)
 	}
 	return nil
 }
@@ -330,24 +342,56 @@ func (c *Config) validate() error {
 
 // ---- runtime state ----
 
-// request is one queued inference request, identified by arrival time.
-type request = sim.Time
+// request is one queued inference request: its arrival time plus, for
+// LLM tenants, the autoregressive shape drawn at arrival (zero for
+// single-shot tenants).
+type request struct {
+	at     sim.Time
+	prompt int
+	output int
+}
 
 // slotQueue is one tenant's wait queue on a replica slot. Private
 // replicas have exactly one (the owner's); temporal-shared slots carry
-// one per share-group member, in tenant-index order.
+// one per share-group member, in tenant-index order. For LLM tenants it
+// also holds the running set: admitted sequences mid-generation, whose
+// KV reservations live on this slot until they complete.
 type slotQueue struct {
-	ten  *tenantState
-	reqs []request
+	ten     *tenantState
+	reqs    []request
+	running []*llmSeq
 }
+
+// batchKind distinguishes what one slot invocation does.
+type batchKind uint8
+
+const (
+	// kindInvoke is a whole-model batched inference (the single-shot path).
+	kindInvoke batchKind = iota
+	// kindLLMPrefill processes the prompts of newly admitted sequences
+	// (continuous batching's join step).
+	kindLLMPrefill
+	// kindLLMDecode is one decode iteration over the running set.
+	kindLLMDecode
+	// kindLLMStaticPrefill is a static batch's prefill leg; its decode
+	// leg chains at completion.
+	kindLLMStaticPrefill
+	// kindLLMStaticDecode is a static batch's monolithic decode-to-the-
+	// longest-output leg.
+	kindLLMStaticDecode
+)
 
 // batch is one batched invocation bound to a slot: in service, or
 // suspended mid-service by a preemption. total and remaining partition
 // its pure service cycles exactly (work conservation); restore is the
-// context-switch debt paid at the start of the next segment.
+// context-switch debt paid at the start of the next segment. Single-
+// shot invocations carry their requests in reqs; LLM invocations carry
+// the sequences they advance in seqs.
 type batch struct {
 	ten  *tenantState
+	kind batchKind
 	reqs []request
+	seqs []*llmSeq
 
 	total     float64 // pure service cycles (CostDB, fixed at launch)
 	remaining float64 // service cycles still owed
@@ -373,6 +417,10 @@ type replica struct {
 	qs   []slotQueue // admitted, waiting; one queue per serving tenant
 	cur  *batch      // the batch currently in service
 	susp []*batch    // preempted batches awaiting resume (LIFO)
+
+	// kv is the KV-cache accountant of this slot's vNPU memory
+	// partition; non-nil iff an LLM tenant is served here.
+	kv *kvAccountant
 
 	timerSet   bool
 	timer      sim.Handle
@@ -406,14 +454,21 @@ func (r *replica) queued() int {
 }
 
 // inService counts requests bound to the slot: the running batch plus
-// every suspended one.
+// every suspended one, plus every LLM sequence mid-generation (LLM
+// batches reference sequences already counted in their running sets, so
+// only single-shot batches add their requests here).
 func (r *replica) inService() int {
 	n := 0
-	if r.cur != nil {
+	if r.cur != nil && r.cur.kind == kindInvoke {
 		n += len(r.cur.reqs)
 	}
 	for _, b := range r.susp {
-		n += len(b.reqs)
+		if b.kind == kindInvoke {
+			n += len(b.reqs)
+		}
+	}
+	for i := range r.qs {
+		n += len(r.qs[i].running)
 	}
 	return n
 }
@@ -424,7 +479,15 @@ func (r *replica) backlog() int { return r.queued() + r.inService() }
 // idleEmpty reports whether the slot holds no work at all — the retire
 // condition for a draining slot.
 func (r *replica) idleEmpty() bool {
-	return r.cur == nil && len(r.susp) == 0 && r.queued() == 0
+	if r.cur != nil || len(r.susp) > 0 || r.queued() > 0 {
+		return false
+	}
+	for i := range r.qs {
+		if len(r.qs[i].running) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // tenantState is the runtime of one tenant.
@@ -444,6 +507,10 @@ type tenantState struct {
 
 	arrRNG   *sim.RNG // arrival gaps + thinning coin
 	routeRNG *sim.RNG // power-of-two sampling
+
+	// llm is the autoregressive runtime (request-shape RNG, TTFT/TPOT
+	// recorders, KV stall counters); nil for single-shot tenants.
+	llm *llmTenant
 
 	// peers are the share-group members this tenant pools slots with,
 	// in tenant-index order, always including the tenant itself. An
@@ -479,6 +546,26 @@ type tenantState struct {
 	// versus service cycles actually delivered across all segments.
 	issuedServiceCycles float64
 	servedServiceCycles float64
+
+	// KV occupancy folded from this tenant's replicas (retired ones at
+	// retire time, live ones at report time): ∫used dt, ∫total dt, and
+	// the worst instantaneous occupancy fraction any replica hit.
+	kvUsedArea  float64
+	kvBlockArea float64
+	kvPeakFrac  float64
+}
+
+// foldKV accrues one replica accountant's occupancy into the tenant's
+// report accumulators.
+func (t *tenantState) foldKV(a *kvAccountant, now float64) {
+	a.accrue(now)
+	t.kvUsedArea += a.usedArea
+	t.kvBlockArea += float64(a.totalBlocks) * (now - a.born)
+	if a.totalBlocks > 0 {
+		if fr := float64(a.peakBlocks) / float64(a.totalBlocks); fr > t.kvPeakFrac {
+			t.kvPeakFrac = fr
+		}
+	}
 }
 
 // rateMult evaluates the deterministic rate envelope at time t (cycles).
@@ -608,6 +695,9 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 		t.arrRNG = sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
 		t.routeRNG = sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0xbf58476d1ce4e5b9)
 		t.replicaTL = metrics.NewTimeSeries(t.cfg.Name+"/replicas", 4096)
+		if t.cfg.LLM != nil {
+			t.llm = &llmTenant{rng: sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0x94d049bb133111eb)}
+		}
 		f.tenants = append(f.tenants, t)
 		if t.cfg.ShareGroup != "" || t.cfg.Priority != Batch {
 			f.prioEnabled = true
@@ -623,6 +713,26 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 			}
 		}
 	}
+	// LLM peers in one share group draw from one shared KV partition per
+	// slot, so their block granularity and capacity override must agree
+	// — silently mixing them would misattribute every occupancy number.
+	for _, t := range f.tenants {
+		if t.llm == nil {
+			continue
+		}
+		for _, p := range t.peers {
+			if p.llm == nil || p == t {
+				continue
+			}
+			if p.cfg.LLM.BlockTokens != t.cfg.LLM.BlockTokens ||
+				p.cfg.LLM.KVCapTokens != t.cfg.LLM.KVCapTokens {
+				return nil, fmt.Errorf("serve: share group %q: tenants %s and %s disagree on KV settings (blocks %d/%d tokens, cap %d/%d)",
+					t.cfg.ShareGroup, t.cfg.Name, p.cfg.Name,
+					t.cfg.LLM.BlockTokens, p.cfg.LLM.BlockTokens,
+					t.cfg.LLM.KVCapTokens, p.cfg.LLM.KVCapTokens)
+			}
+		}
+	}
 	// Phase 2: spawn initial replicas and derive SLOs and offered rates
 	// from the measured full-batch service time of one fresh replica.
 	for _, t := range f.tenants {
@@ -632,9 +742,28 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 			}
 		}
 		r0 := t.replicas[0]
-		full, err := db.ServiceCycles(t.cfg.Model, t.cfg.MaxBatch, r0.nm, r0.nv)
-		if err != nil {
-			return nil, err
+		var full float64
+		var err error
+		if t.llm != nil {
+			// An LLM request's ideal service is a full-batch generation of
+			// the MEAN shape: one prefill plus output−1 decode iterations,
+			// all at MaxBatch occupancy — the SLO/capacity anchor playing
+			// the role the whole-model full-batch time plays below.
+			tr := t.cfg.LLM.Trace
+			pre, perr := db.LLMCycles(PhasePrefill, t.cfg.MaxBatch, tr.PromptMean, r0.nm, r0.nv)
+			if perr != nil {
+				return nil, perr
+			}
+			dec, derr := db.LLMCycles(PhaseDecode, t.cfg.MaxBatch, tr.PromptMean+tr.OutputMean, r0.nm, r0.nv)
+			if derr != nil {
+				return nil, derr
+			}
+			full = pre + float64(tr.OutputMean-1)*dec
+		} else {
+			full, err = db.ServiceCycles(t.cfg.Model, t.cfg.MaxBatch, r0.nm, r0.nv)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if t.cfg.SLOMs > 0 {
 			t.sloCycles = t.cfg.SLOMs / 1e3 * cfg.Core.FrequencyHz
@@ -690,6 +819,14 @@ func (f *fleet) scheduleArrival(t *tenantState) {
 // — also sheds (admission-reject); route documents when that happens.
 func (f *fleet) arrive(t *tenantState, now sim.Time) {
 	t.arrivals++
+	req := request{at: now}
+	if t.llm != nil {
+		// Shape draws happen before admission, so every configuration
+		// compared on a seed (continuous vs static, any router) sees the
+		// identical request trace.
+		shape := t.cfg.LLM.Trace.Draw(t.llm.rng)
+		req.prompt, req.output = shape.Prompt, shape.Output
+	}
 	r := f.route(t)
 	if r == nil {
 		t.rejected++
@@ -706,7 +843,7 @@ func (f *fleet) arrive(t *tenantState, now sim.Time) {
 		}
 		return
 	}
-	q.reqs = append(q.reqs, now)
+	q.reqs = append(q.reqs, req)
 	if len(q.reqs) > t.maxQueue {
 		t.maxQueue = len(q.reqs)
 	}
@@ -838,6 +975,17 @@ func (f *fleet) report() *Report {
 	}
 	var agg [numPriorities]classAgg
 	busy := f.busySum
+	// Fold every live replica's KV accountant into its owner BEFORE
+	// assembling any tenant report: an LLM tenant aggregates occupancy
+	// across its whole serving group (peer-owned shared slots hold its
+	// sequences too), so all owners must be up to date first.
+	for _, t := range f.tenants {
+		for _, r := range t.replicas {
+			if r.kv != nil {
+				t.foldKV(r.kv, end)
+			}
+		}
+	}
 	for _, t := range f.tenants {
 		for _, r := range t.replicas {
 			busy += r.busyEUCycles
@@ -869,6 +1017,51 @@ func (f *fleet) report() *Report {
 			StolenMs:        ms(t.stolenCycles),
 			MaxBatchPreempt: t.maxPreempts,
 			ReplicaTimeline: t.replicaTL,
+		}
+		if t.llm != nil {
+			l := t.llm
+			batcher := "continuous"
+			if t.cfg.LLM.Static {
+				batcher = "static"
+			}
+			lr := &LLMTenantReport{
+				Batcher:       batcher,
+				Admitted:      l.admitted,
+				TTFTP50Ms:     ms(l.ttft.P50()),
+				TTFTP95Ms:     ms(l.ttft.P95()),
+				TTFTP99Ms:     ms(l.ttft.P99()),
+				TPOTP50Ms:     ms(l.tpot.P50()),
+				TPOTP95Ms:     ms(l.tpot.P95()),
+				TPOTP99Ms:     ms(l.tpot.P99()),
+				Prefills:      l.prefills,
+				DecodeIters:   l.decodeIters,
+				StaticBatches: l.staticBatches,
+				TokensOut:     l.tokensOut,
+				TokensPerSec:  float64(l.tokensOut) / f.cfg.DurationSec,
+				KVBlockTokens: t.cfg.LLM.BlockTokens,
+				KVStalls:      l.kvStalls,
+			}
+			if l.admitted > 0 {
+				lr.PromptTokensMean = float64(l.promptTokens) / float64(l.admitted)
+				lr.OutputTokensMean = float64(l.outputTokens) / float64(l.admitted)
+			}
+			// KV occupancy spans the tenant's whole serving group: on
+			// shared slots its sequences allocate from peer-owned
+			// partitions too, and fold-at-retire credits the OWNER. Two
+			// LLM tenants in one group therefore both report their shared
+			// pool's occupancy.
+			var kvUsed, kvTotal float64
+			for _, p := range t.peers {
+				kvUsed += p.kvUsedArea
+				kvTotal += p.kvBlockArea
+				if p.kvPeakFrac > lr.KVOccPeak {
+					lr.KVOccPeak = p.kvPeakFrac
+				}
+			}
+			if kvTotal > 0 {
+				lr.KVOccMean = kvUsed / kvTotal
+			}
+			tr.LLM = lr
 		}
 		if f.prioEnabled {
 			tr.Priority = t.cfg.Priority.String()

@@ -37,40 +37,114 @@ func (f *fleet) takeBatch() *batch {
 }
 
 func (f *fleet) putBatch(b *batch) {
-	reqs := b.reqs[:0]
-	*b = batch{reqs: reqs}
+	for i := range b.seqs {
+		b.seqs[i] = nil
+	}
+	reqs, seqs := b.reqs[:0], b.seqs[:0]
+	*b = batch{reqs: reqs, seqs: seqs}
 	f.batchFree = append(f.batchFree, b)
 }
 
-// bestReady returns the queue the slot would launch from next: the
-// highest-priority non-empty queue under Preempt, else FIFO by the
-// head request's arrival time. Ties break by arrival time, then by
-// tenant index (queue order), so the choice is deterministic.
-func (f *fleet) bestReady(r *replica) *slotQueue {
+// disarmTimer cancels the slot's armed batch-window timer, if any.
+func (f *fleet) disarmTimer(r *replica) {
+	if r.timerSet {
+		f.eng.Cancel(r.timer)
+		r.timerSet = false
+	}
+}
+
+// bestWork returns the work the slot would start next and what kind it
+// is: the highest-priority candidate under Preempt, else FIFO by each
+// candidate's oldest waiting request. Ties break by arrival time, then
+// by tenant index (queue order), so the choice is deterministic.
+//
+// Candidates per queue:
+//   - single-shot tenant: launch a batch from a non-empty queue;
+//   - LLM continuous: a prefill when the queue head's KV reservation
+//     fits and the running set has room (prefill-prioritized joins),
+//     else one decode iteration when prefilled sequences remain;
+//   - LLM static: a fresh static batch, only when no batch of this
+//     queue is mid-generation and the head's reservation fits.
+func (f *fleet) bestWork(r *replica) (*slotQueue, batchKind) {
 	var pick *slotQueue
-	for i := range r.qs {
-		q := &r.qs[i]
-		if len(q.reqs) == 0 {
-			continue
-		}
+	var kind batchKind
+	var pickKey sim.Time
+	consider := func(q *slotQueue, k batchKind, key sim.Time) {
 		if pick == nil {
-			pick = q
-			continue
+			pick, kind, pickKey = q, k, key
+			return
 		}
 		if f.cfg.Preempt {
 			if q.ten.cfg.Priority > pick.ten.cfg.Priority {
-				pick = q
-				continue
+				pick, kind, pickKey = q, k, key
+				return
 			}
 			if q.ten.cfg.Priority < pick.ten.cfg.Priority {
-				continue
+				return
 			}
 		}
-		if q.reqs[0] < pick.reqs[0] {
-			pick = q
+		if key < pickKey {
+			pick, kind, pickKey = q, k, key
 		}
 	}
-	return pick
+	for i := range r.qs {
+		q := &r.qs[i]
+		t := q.ten
+		switch {
+		case t.llm == nil:
+			if len(q.reqs) > 0 {
+				consider(q, kindInvoke, q.reqs[0].at)
+			}
+		case t.cfg.LLM.Static:
+			if len(q.reqs) > 0 && len(q.running) == 0 &&
+				r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+				consider(q, kindLLMStaticPrefill, q.reqs[0].at)
+			}
+		default:
+			if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch &&
+				r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+				consider(q, kindLLMPrefill, q.reqs[0].at)
+				continue
+			}
+			for _, s := range q.running {
+				if s.prefilled && s.produced < s.req.output {
+					// FIFO key: the oldest decodable sequence's arrival.
+					consider(q, kindLLMDecode, s.req.at)
+					break
+				}
+			}
+		}
+	}
+	return pick, kind
+}
+
+// launch starts the given kind of work from queue q on slot r, with
+// `restore` switch cycles to pay first (a just-preempted victim's
+// checkpoint save, or zero).
+func (f *fleet) launch(r *replica, q *slotQueue, kind batchKind, now sim.Time, restore float64) {
+	// A static LLM queue that cannot form a batch because its head's KV
+	// reservation does not fit is passed over by whatever launches
+	// instead; count that as a stall, mirroring the continuous path's
+	// accounting in llmAdmit/launchLLMDecode (once per launch decision,
+	// so the count stays deterministic).
+	for i := range r.qs {
+		sq := &r.qs[i]
+		if sq == q || sq.ten.llm == nil || !sq.ten.cfg.LLM.Static {
+			continue
+		}
+		if len(sq.reqs) > 0 && len(sq.running) == 0 &&
+			!r.kv.fits(r.kv.blocksFor(sq.reqs[0].prompt+sq.reqs[0].output)) {
+			sq.ten.llm.kvStalls++
+		}
+	}
+	switch kind {
+	case kindLLMPrefill, kindLLMStaticPrefill:
+		f.launchLLMPrefill(r, q, kind, now, restore)
+	case kindLLMDecode:
+		f.launchLLMDecode(r, q, now, restore)
+	default:
+		f.launchFrom(r, q, now, restore)
+	}
 }
 
 // poke reacts to a new arrival of tenant t on slot r: it may preempt
@@ -87,6 +161,23 @@ func (f *fleet) poke(r *replica, t *tenantState, now sim.Time) {
 	}
 	if r.cur != nil {
 		f.maybePreempt(r, now)
+		return
+	}
+	// A continuous LLM batcher never coalesces at the door: joins happen
+	// at iteration boundaries, so an idle slot starts work immediately —
+	// but only continuous-LLM work. On a shared slot the best work can
+	// be a PEER's queue still coalescing under an armed batch-window
+	// timer; launching it early here would defeat the peer's batching,
+	// so anything else keeps its own trigger (timer, completion, or a
+	// suspended batch's resume through the regular dispatch path).
+	if t.llm != nil && !t.cfg.LLM.Static {
+		if len(r.susp) > 0 {
+			f.dispatch(r, now)
+			return
+		}
+		if q, kind := f.bestWork(r); q != nil && (kind == kindLLMPrefill || kind == kindLLMDecode) {
+			f.launch(r, q, kind, now, 0)
+		}
 		return
 	}
 	if len(r.queueFor(t).reqs) >= t.cfg.MaxBatch {
@@ -121,7 +212,7 @@ func (f *fleet) dispatch(r *replica, now sim.Time) {
 	if n := len(r.susp); n > 0 {
 		top := r.susp[n-1]
 		if f.cfg.Preempt {
-			if q := f.bestReady(r); q != nil && q.ten.cfg.Priority > top.ten.cfg.Priority &&
+			if q, kind := f.bestWork(r); q != nil && q.ten.cfg.Priority > top.ten.cfg.Priority &&
 				top.preempts < f.cfg.MaxPreemptsPerBatch {
 				// A bypass spends the same budget a preemption does:
 				// that is what bounds a Batch batch's total wait.
@@ -129,7 +220,7 @@ func (f *fleet) dispatch(r *replica, now sim.Time) {
 				if top.preempts > top.ten.maxPreempts {
 					top.ten.maxPreempts = top.preempts
 				}
-				f.launchFrom(r, q, now, 0)
+				f.launch(r, q, kind, now, 0)
 				return
 			}
 		}
@@ -137,8 +228,8 @@ func (f *fleet) dispatch(r *replica, now sim.Time) {
 		f.resume(r, top, now)
 		return
 	}
-	if q := f.bestReady(r); q != nil {
-		f.launchFrom(r, q, now, 0)
+	if q, kind := f.bestWork(r); q != nil {
+		f.launch(r, q, kind, now, 0)
 		return
 	}
 	if r.draining && r.idleEmpty() {
@@ -151,10 +242,7 @@ func (f *fleet) dispatch(r *replica, now sim.Time) {
 // checkpoint save of a just-preempted victim, or zero).
 func (f *fleet) launchFrom(r *replica, q *slotQueue, now sim.Time, restore float64) {
 	t := q.ten
-	if r.timerSet {
-		f.eng.Cancel(r.timer)
-		r.timerSet = false
-	}
+	f.disarmTimer(r)
 	n := len(q.reqs)
 	if n > t.cfg.MaxBatch {
 		n = t.cfg.MaxBatch
@@ -184,22 +272,37 @@ func (f *fleet) startSegment(r *replica, b *batch, now sim.Time) {
 	b.doneH = f.eng.After(sim.Time(seg)+1, func(now sim.Time) { f.finish(r, b, now) })
 }
 
-// finish retires a completed batch: per-request latencies, per-priority
-// recorders, work-conservation ledger, then refills the slot.
+// finish retires a completed invocation — per-request latencies for
+// single-shot batches, generation bookkeeping for LLM kinds (llm.go) —
+// settles the work-conservation ledger, then refills the slot. A static
+// LLM prefill chains straight into its decode leg, keeping the slot
+// occupied for the whole generation (static batching's defining trait).
 func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 	t := b.ten
-	for _, at := range b.reqs {
-		lat := float64(now - at)
-		t.lat.Add(lat)
-		if f.cfg.Autoscale {
-			// The observation window only exists for the autoscaler; a
-			// fixed fleet would just duplicate every sample unread.
-			t.windowLat.Add(lat)
+	var chain *batch
+	switch b.kind {
+	case kindLLMPrefill:
+		f.finishLLMPrefill(r, b, now)
+	case kindLLMDecode:
+		f.finishLLMDecode(r, b, now)
+	case kindLLMStaticPrefill:
+		chain = f.finishLLMStaticPrefill(r, b, now)
+	case kindLLMStaticDecode:
+		f.finishLLMStaticDecode(r, b, now)
+	default:
+		for _, req := range b.reqs {
+			lat := float64(now - req.at)
+			t.lat.Add(lat)
+			if f.cfg.Autoscale {
+				// The observation window only exists for the autoscaler; a
+				// fixed fleet would just duplicate every sample unread.
+				t.windowLat.Add(lat)
+			}
+			if f.prioEnabled {
+				f.prioLat[t.cfg.Priority].Add(lat)
+			}
+			t.completed++
 		}
-		if f.prioEnabled {
-			f.prioLat[t.cfg.Priority].Add(lat)
-		}
-		t.completed++
 	}
 	r.busyEUCycles += (b.restore + b.remaining) * float64(r.nm+r.nv)
 	t.servedServiceCycles += b.remaining
@@ -209,6 +312,10 @@ func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 		r.preemptSet = false
 	}
 	f.putBatch(b)
+	if chain != nil {
+		f.startSegment(r, chain, now)
+		return
+	}
 	f.dispatch(r, now)
 }
 
@@ -223,7 +330,7 @@ func (f *fleet) maybePreempt(r *replica, now sim.Time) {
 		return
 	}
 	b := r.cur
-	q := f.bestReady(r)
+	q, _ := f.bestWork(r)
 	if q == nil || q.ten.cfg.Priority <= b.ten.cfg.Priority {
 		return
 	}
@@ -259,7 +366,7 @@ func (f *fleet) suspend(r *replica, b *batch, rp sched.ResumePoint, now sim.Time
 	if r.cur != b {
 		return // the batch finished first (defensive; finish cancels us)
 	}
-	q := f.bestReady(r)
+	q, kind := f.bestWork(r)
 	if q == nil || q.ten.cfg.Priority <= b.ten.cfg.Priority {
 		return // urgency evaporated before the boundary (defensive)
 	}
@@ -279,7 +386,7 @@ func (f *fleet) suspend(r *replica, b *batch, rp sched.ResumePoint, now sim.Time
 	r.cur = nil
 	r.susp = append(r.susp, b)
 	// The preemptor pays the victim's checkpoint save before it runs.
-	f.launchFrom(r, q, now, sw)
+	f.launch(r, q, kind, now, sw)
 }
 
 // resume restores a suspended batch: it owes exactly its banked

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+
+	"neu10/internal/sim"
+)
+
+// Autoregressive LLM request model. A serving request is not one
+// invocation but a generation: a prompt processed once (prefill) and
+// then one decode iteration per output token, each iteration pinning
+// the sequence's KV cache. The serving layer (internal/serve) prices
+// the two phases separately through its CostDB; this file supplies the
+// request-shape model the scenarios draw traces from.
+
+// LLMRequest is one autoregressive inference request: Prompt tokens to
+// prefill, Output tokens to generate (the first is emitted by the
+// prefill itself).
+type LLMRequest struct {
+	Prompt int
+	Output int
+}
+
+// Tokens returns the request's full KV-cache residency in tokens — the
+// reservation an admission-time KV accountant must find room for.
+func (r LLMRequest) Tokens() int { return r.Prompt + r.Output }
+
+// LLMTrace is the request-shape distribution: prompt and output lengths
+// drawn independently as shifted exponentials (min + Exp(mean−min))
+// clamped to max — the long-tailed, mostly-short shape of production
+// LLM traffic. Draws consume exactly two RNG values regardless of
+// outcome, so a trace is reproducible and identical across scheduler
+// variants compared on the same seed.
+type LLMTrace struct {
+	PromptMin, PromptMean, PromptMax int
+	OutputMin, OutputMean, OutputMax int
+}
+
+// Defaults fills zero fields with a chat-like shape: prompts 32–1024
+// tokens (mean 256), outputs 2–64 tokens (mean 16).
+func (tr *LLMTrace) Defaults() {
+	if tr.PromptMin == 0 {
+		tr.PromptMin = 32
+	}
+	if tr.PromptMean == 0 {
+		tr.PromptMean = 256
+	}
+	if tr.PromptMax == 0 {
+		tr.PromptMax = 1024
+	}
+	if tr.OutputMin == 0 {
+		tr.OutputMin = 2
+	}
+	if tr.OutputMean == 0 {
+		tr.OutputMean = 16
+	}
+	if tr.OutputMax == 0 {
+		tr.OutputMax = 64
+	}
+}
+
+// Validate rejects malformed shape bounds.
+func (tr LLMTrace) Validate() error {
+	check := func(kind string, min, mean, max int) error {
+		switch {
+		case min < 1:
+			return fmt.Errorf("workload: %s min %d < 1", kind, min)
+		case max < min:
+			return fmt.Errorf("workload: %s max %d < min %d", kind, max, min)
+		case mean < min || mean > max:
+			return fmt.Errorf("workload: %s mean %d outside [%d, %d]", kind, mean, min, max)
+		}
+		return nil
+	}
+	if err := check("prompt", tr.PromptMin, tr.PromptMean, tr.PromptMax); err != nil {
+		return err
+	}
+	return check("output", tr.OutputMin, tr.OutputMean, tr.OutputMax)
+}
+
+// MaxTokens returns the largest KV reservation any drawn request can
+// need — the floor a replica's KV capacity must clear, or its queue
+// head could block forever.
+func (tr LLMTrace) MaxTokens() int { return tr.PromptMax + tr.OutputMax }
+
+// Draw samples one request shape from the trace's distributions.
+func (tr LLMTrace) Draw(rng *sim.RNG) LLMRequest {
+	return LLMRequest{
+		Prompt: drawLen(rng, tr.PromptMin, tr.PromptMean, tr.PromptMax),
+		Output: drawLen(rng, tr.OutputMin, tr.OutputMean, tr.OutputMax),
+	}
+}
+
+// drawLen samples min + Exp(mean−min) rounded, clamped to max. The RNG
+// is always consumed exactly once so the draw count per request is
+// fixed (trace identity across compared configurations).
+func drawLen(rng *sim.RNG, min, mean, max int) int {
+	g := rng.Exp(float64(mean - min))
+	if mean <= min {
+		return min
+	}
+	v := min + int(g+0.5)
+	if v > max {
+		return max
+	}
+	return v
+}

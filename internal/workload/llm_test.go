@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"neu10/internal/sim"
+)
+
+// TestLLMTraceDrawBounds: every drawn shape must respect the configured
+// bounds, across many draws and seeds.
+func TestLLMTraceDrawBounds(t *testing.T) {
+	tr := LLMTrace{
+		PromptMin: 16, PromptMean: 64, PromptMax: 256,
+		OutputMin: 2, OutputMean: 12, OutputMax: 48,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		rng := sim.NewRNG(seed)
+		var promptSum, outSum float64
+		const n = 4000
+		for i := 0; i < n; i++ {
+			r := tr.Draw(rng)
+			if r.Prompt < tr.PromptMin || r.Prompt > tr.PromptMax {
+				t.Fatalf("prompt %d outside [%d, %d]", r.Prompt, tr.PromptMin, tr.PromptMax)
+			}
+			if r.Output < tr.OutputMin || r.Output > tr.OutputMax {
+				t.Fatalf("output %d outside [%d, %d]", r.Output, tr.OutputMin, tr.OutputMax)
+			}
+			if r.Tokens() != r.Prompt+r.Output {
+				t.Fatalf("Tokens() = %d, want %d", r.Tokens(), r.Prompt+r.Output)
+			}
+			promptSum += float64(r.Prompt)
+			outSum += float64(r.Output)
+		}
+		// Loose sanity on the means: clamping at max pulls them below the
+		// nominal targets, but they should land in the right region.
+		if m := promptSum / n; m < float64(tr.PromptMin) || m > float64(tr.PromptMean)*1.5 {
+			t.Errorf("seed %d: prompt mean %.1f implausible for target %d", seed, m, tr.PromptMean)
+		}
+		if m := outSum / n; m < float64(tr.OutputMin) || m > float64(tr.OutputMean)*1.5 {
+			t.Errorf("seed %d: output mean %.1f implausible for target %d", seed, m, tr.OutputMean)
+		}
+	}
+}
+
+// TestLLMTraceDrawDeterministic: the same seed must reproduce the exact
+// shape sequence, and every draw must consume a fixed number of RNG
+// values so downstream consumers stay aligned across configurations.
+func TestLLMTraceDrawDeterministic(t *testing.T) {
+	tr := LLMTrace{}
+	tr.Defaults()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := sim.NewRNG(7), sim.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if ra, rb := tr.Draw(a), tr.Draw(b); ra != rb {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+	// Fixed consumption: after identical draw counts, both streams must
+	// be at the same position.
+	if a.Uint64() != b.Uint64() {
+		t.Error("draws consumed different numbers of RNG values")
+	}
+}
+
+// TestLLMTraceValidate rejects malformed bounds.
+func TestLLMTraceValidate(t *testing.T) {
+	bad := []LLMTrace{
+		{PromptMin: 0, PromptMean: 8, PromptMax: 16, OutputMin: 1, OutputMean: 2, OutputMax: 4},
+		{PromptMin: 8, PromptMean: 4, PromptMax: 16, OutputMin: 1, OutputMean: 2, OutputMax: 4},
+		{PromptMin: 8, PromptMean: 32, PromptMax: 16, OutputMin: 1, OutputMean: 2, OutputMax: 4},
+		{PromptMin: 8, PromptMean: 8, PromptMax: 16, OutputMin: 4, OutputMean: 2, OutputMax: 1},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: malformed trace %+v accepted", i, tr)
+		}
+	}
+	var tr LLMTrace
+	tr.Defaults()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("defaulted trace rejected: %v", err)
+	}
+	if tr.MaxTokens() != tr.PromptMax+tr.OutputMax {
+		t.Errorf("MaxTokens %d, want %d", tr.MaxTokens(), tr.PromptMax+tr.OutputMax)
+	}
+}
