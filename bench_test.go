@@ -89,6 +89,13 @@ func BenchmarkServePriority(b *testing.B) { benchExperiment(b, "serve-priority")
 // the hot path through the iteration-level batcher and KV accountant.
 func BenchmarkServeLLM(b *testing.B) { benchExperiment(b, "serve-llm") }
 
+// BenchmarkServeDisagg measures the disaggregated prefill/decode
+// scenario: five runs on the identical trace (colocated baseline plus
+// a four-point interconnect-bandwidth sweep) — the hot path through
+// chunked prefill, the xfer fabric's max-min sharing and the
+// KV-migration machinery.
+func BenchmarkServeDisagg(b *testing.B) { benchExperiment(b, "serve-disagg") }
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSystolicArrayGEMM measures the functional matrix engine: one

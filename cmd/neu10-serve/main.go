@@ -7,6 +7,7 @@
 //	neu10-serve -scenario flash-crowd          # autoscale vs fixed fleet
 //	neu10-serve -scenario priority             # preemptive sharing vs FIFO
 //	neu10-serve -scenario llm                  # continuous vs static batching
+//	neu10-serve -scenario disagg               # disaggregated prefill/decode vs colocated
 //	neu10-serve -scenario mix-shift -json
 //	neu10-serve -list
 //
@@ -31,11 +32,12 @@ var scenarios = map[string]string{
 	"mix-shift":   "serve-mix",
 	"priority":    "serve-priority",
 	"llm":         "serve-llm",
+	"disagg":      "serve-disagg",
 }
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "steady", "scenario: steady, flash-crowd, mix-shift, priority, or llm")
+		scenario = flag.String("scenario", "steady", "scenario: steady, flash-crowd, mix-shift, priority, llm, or disagg")
 		seed     = flag.Uint64("seed", 1, "seed for arrivals, routing and therefore the whole report")
 		workers  = flag.Int("workers", 0, "worker pool for scenario-internal comparisons (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit the structured report(s) as JSON instead of a table")
@@ -49,6 +51,8 @@ func main() {
 		fmt.Println("mix-shift    two diurnal tenants in antiphase; capacity migrates between them")
 		fmt.Println("priority     interactive+batch tenants on shared slots; preemptive vs FIFO, same trace")
 		fmt.Println("llm          KV-cache-aware LLM serving; continuous vs static batching, same trace")
+		fmt.Println("disagg       disaggregated prefill/decode over a modeled interconnect vs colocated,")
+		fmt.Println("             same trace, swept over link bandwidth")
 		return
 	}
 
@@ -56,7 +60,7 @@ func main() {
 	if !ok {
 		id = strings.TrimSpace(*scenario) // allow raw experiment ids too
 		if !strings.HasPrefix(id, "serve-") {
-			fatal(fmt.Errorf("unknown scenario %q (want steady, flash-crowd, mix-shift, priority or llm)", *scenario))
+			fatal(fmt.Errorf("unknown scenario %q (want steady, flash-crowd, mix-shift, priority, llm or disagg)", *scenario))
 		}
 	}
 

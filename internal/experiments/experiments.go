@@ -97,6 +97,7 @@ func IDs() []string {
 		"fig24", "fig25", "fig26", "fig27",
 		"ablation-harvest", "ablation-preempt", "slo", "cluster",
 		"serve-steady", "serve-flash", "serve-mix", "serve-priority", "serve-llm",
+		"serve-disagg",
 	}
 }
 
@@ -149,6 +150,8 @@ func (r *Runner) Run(id string) (Result, error) {
 		return r.ServePriority()
 	case "serve-llm":
 		return r.ServeLLM()
+	case "serve-disagg":
+		return r.ServeDisagg()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

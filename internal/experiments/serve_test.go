@@ -21,7 +21,7 @@ func TestServeParallelDeterminism(t *testing.T) {
 		}
 		return r
 	}
-	ids := []string{"serve-flash", "serve-steady", "serve-priority", "serve-llm"}
+	ids := []string{"serve-flash", "serve-steady", "serve-priority", "serve-llm", "serve-disagg"}
 	seqRes, err := mk(1).RunMany(ids)
 	if err != nil {
 		t.Fatal(err)
@@ -171,6 +171,88 @@ func TestServeLLMContinuousWins(t *testing.T) {
 	}
 	if !strings.Contains(res.Table(), "continuous") || !strings.Contains(res.Table(), "static") {
 		t.Error("table does not render both batchers")
+	}
+}
+
+// TestServeDisaggCrossover asserts the serve-disagg scenario's headline
+// claim: on the identical trace at a matched chip count, disaggregation
+// beats colocated continuous batching on decode TPOT p99 (no prefill
+// ever lands on a decode slot), its end-to-end advantage shrinks as the
+// modeled link bandwidth drops (migration is priced into TTFT and the
+// interconnect saturates), and the slowest link in the sweep crosses
+// below the colocated baseline.
+func TestServeDisaggCrossover(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.ServeDisagg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 5 {
+		t.Fatalf("serve-disagg result has %d reports, want colocated + 4 bandwidth points", len(res.Reports))
+	}
+	colo := res.Reports[0].Tenants[0]
+	if colo.LLM == nil || colo.LLM.Batcher != "continuous" {
+		t.Fatalf("report order wrong: first report is %+v, want the colocated baseline", colo.LLM)
+	}
+	sweep := res.Reports[1:]
+	for i, rep := range sweep {
+		tr := rep.Tenants[0]
+		if tr.LLM == nil || tr.LLM.Batcher != "disaggregated" {
+			t.Fatalf("sweep point %d is not disaggregated", i)
+		}
+		// Identical trace everywhere: arrivals and token totals match the
+		// baseline, and migration traffic is a pure function of the trace.
+		if tr.Arrivals != colo.Arrivals || tr.LLM.TokensOut != colo.LLM.TokensOut {
+			t.Errorf("sweep point %d diverges from the baseline trace: %d/%d arrivals, %d/%d tokens",
+				i, tr.Arrivals, colo.Arrivals, tr.LLM.TokensOut, colo.LLM.TokensOut)
+		}
+		if tr.LLM.Migrations == 0 || tr.LLM.MigrationMB != sweep[0].Tenants[0].LLM.MigrationMB {
+			t.Errorf("sweep point %d migration traffic %d/%.1fMB is not trace-determined",
+				i, tr.LLM.Migrations, tr.LLM.MigrationMB)
+		}
+		if rep.LinkGBps >= res.Reports[i].LinkGBps && i > 0 {
+			t.Errorf("sweep point %d bandwidth %.4f not decreasing", i, rep.LinkGBps)
+		}
+	}
+	best, worst := sweep[0].Tenants[0], sweep[len(sweep)-1].Tenants[0]
+	// (1) TPOT isolation at ample bandwidth.
+	if best.LLM.TPOTP99Ms >= colo.LLM.TPOTP99Ms {
+		t.Errorf("disaggregated TPOT p99 %.2f ms did not beat colocated %.2f ms",
+			best.LLM.TPOTP99Ms, colo.LLM.TPOTP99Ms)
+	}
+	// (2) End-to-end advantage at ample bandwidth...
+	bestGain := best.SLOAttainment - colo.SLOAttainment
+	if bestGain <= 0 {
+		t.Errorf("disaggregation at full bandwidth gained %+.3f attainment over colocated (%.3f vs %.3f)",
+			bestGain, best.SLOAttainment, colo.SLOAttainment)
+	}
+	// (3) ...shrinking as the link slows, to a visible crossover.
+	worstGain := worst.SLOAttainment - colo.SLOAttainment
+	if worstGain >= bestGain {
+		t.Errorf("advantage did not shrink with bandwidth: %+.3f at the fastest link, %+.3f at the slowest",
+			bestGain, worstGain)
+	}
+	if worstGain >= 0 {
+		t.Errorf("no crossover: disaggregation still ahead by %+.3f attainment at the slowest link", worstGain)
+	}
+	// (4) The interconnect's share of TTFT grows monotonically as it
+	// slows (1% slop for quantization).
+	for i := 1; i < len(sweep); i++ {
+		prev, cur := sweep[i-1].Tenants[0].LLM, sweep[i].Tenants[0].LLM
+		if cur.TTFTP99Ms < prev.TTFTP99Ms*0.99 {
+			t.Errorf("TTFT p99 fell from %.2f to %.2f ms as bandwidth dropped (sweep points %d→%d)",
+				prev.TTFTP99Ms, cur.TTFTP99Ms, i-1, i)
+		}
+	}
+	// (5) Link pressure is visible in the fleet accounting.
+	if first, last := sweep[0], sweep[len(sweep)-1]; last.LinkUtil <= first.LinkUtil {
+		t.Errorf("link utilization %.3f at the slowest link not above %.3f at the fastest",
+			last.LinkUtil, first.LinkUtil)
+	}
+	for _, want := range []string{"disagg tenant", "interconnect:", "colocated"} {
+		if !strings.Contains(res.Table(), want) {
+			t.Errorf("serve-disagg table missing %q", want)
+		}
 	}
 }
 

@@ -43,30 +43,55 @@ func LLMWeightBytes() int64 { return LLMParams() * 2 }
 // sequence pins: K and V vectors across all layers, bf16.
 func LLMKVBytesPerToken() int64 { return 2 * int64(llmLayers) * int64(llmHidden) * 2 }
 
+// LLMKVTransferBytes returns the payload a KV migration of `tokens`
+// resident tokens ships over the chip-to-chip interconnect — the full
+// per-layer K/V pages a disaggregated decode replica needs before it
+// can take the sequence's first decode iteration.
+func LLMKVTransferBytes(tokens int) int64 {
+	if tokens <= 0 {
+		return 0
+	}
+	return int64(tokens) * LLMKVBytesPerToken()
+}
+
 // LLMPrefill builds the prompt-processing phase: `prompt` tokens per
 // sequence through every layer, plus the last position's logits (the
 // first emitted token). Attention is quadratic in the prompt; the
-// weight matrices stream once regardless of batch.
+// weight matrices stream once regardless of batch. It is exactly the
+// zero-context chunk case.
 func LLMPrefill(batch, prompt int) *compiler.Graph {
+	return LLMPrefillChunk(batch, prompt, 0)
+}
+
+// LLMPrefillChunk builds one chunked-prefill step: `chunk` new tokens
+// per sequence pushed through every layer while attending over `ctx`
+// ALREADY-CACHED tokens plus the chunk itself. The GEMMs scale with
+// the chunk alone (that is what chunking buys), but attention scales
+// with chunk × (ctx + chunk): a late chunk of a long prompt pays for
+// the whole context behind it, exactly the work a constant per-chunk
+// price would hide. LLMPrefillChunk(b, p, 0) is LLMPrefill(b, p).
+func LLMPrefillChunk(batch, chunk, ctx int) *compiler.Graph {
 	b := newBuilder("LLaMA-prefill", batch)
 	headDim := llmHidden / llmHeads
-	tokens := batch * prompt
+	tokens := batch * chunk
+	span := ctx + chunk
 
 	for l := 0; l < llmLayers; l++ {
 		b.matmul(layerName("qkv", l), tokens, llmHidden, 3*llmHidden, false)
-		b.actMatmul(layerName("scores", l), batch*llmHeads*prompt, headDim, prompt, false)
-		b.vec(layerName("softmax", l), compiler.Softmax, int64(batch)*int64(llmHeads)*int64(prompt)*int64(prompt), 4)
-		b.actMatmul(layerName("ctx", l), batch*llmHeads*prompt, prompt, headDim, false)
+		b.actMatmul(layerName("scores", l), batch*llmHeads*chunk, headDim, span, false)
+		b.vec(layerName("softmax", l), compiler.Softmax, int64(batch)*int64(llmHeads)*int64(chunk)*int64(span), 4)
+		b.actMatmul(layerName("ctx", l), batch*llmHeads*chunk, span, headDim, false)
 		b.matmul(layerName("o-proj", l), tokens, llmHidden, llmHidden, false)
 		b.vec(layerName("rmsnorm1", l), compiler.LayerNorm, int64(tokens)*llmHidden, 3)
 		b.matmul(layerName("gate-up", l), tokens, llmHidden, 2*llmFFN, true) // fused SiLU
 		b.matmul(layerName("ffn-down", l), tokens, llmFFN, llmHidden, false)
 		b.vec(layerName("rmsnorm2", l), compiler.LayerNorm, int64(tokens)*llmHidden, 3)
 	}
-	// Only the final position needs logits to emit the first token.
+	// Only the final position needs logits; intermediate chunks carry
+	// the (small) lm-head too, pricing the conservative side.
 	b.matmul("lm-head", batch, llmHidden, llmVocab, false)
 
-	kv := int64(batch) * int64(prompt) * LLMKVBytesPerToken()
+	kv := int64(batch) * int64(span) * LLMKVBytesPerToken()
 	return b.finish(LLMWeightBytes() + kv)
 }
 

@@ -53,6 +53,10 @@ func (f *fleet) scheduleScale(every float64) {
 }
 
 func (f *fleet) scaleTenant(t *tenantState, now sim.Time) {
+	if t.disagg() != nil {
+		f.scaleTenantDisagg(t, now)
+		return
+	}
 	samples := t.windowLat.Count()
 	p99 := t.windowLat.P99()
 	backlog := f.tenantBacklog(t)
@@ -72,34 +76,133 @@ func (f *fleet) scaleTenant(t *tenantState, now sim.Time) {
 
 	switch {
 	case violated && t.activeCount() < t.cfg.MaxReplicas:
-		if err := f.spawnReplica(t, t.curEUs); err != nil {
+		if err := f.spawnReplica(t, t.curEUs, RoleMixed); err != nil {
 			t.scaleFails++
 		} else {
 			t.scaleUps++
 		}
 	case violated && f.splitFits(t, t.curEUs+2):
 		// Horizontal headroom exhausted: grow the vNPU size instead.
-		if err := f.spawnReplica(t, t.curEUs+2); err != nil {
+		if err := f.spawnReplica(t, t.curEUs+2, RoleMixed); err != nil {
 			t.scaleFails++
 		} else {
 			t.curEUs += 2
 			t.resizes++
-			f.drainOne(t, now, true)
+			f.drainOne(t, RoleMixed, now, true)
 		}
 	case calm && t.activeCount() > t.cfg.MinReplicas:
-		f.drainOne(t, now, false)
+		f.drainOne(t, RoleMixed, now, false)
 		t.scaleDowns++
 	case calm && t.curEUs > t.cfg.EUs:
 		// Idle and previously grown: shrink back toward the configured
 		// budget, again make-before-break.
-		if err := f.spawnReplica(t, t.curEUs-2); err != nil {
+		if err := f.spawnReplica(t, t.curEUs-2, RoleMixed); err != nil {
 			t.scaleFails++
 		} else {
 			t.curEUs -= 2
 			t.resizes++
-			f.drainOne(t, now, true)
+			f.drainOne(t, RoleMixed, now, true)
 		}
 	}
+	t.windowLat.Reset()
+	t.windowRejected = 0
+}
+
+// scaleTenantDisagg runs the two independent per-pool control loops of
+// a disaggregated tenant. Each pool reads its OWN signal — the shared
+// end-to-end p99 would conflate a slow link, a prompt burst and a
+// decode backlog into one number and scale the wrong pool:
+//
+//   - The prefill pool scales against windowed p99 QUEUE DELAY (arrival
+//     → first prefill invocation) vs prefillSLO, plus admission
+//     rejections — arrivals only ever touch prefill slots, so sheds and
+//     queue growth are prefill-pool symptoms by construction.
+//   - The decode pool scales against windowed TPOT p99 vs tpotSLO,
+//     plus migration stalls — a prefill completion that found no
+//     admitting decode slot is a direct "decode pool full" signal, and
+//     reacting to it drains the parked migrations.
+//
+// Both pools apply the same hold/decay reading of an empty window as
+// the colocated ladder; vertical resizes stay a colocated-only move
+// (one EU budget serves both pools).
+func (f *fleet) scaleTenantDisagg(t *tenantState, now sim.Time) {
+	d := t.cfg.LLM.Disagg
+	l := t.llm
+
+	// The pool's backlog is queued arrivals PLUS prompts mid-prefill —
+	// a window with empty queues but chunked prefills still in flight
+	// is busy, not idle (sequences already handed to migration hold no
+	// prefill compute and do not count).
+	preBacklog := 0
+	for _, r := range t.replicas {
+		if r.role == RolePrefill {
+			if q := r.queueFor(t); q != nil {
+				preBacklog += len(q.reqs)
+				for _, s := range q.running {
+					if s.promptDone < s.req.prompt {
+						preBacklog++
+					}
+				}
+			}
+		}
+	}
+	waitN := l.windowWait.Count()
+	waitP99 := l.windowWait.P99()
+	preViolated := t.windowRejected > 0 ||
+		(waitN > 0 && waitP99 > f.cfg.ScaleUpP99Frac*t.prefillSLO) ||
+		(waitN == 0 && preBacklog > t.cfg.MaxBatch)
+	preIdle := waitN == 0 && preBacklog == 0
+	preCalm := t.windowRejected == 0 &&
+		((waitN > 0 && waitP99 < f.cfg.ScaleDownP99Frac*t.prefillSLO) || preIdle)
+	switch {
+	case preViolated && t.activeRole(RolePrefill) < d.MaxPrefill:
+		if err := f.spawnReplica(t, t.curEUs, RolePrefill); err != nil {
+			t.scaleFails++
+		} else {
+			t.scaleUps++
+		}
+	case preCalm && t.activeRole(RolePrefill) > d.MinPrefill:
+		f.drainOne(t, RolePrefill, now, false)
+		t.scaleDowns++
+	}
+
+	decBusy := len(l.migQ)
+	for _, r := range t.replicas {
+		if r.role == RoleDecode {
+			if q := r.queueFor(t); q != nil {
+				decBusy += len(q.running)
+			}
+			decBusy += r.inbound
+		}
+	}
+	tpotN := l.windowTPOT.Count()
+	tpotP99 := l.windowTPOT.P99()
+	decViolated := l.windowMigStalls > 0 ||
+		(tpotN > 0 && tpotP99 > f.cfg.ScaleUpP99Frac*t.tpotSLO)
+	decIdle := tpotN == 0 && decBusy == 0
+	// A parked migration queue vetoes calm outright: the backlog shows
+	// up as migration WAIT, not TPOT (decode iterations stay healthy by
+	// construction), so per-iteration percentiles alone would happily
+	// drain the exact pool whose admission is the bottleneck.
+	decCalm := l.windowMigStalls == 0 && len(l.migQ) == 0 &&
+		((tpotN > 0 && tpotP99 < f.cfg.ScaleDownP99Frac*t.tpotSLO) || decIdle)
+	switch {
+	case decViolated && t.activeRole(RoleDecode) < d.MaxDecode:
+		if err := f.spawnReplica(t, t.curEUs, RoleDecode); err != nil {
+			t.scaleFails++
+		} else {
+			t.scaleUps++
+			// A fresh decode slot can admit parked migrations immediately.
+			f.drainMigQ(t, now)
+		}
+	case decCalm && t.activeRole(RoleDecode) > d.MinDecode:
+		f.drainOne(t, RoleDecode, now, false)
+		t.scaleDowns++
+	}
+
+	l.windowWait.Reset()
+	l.windowTPOT.Reset()
+	l.windowMigStalls = 0
 	t.windowLat.Reset()
 	t.windowRejected = 0
 }
@@ -141,8 +244,10 @@ func (f *fleet) splitFits(t *tenantState, eus int) bool {
 
 // spawnReplica sizes a new vNPU with the §III-B allocator at the given
 // EU budget, maps it through the §III-C mapper under the fleet's
-// placement policy, and puts it in service.
-func (f *fleet) spawnReplica(t *tenantState, eus int) error {
+// placement policy, and puts it in service. For disaggregated tenants
+// the role specializes the slot (and its KV floor: a prefill slot only
+// ever holds prompt KV); colocated callers pass RoleMixed.
+func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 	a, err := f.alloc.Allocate(t.profile, t.footprint, eus)
 	if err != nil {
 		return err
@@ -179,7 +284,13 @@ func (f *fleet) spawnReplica(t *tenantState, eus int) error {
 			if p.cfg.LLM.KVCapTokens > 0 {
 				capOverride = p.cfg.LLM.KVCapTokens
 			}
-			worstTokens := (p.cfg.LLM.Trace.MaxTokens() + blockTokens - 1) / blockTokens * blockTokens
+			worst := p.cfg.LLM.Trace.MaxTokens()
+			if role == RolePrefill {
+				// A prefill slot only ever holds prompt KV: generated
+				// tokens live on the decode side of the migration.
+				worst = p.cfg.LLM.Trace.MaxPrompt()
+			}
+			worstTokens := (worst + blockTokens - 1) / blockTokens * blockTokens
 			minKV += int64(worstTokens) * model.LLMKVBytesPerToken()
 		}
 		if anyLLM {
@@ -199,9 +310,13 @@ func (f *fleet) spawnReplica(t *tenantState, eus int) error {
 				if p.llm == nil {
 					continue
 				}
-				if worst := kv.blocksFor(p.cfg.LLM.Trace.MaxTokens()); worst > kv.totalBlocks {
-					return fmt.Errorf("serve: tenant %s: replica KV capacity of %d blocks cannot hold one maximal request of %s (%d blocks)",
-						t.cfg.Name, kv.totalBlocks, p.cfg.Name, worst)
+				worstTok := p.cfg.LLM.Trace.MaxTokens()
+				if role == RolePrefill {
+					worstTok = p.cfg.LLM.Trace.MaxPrompt()
+				}
+				if worst := kv.blocksFor(worstTok); worst > kv.totalBlocks {
+					return fmt.Errorf("serve: tenant %s: %s replica KV capacity of %d blocks cannot hold one maximal request of %s (%d blocks)",
+						t.cfg.Name, role, kv.totalBlocks, p.cfg.Name, worst)
 				}
 			}
 		}
@@ -237,7 +352,7 @@ func (f *fleet) spawnReplica(t *tenantState, eus int) error {
 			return err
 		}
 	}
-	r := &replica{id: t.nextReplicaID, uid: f.nextUID, ten: t, vnpu: v, nm: a.MEs, nv: a.VEs, eus: eus, kv: kv}
+	r := &replica{id: t.nextReplicaID, uid: f.nextUID, ten: t, vnpu: v, nm: a.MEs, nv: a.VEs, eus: eus, role: role, kv: kv}
 	f.nextUID++
 	t.nextReplicaID++
 	for _, p := range t.peers {
@@ -247,16 +362,27 @@ func (f *fleet) spawnReplica(t *tenantState, eus int) error {
 	if n := t.activeCount(); n > t.peakReplicas {
 		t.peakReplicas = n
 	}
+	switch role {
+	case RolePrefill:
+		if n := t.activeRole(RolePrefill); n > t.prefPeak {
+			t.prefPeak = n
+		}
+	case RoleDecode:
+		if n := t.activeRole(RoleDecode); n > t.decPeak {
+			t.decPeak = n
+		}
+	}
 	t.replicaTL.Add(now, float64(t.activeCount()))
 	return nil
 }
 
-// drainOne marks one replica as draining: the router stops sending it
+// drainOne marks one replica of the given role as draining: the router
+// (and, for decode slots, the migration target picker) stops sending it
 // work and it retires once idle. With bySize, the replica whose EU
 // budget differs most from the tenant's current target goes first (the
 // vertical-resize path retiring the old size); otherwise the
 // least-backlogged goes (the cheapest to finish off).
-func (f *fleet) drainOne(t *tenantState, now sim.Time, bySize bool) {
+func (f *fleet) drainOne(t *tenantState, role Role, now sim.Time, bySize bool) {
 	var pick *replica
 	score := func(r *replica) int {
 		if bySize {
@@ -267,10 +393,10 @@ func (f *fleet) drainOne(t *tenantState, now sim.Time, bySize bool) {
 			// Most-mismatched size first; backlog breaks ties.
 			return -(d*1_000_000 - r.backlog())
 		}
-		return r.backlog()
+		return r.backlog() + r.inbound
 	}
 	for _, r := range t.replicas {
-		if r.draining {
+		if r.draining || r.role != role {
 			continue
 		}
 		if pick == nil || score(r) < score(pick) || (score(r) == score(pick) && r.uid > pick.uid) {

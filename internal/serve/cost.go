@@ -34,12 +34,34 @@ type CostDB struct {
 	mu      sync.Mutex
 	entries map[costKey]*costEntry
 
-	// onMeasure, when non-nil, is invoked inside the entry's sync.Once
-	// immediately before measurement — a test hook that observes the
-	// single-flight property (each key must measure exactly once no
-	// matter how many lookups race).
+	// maxEntries bounds the cache (DefaultMaxCostEntries unless
+	// SetMaxEntries overrides it; ≤ 0 = unbounded). Long parameter
+	// sweeps — many models × shapes × vNPU splits — would otherwise
+	// grow the map without limit. Growth is contained twice over, and
+	// neither mechanism can change a result:
+	//
+	//   - Coarse-bucket fallback: shapes beyond the fine catalog
+	//     (batch > 64, seq/ctx > 4096 after padding) bucket to powers
+	//     of FOUR instead of two — a pure function of the QUERY, never
+	//     of cache state, so which bucket a shape lands in is identical
+	//     in every run and at every worker count.
+	//   - Entry cap: once the map is full, new keys measure WITHOUT
+	//     caching. The measurement is a pure function of the key — the
+	//     exact value the cache would have held — so hitting the cap
+	//     makes overflow queries slower, never different.
+	maxEntries int
+
+	// onMeasure, when non-nil, is invoked immediately before any
+	// measurement — inside the entry's sync.Once for cached keys, per
+	// call for capped uncached ones — a test hook that observes the
+	// single-flight property and the cap's fallback behavior.
 	onMeasure func(costKey)
 }
+
+// DefaultMaxCostEntries is the default cache bound: comfortably above
+// any shipped scenario's working set (hundreds of entries), small
+// enough that a runaway sweep cannot hold gigabytes of map.
+const DefaultMaxCostEntries = 8192
 
 // Phase distinguishes the invocation kinds a key can price. The zero
 // value is a whole-model inference (the pre-LLM behavior); the LLM
@@ -76,6 +98,7 @@ type costKey struct {
 	phase  Phase
 	batch  int // padded
 	seq    int // padded prompt (prefill) / context (decode); 0 for full
+	ctx    int // padded cached context BEHIND a prefill chunk; 0 otherwise
 	nm, nv int
 }
 
@@ -87,7 +110,22 @@ type costEntry struct {
 
 // NewCostDB builds a cost database for a physical core family.
 func NewCostDB(core arch.CoreConfig) *CostDB {
-	return &CostDB{core: core, entries: map[costKey]*costEntry{}}
+	return &CostDB{core: core, entries: map[costKey]*costEntry{}, maxEntries: DefaultMaxCostEntries}
+}
+
+// SetMaxEntries overrides the cache bound (≤ 0 = unbounded). Safe to
+// call concurrently with lookups, though typically done at setup.
+func (db *CostDB) SetMaxEntries(n int) {
+	db.mu.Lock()
+	db.maxEntries = n
+	db.mu.Unlock()
+}
+
+// Entries returns the current cached-entry count.
+func (db *CostDB) Entries() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.entries)
 }
 
 // Core returns the physical core family the database prices against.
@@ -102,13 +140,31 @@ func PadBatch(b int) int {
 	return p
 }
 
+// The fine bucket catalogs. Shapes padding inside these bounds keep
+// power-of-two buckets (the kernel catalog real serving compiles);
+// anything beyond coarsens to powers of FOUR, halving the bucket count
+// per dimension for outsized sweeps. Both rules are pure functions of
+// the query, so bucketing never depends on cache state or timing.
+const (
+	fineBatchMax = 64
+	fineSeqMax   = 4096
+)
+
+// padShape buckets one shape dimension against its fine catalog bound.
+func padShape(n, fineMax int) int {
+	if p := PadBatch(n); p <= fineMax {
+		return p
+	}
+	return padPow4(n)
+}
+
 // ServiceCycles returns the cycles one invocation of `name` at the given
 // batch size takes on a vNPU with nm MEs and nv VEs.
 func (db *CostDB) ServiceCycles(name string, batch, nm, nv int) (float64, error) {
 	if batch < 1 || nm < 1 || nv < 1 {
 		return 0, fmt.Errorf("serve: bad cost query %s/%d on %dME+%dVE", name, batch, nm, nv)
 	}
-	key := costKey{model: name, batch: PadBatch(batch), nm: nm, nv: nv}
+	key := costKey{model: name, batch: padShape(batch, fineBatchMax), nm: nm, nv: nv}
 	return db.cycles(key)
 }
 
@@ -130,17 +186,61 @@ func (db *CostDB) LLMCycles(phase Phase, batch, seq, nm, nv int) (float64, error
 	if batch < 1 || seq < 1 || nm < 1 || nv < 1 {
 		return 0, fmt.Errorf("serve: bad LLM cost query %v/%d/%d on %dME+%dVE", phase, batch, seq, nm, nv)
 	}
-	key := costKey{model: llmModel, phase: phase, batch: PadBatch(batch), seq: PadBatch(seq), nm: nm, nv: nv}
+	key := costKey{model: llmModel, phase: phase,
+		batch: padShape(batch, fineBatchMax), seq: padShape(seq, fineSeqMax), nm: nm, nv: nv}
 	return db.cycles(key)
 }
 
-// cycles resolves one key through the single-flight cache.
+// LLMChunkCycles prices one chunked-prefill invocation: `chunk` new
+// tokens per sequence attending over `ctxBefore` already-cached tokens
+// (plus the chunk itself). ctxBefore = 0 degenerates to LLMCycles'
+// whole-prompt prefill and shares its cache entries. All three shape
+// dimensions pad to power-of-two buckets.
+func (db *CostDB) LLMChunkCycles(batch, chunk, ctxBefore, nm, nv int) (float64, error) {
+	if batch < 1 || chunk < 1 || ctxBefore < 0 || nm < 1 || nv < 1 {
+		return 0, fmt.Errorf("serve: bad chunk cost query %d/%d+%d on %dME+%dVE", batch, chunk, ctxBefore, nm, nv)
+	}
+	if ctxBefore == 0 {
+		return db.LLMCycles(PhasePrefill, batch, chunk, nm, nv)
+	}
+	key := costKey{model: llmModel, phase: PhasePrefill, batch: padShape(batch, fineBatchMax),
+		seq: padShape(chunk, fineSeqMax), ctx: padShape(ctxBefore, fineSeqMax), nm: nm, nv: nv}
+	return db.cycles(key)
+}
+
+// padPow4 returns the power-of-four bucket covering n (0 stays 0) —
+// the coarse grid capped lookups fall back to: half the buckets per
+// dimension, idempotent, and a pure function of n.
+func padPow4(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := 1
+	for p < n {
+		p <<= 2
+	}
+	return p
+}
+
+// cycles resolves one key through the single-flight cache, degrading
+// gracefully at the entry cap: an overflow key measures without
+// caching — the identical value the cache would have held, since
+// measurement is a pure function of the key — so the cap bounds
+// memory, never results.
 func (db *CostDB) cycles(key costKey) (float64, error) {
 	db.mu.Lock()
 	e, ok := db.entries[key]
 	if !ok {
-		e = &costEntry{}
-		db.entries[key] = e
+		if db.maxEntries <= 0 || len(db.entries) < db.maxEntries {
+			e = &costEntry{}
+			db.entries[key] = e
+		} else {
+			db.mu.Unlock()
+			if db.onMeasure != nil {
+				db.onMeasure(key)
+			}
+			return db.measure(key)
+		}
 	}
 	db.mu.Unlock()
 	e.once.Do(func() {
@@ -158,7 +258,11 @@ func (db *CostDB) measure(key costKey) (float64, error) {
 	var err error
 	switch key.phase {
 	case PhasePrefill:
-		g = model.LLMPrefill(key.batch, key.seq)
+		if key.ctx > 0 {
+			g = model.LLMPrefillChunk(key.batch, key.seq, key.ctx)
+		} else {
+			g = model.LLMPrefill(key.batch, key.seq)
+		}
 	case PhaseDecode:
 		g = model.LLMDecode(key.batch, key.seq)
 	default:

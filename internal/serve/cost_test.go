@@ -103,3 +103,128 @@ func TestLLMCyclesBuckets(t *testing.T) {
 		t.Error("zero batch accepted")
 	}
 }
+
+// TestCostDBEntryCapConcurrent drives the entry cap under real
+// concurrency (run with -race in CI): 32 goroutines hammering far more
+// distinct keys than the cap allows must never grow the cache past the
+// bound, and every query's value must be identical across racers and
+// repeats — an overflow key measures uncached, which is a pure
+// function of the key, so the cap bounds memory without being able to
+// change a single result (the repo's worker-count determinism
+// guarantee survives the cap engaging).
+func TestCostDBEntryCapConcurrent(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	const cap = 4
+	db.SetMaxEntries(cap)
+	var measures atomic.Int64
+	db.onMeasure = func(costKey) { measures.Add(1) }
+
+	// 12 distinct fine keys (batch buckets 1..32 across two splits) — 3×
+	// the cap.
+	type q struct{ batch, nm, nv int }
+	var queries []q
+	for _, b := range []int{1, 2, 4, 8, 16, 32} {
+		queries = append(queries, q{b, 1, 1}, q{b, 2, 2})
+	}
+	const racers = 32
+	vals := make([][]float64, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, query := range queries {
+				v, err := db.ServiceCycles("MNIST", query.batch, query.nm, query.nv)
+				if err != nil {
+					t.Errorf("query %+v: %v", query, err)
+					return
+				}
+				vals[i] = append(vals[i], v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := db.Entries(); got > cap {
+		t.Errorf("cache grew to %d entries under a cap of %d", got, cap)
+	}
+	for i := 1; i < racers; i++ {
+		for j := range vals[0] {
+			if vals[i][j] != vals[0][j] {
+				t.Fatalf("racer %d query %d observed %v, racer 0 observed %v — capped lookups are not pure",
+					i, j, vals[i][j], vals[0][j])
+			}
+		}
+	}
+	// Overflow keys measure per query, so the hook must have fired more
+	// often than the distinct-key count (the cap traded time, not
+	// correctness), while the cache itself stayed bounded.
+	if got := measures.Load(); got <= int64(len(queries)) {
+		t.Errorf("only %d measurements for %d distinct keys across %d racers — the cap never engaged",
+			got, len(queries), racers)
+	}
+
+	// The capped database must agree with an unbounded one on every
+	// value (the cap cannot change results), and the unbounded one must
+	// single-flight each distinct padded key exactly once.
+	free := NewCostDB(arch.TPUv4Like())
+	var count atomic.Int64
+	free.onMeasure = func(costKey) { count.Add(1) }
+	for round := 0; round < 2; round++ {
+		for j, query := range queries {
+			v, err := free.ServiceCycles("MNIST", query.batch, query.nm, query.nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != vals[0][j] {
+				t.Errorf("query %+v: capped database returned %v, unbounded %v", query, vals[0][j], v)
+			}
+		}
+	}
+	if got := count.Load(); got != int64(len(queries)) {
+		t.Errorf("uncapped database measured %d times for %d distinct keys", got, len(queries))
+	}
+}
+
+// TestCostDBCoarseBuckets pins the coarse-bucket fallback for outsized
+// shapes: inside the fine catalog (batch ≤ 64 padded) buckets stay
+// powers of two; beyond it they coarsen to powers of four — a pure
+// function of the query, so two shapes in one coarse bucket share an
+// entry in every run regardless of arrival order.
+func TestCostDBCoarseBuckets(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	var measures atomic.Int64
+	db.onMeasure = func(costKey) { measures.Add(1) }
+	// Fine: 33 and 64 share the power-of-two bucket 64.
+	a, err := db.ServiceCycles("MNIST", 33, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.ServiceCycles("MNIST", 64, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || measures.Load() != 1 {
+		t.Errorf("fine bucket not shared: %v vs %v (%d measurements)", a, b, measures.Load())
+	}
+	// Coarse: 100 (pads past the fine catalog) and 256 share the
+	// power-of-four bucket 256; 65 joins them too.
+	measures.Store(0)
+	c100, err := db.ServiceCycles("MNIST", 100, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c256, err := db.ServiceCycles("MNIST", 256, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c65, err := db.ServiceCycles("MNIST", 65, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c100 != c256 || c65 != c256 || measures.Load() != 1 {
+		t.Errorf("coarse bucket not shared: %v / %v / %v (%d measurements)", c100, c256, c65, measures.Load())
+	}
+	if c256 == b {
+		t.Error("coarse bucket aliased a fine bucket")
+	}
+}

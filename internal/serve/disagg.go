@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"fmt"
+
+	"neu10/internal/model"
+	"neu10/internal/sim"
+)
+
+// Disaggregated prefill/decode serving (LLMConfig.Disagg). The
+// colocated continuous batcher time-multiplexes prefill and decode on
+// the same slot, so a burst of long prompts — prefill is prioritized,
+// exactly so TTFT stays low — stalls every running generation and
+// inflates TPOT. Disaggregation specializes the fleet instead:
+//
+//	arrivals ─► prefill pool (RolePrefill; whole-prompt or chunked
+//	invocations, prompt-only KV) ─► KV migration over the modeled
+//	chip-to-chip link (internal/xfer; priced into TTFT) ─► decode pool
+//	(RoleDecode; admission-checked continuous decode, full
+//	prompt+output KV) ─► completion
+//
+// The migration is the subsystem's conservation-critical step. At
+// migration START the full reservation is charged to the decode
+// replica (so concurrent in-flight migrations can never oversubscribe
+// the target); during the transfer the prompt KV is resident on BOTH
+// chips — the source cannot drop pages it is still copying; at
+// migration COMPLETION the prefill-side blocks are released, the
+// sequence joins the decode replica's running set and its first token
+// is delivered (TTFT therefore prices queue + prefill + migration). A
+// prefill completion that finds no admitting decode slot parks in a
+// FIFO migration queue with its prompt KV still held — that
+// backpressure is deliberate: a slow link or a full decode pool
+// surfaces as prefill-side KV pressure and admission stalls, not as
+// silent overcommit.
+
+// prefillWork reports whether slot r (RolePrefill) has launchable
+// prefill work on queue q and, if so, the FIFO key of its oldest
+// contributor: an in-flight chunked prompt, or the queue head if it is
+// admittable (prompt reservation fits and the prefill width has room).
+func (f *fleet) prefillWork(r *replica, q *slotQueue) (sim.Time, bool) {
+	t := q.ten
+	var key sim.Time
+	found := false
+	width := 0
+	for _, s := range q.running {
+		if s.promptDone < s.req.prompt {
+			width++
+			if !found || s.req.at < key {
+				key, found = s.req.at, true
+			}
+		}
+	}
+	if len(q.reqs) > 0 && width < t.cfg.MaxBatch &&
+		r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt)) {
+		if !found || q.reqs[0].at < key {
+			key, found = q.reqs[0].at, true
+		}
+	}
+	return key, found
+}
+
+// launchDisaggPrefill starts one prefill invocation on a RolePrefill
+// slot: admit queue-head requests (FIFO, prompt-only KV reservation, no
+// head-of-line bypass) while the prefill width has room, then advance
+// up to MaxBatch in-flight prompts by one chunk each (the whole
+// remaining prompt when chunking is off). bestWork only proposes this
+// kind when prefillWork holds, so the invocation always carries work.
+// The admission loop is the role-specialized sibling of llmAdmit
+// (llm.go) — bookkeeping changes there likely apply here too.
+func (f *fleet) launchDisaggPrefill(r *replica, q *slotQueue, now sim.Time, restore float64) {
+	t := q.ten
+	d := t.cfg.LLM.Disagg
+	f.disarmTimer(r)
+
+	width := 0
+	for _, s := range q.running {
+		if s.promptDone < s.req.prompt {
+			width++
+		}
+	}
+	for len(q.reqs) > 0 && width < t.cfg.MaxBatch {
+		req := q.reqs[0]
+		blocks := r.kv.blocksFor(req.prompt)
+		if !r.kv.fits(blocks) {
+			// KV pressure (in-flight prompts plus prompts parked behind a
+			// slow migration path) blocks admission — the stall signal.
+			t.llm.kvStalls++
+			break
+		}
+		r.kv.alloc(blocks, float64(now))
+		s := &llmSeq{req: req, blocks: blocks}
+		q.running = append(q.running, s)
+		n := copy(q.reqs, q.reqs[1:])
+		q.reqs = q.reqs[:n]
+		width++
+		t.llm.admitted++
+		t.llm.promptTokens += int64(req.prompt)
+		t.llm.outputTokens += int64(req.output)
+		if f.cfg.Autoscale {
+			// The prefill pool's autoscale signal: queue delay from
+			// arrival to the first prefill invocation.
+			t.llm.windowWait.Add(float64(now - req.at))
+		}
+	}
+
+	b := f.takeBatch()
+	b.ten, b.restore, b.kind = t, restore, kindLLMPrefill
+	maxChunk, maxCtx := 0, 0
+	for _, s := range q.running {
+		if s.promptDone >= s.req.prompt {
+			continue
+		}
+		if len(b.seqs) >= t.cfg.MaxBatch {
+			break
+		}
+		n := s.req.prompt - s.promptDone
+		if d.ChunkTokens > 0 && n > d.ChunkTokens {
+			n = d.ChunkTokens
+		}
+		b.seqs = append(b.seqs, s)
+		b.chunks = append(b.chunks, n)
+		if n > maxChunk {
+			maxChunk = n
+		}
+		if s.promptDone > maxCtx {
+			maxCtx = s.promptDone
+		}
+	}
+	if len(b.seqs) == 0 {
+		panic("serve: disaggregated prefill launch with no work")
+	}
+	// A chunk is NOT a fresh short prefill: its attention spans the
+	// whole cached context behind it, so a late chunk of a long prompt
+	// costs real work beyond the weight re-streaming. The invocation is
+	// priced at the batch's widest chunk and deepest context.
+	cycles, err := f.costs.LLMChunkCycles(len(b.seqs), maxChunk, maxCtx, r.nm, r.nv)
+	if err != nil {
+		panic(fmt.Sprintf("serve: costing disaggregated prefill: %v", err))
+	}
+	b.total, b.remaining = cycles, cycles
+	t.issuedServiceCycles += cycles
+	f.startSegment(r, b, now)
+}
+
+// finishDisaggPrefill retires one prefill invocation: every sequence
+// advances by its chunk; fully prefilled prompts leave for the decode
+// pool through startMigration. No token is emitted here — the first
+// token is delivered when the KV lands on the decode replica.
+func (f *fleet) finishDisaggPrefill(r *replica, b *batch, now sim.Time) {
+	t := b.ten
+	t.llm.prefills++
+	for i, s := range b.seqs {
+		s.promptDone += b.chunks[i]
+		if s.promptDone >= s.req.prompt {
+			s.ctx = s.req.prompt
+			s.prefDone = now
+			f.startMigration(r, s, now)
+		}
+	}
+}
+
+// pickDecode selects the decode replica to migrate s to: the
+// least-committed non-draining RoleDecode slot (running plus inbound
+// migrations, ties toward the older slot) whose KV partition fits the
+// sequence's full reservation and whose running set has width room.
+// Returns nil when no slot can admit it now.
+func (f *fleet) pickDecode(t *tenantState, s *llmSeq) *replica {
+	var best *replica
+	bestLoad := 0
+	for _, r := range t.replicas {
+		if r.role != RoleDecode || r.draining {
+			continue
+		}
+		q := r.queueFor(t)
+		load := len(q.running) + r.inbound
+		if load >= t.cfg.LLM.Disagg.DecodeBatch {
+			continue
+		}
+		if !r.kv.fits(r.kv.blocksFor(s.req.prompt + s.req.output)) {
+			continue
+		}
+		if best == nil || load < bestLoad || (load == bestLoad && r.uid < best.uid) {
+			best, bestLoad = r, load
+		}
+	}
+	return best
+}
+
+// startMigration ships a freshly prefilled sequence's KV toward the
+// decode pool, or parks it (FIFO, prompt KV still held on the prefill
+// slot) when no decode replica can admit it yet.
+func (f *fleet) startMigration(src *replica, s *llmSeq, now sim.Time) {
+	t := src.ten
+	if dst := f.pickDecode(t, s); dst != nil {
+		f.beginTransfer(src, dst, s, now)
+		return
+	}
+	t.llm.migQ = append(t.llm.migQ, migPending{seq: s, from: src})
+	t.llm.migStalls++
+	if f.cfg.Autoscale {
+		t.llm.windowMigStalls++
+	}
+}
+
+// beginTransfer charges the full prompt+output reservation to the
+// decode replica and puts the prompt KV on the wire. The prefill-side
+// blocks stay held until the last byte lands — the pages cannot be
+// dropped while they are still being copied.
+func (f *fleet) beginTransfer(src, dst *replica, s *llmSeq, now sim.Time) {
+	t := src.ten
+	dblocks := dst.kv.blocksFor(s.req.prompt + s.req.output)
+	dst.kv.alloc(dblocks, float64(now))
+	dst.inbound++
+	bytes := model.LLMKVTransferBytes(s.req.prompt)
+	t.llm.migrations++
+	t.llm.migBytes += bytes
+	f.fabric.Link(src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU).Start(bytes,
+		func(now sim.Time) { f.finishMigration(src, dst, s, dblocks, now) })
+}
+
+// finishMigration lands a KV transfer: the prefill-side prompt blocks
+// are released exactly now, the decode-side reservation (charged at
+// transfer start) takes over, the sequence joins the decode replica's
+// running set and its first token is delivered — TTFT prices queueing,
+// prefill and the migration.
+func (f *fleet) finishMigration(src, dst *replica, s *llmSeq, dblocks int, now sim.Time) {
+	t := src.ten
+	src.kv.free(s.blocks, float64(now))
+	src.queueFor(t).removeRunning(s)
+	s.blocks = dblocks
+	dst.inbound--
+	dst.queueFor(t).running = append(dst.queueFor(t).running, s)
+	t.llm.migLanded++
+	t.llm.migWaitCycles += float64(now - s.prefDone)
+	f.emitFirstToken(t, s, now)
+	if s.produced >= s.req.output {
+		f.completeSeq(dst, t, s, now)
+	}
+	// Freed prefill KV may unblock queued admissions; a parked migration
+	// may now fit; the decode slot has fresh work.
+	f.drainMigQ(t, now)
+	if src.cur == nil && !src.retired {
+		f.dispatch(src, now)
+	}
+	if dst.cur == nil && !dst.retired {
+		f.dispatch(dst, now)
+	}
+}
+
+// drainMigQ starts transfers for parked sequences while decode slots
+// admit them — strictly FIFO: if the head cannot be placed, everything
+// behind it waits, so migration order never depends on shape.
+func (f *fleet) drainMigQ(t *tenantState, now sim.Time) {
+	l := t.llm
+	for len(l.migQ) > 0 {
+		m := l.migQ[0]
+		dst := f.pickDecode(t, m.seq)
+		if dst == nil {
+			return
+		}
+		n := copy(l.migQ, l.migQ[1:])
+		l.migQ[n] = migPending{}
+		l.migQ = l.migQ[:n]
+		f.beginTransfer(m.from, dst, m.seq, now)
+	}
+}

@@ -48,14 +48,101 @@ type LLMConfig struct {
 	BlockTokens int
 	// KVCapTokens overrides the derived per-replica KV capacity
 	// (MemSizePerCore − LLM weights), in tokens. For tests and
-	// pressure studies; 0 keeps the derived capacity.
+	// pressure studies; 0 keeps the derived capacity. With Disagg it
+	// applies to both pools' replicas.
 	KVCapTokens int
+
+	// Disagg, when non-nil, splits the tenant's fleet into
+	// role-specialized pools: arrivals prefill on RolePrefill replicas,
+	// finished prompts migrate their KV over the modeled interconnect
+	// (Config.LinkGBps/LinkLatencyUs, internal/xfer) to an
+	// admission-checked RoleDecode replica, and decode iterations run
+	// there — prefill bursts can no longer inflate decode TPOT. The
+	// migration is priced into TTFT: the first token is delivered only
+	// once the KV lands. Mutually exclusive with Static and ShareGroup.
+	Disagg *DisaggConfig
+}
+
+// DisaggConfig sizes a disaggregated tenant's two pools and the
+// chunked-prefill granularity. The per-pool bounds play the role
+// InitialReplicas/MinReplicas/MaxReplicas play for a colocated tenant;
+// the per-pool autoscalers (see autoscale.go) work these bounds
+// against their own signals — prefill queue delay vs decode TPOT p99.
+type DisaggConfig struct {
+	PrefillReplicas int // initial prefill-pool size (default 1)
+	MinPrefill      int // autoscale floor (default 1)
+	MaxPrefill      int // autoscale ceiling (default PrefillReplicas)
+
+	DecodeReplicas int // initial decode-pool size (default 1)
+	MinDecode      int // autoscale floor (default 1)
+	MaxDecode      int // autoscale ceiling (default DecodeReplicas)
+
+	// DecodeBatch is the decode-slot width: how many sequences one
+	// decode replica batches per iteration (admission counts in-flight
+	// migrations too). Decode is HBM-bound — its iteration cost is
+	// nearly flat in batch — so consolidating many sequences onto few
+	// wide decode slots is almost free, and that consolidation is half
+	// of disaggregation's win (the other half is prefill interference
+	// removal). Default 2 × MaxBatch.
+	DecodeBatch int
+
+	// ChunkTokens, when > 0, runs chunked prefill on the prefill pool:
+	// each invocation advances every in-flight prompt by at most this
+	// many tokens, so a short prompt admitted behind a long one gets
+	// its first chunk after the long prompt's CURRENT chunk, not after
+	// its whole prefill. Chunking is not free — every chunk invocation
+	// re-streams the weights, and a late chunk's attention spans the
+	// whole cached context behind it (CostDB.LLMChunkCycles measures
+	// both). 0 prefills whole prompts in one invocation.
+	ChunkTokens int
+}
+
+// defaults fills the pool bounds; DecodeBatch is defaulted by
+// TenantConfig.defaults, which knows MaxBatch.
+func (d *DisaggConfig) defaults() {
+	if d.PrefillReplicas == 0 {
+		d.PrefillReplicas = 1
+	}
+	if d.MinPrefill == 0 {
+		d.MinPrefill = 1
+	}
+	if d.MaxPrefill == 0 {
+		d.MaxPrefill = d.PrefillReplicas
+	}
+	if d.DecodeReplicas == 0 {
+		d.DecodeReplicas = 1
+	}
+	if d.MinDecode == 0 {
+		d.MinDecode = 1
+	}
+	if d.MaxDecode == 0 {
+		d.MaxDecode = d.DecodeReplicas
+	}
+}
+
+func (d *DisaggConfig) validate(tenant string) error {
+	switch {
+	case d.MinPrefill < 1 || d.PrefillReplicas < d.MinPrefill || d.MaxPrefill < d.PrefillReplicas:
+		return fmt.Errorf("serve: tenant %s prefill-pool bounds %d ≤ %d ≤ %d malformed",
+			tenant, d.MinPrefill, d.PrefillReplicas, d.MaxPrefill)
+	case d.MinDecode < 1 || d.DecodeReplicas < d.MinDecode || d.MaxDecode < d.DecodeReplicas:
+		return fmt.Errorf("serve: tenant %s decode-pool bounds %d ≤ %d ≤ %d malformed",
+			tenant, d.MinDecode, d.DecodeReplicas, d.MaxDecode)
+	case d.ChunkTokens < 0:
+		return fmt.Errorf("serve: tenant %s chunk of %d tokens", tenant, d.ChunkTokens)
+	case d.DecodeBatch < 1:
+		return fmt.Errorf("serve: tenant %s decode-slot width %d", tenant, d.DecodeBatch)
+	}
+	return nil
 }
 
 func (lc *LLMConfig) defaults() {
 	lc.Trace.Defaults()
 	if lc.BlockTokens == 0 {
 		lc.BlockTokens = 16
+	}
+	if lc.Disagg != nil {
+		lc.Disagg.defaults()
 	}
 }
 
@@ -68,6 +155,12 @@ func (lc *LLMConfig) validate(tenant string) error {
 	}
 	if lc.KVCapTokens < 0 {
 		return fmt.Errorf("serve: tenant %s KV capacity override %d", tenant, lc.KVCapTokens)
+	}
+	if lc.Disagg != nil {
+		if lc.Static {
+			return fmt.Errorf("serve: tenant %s: disaggregation requires the continuous batcher", tenant)
+		}
+		return lc.Disagg.validate(tenant)
 	}
 	return nil
 }
@@ -87,6 +180,28 @@ type llmTenant struct {
 	promptTokens  int64 // Σ prompt tokens over admitted sequences
 	outputTokens  int64 // Σ output tokens over admitted sequences
 	kvStalls      int   // batch-growth attempts blocked by KV exhaustion
+
+	// Disaggregation runtime (zero / empty for colocated tenants).
+	migQ          []migPending // prefilled seqs awaiting a decode slot, FIFO
+	migrations    int          // KV migrations started
+	migLanded     int          // KV migrations completed (== migrations once drained)
+	migBytes      int64        // Σ payload bytes shipped
+	migWaitCycles float64      // Σ (decode join − prefill finish) over LANDED migrations
+	migStalls     int          // prefill completions that found no admitting decode slot
+
+	// Per-pool autoscaler windows (reset every control interval).
+	windowWait      metrics.Latencies // prefill queue delay: arrival → prefill start
+	windowTPOT      metrics.Latencies // per-token latency of completed sequences
+	windowMigStalls int
+}
+
+// migPending is one sequence parked between prefill and decode: its
+// prompt KV still occupies `from` until a decode slot admits the
+// migration. The queue drains FIFO with no bypass, so migration order
+// is deterministic and starvation-free.
+type migPending struct {
+	seq  *llmSeq
+	from *replica
 }
 
 // llmSeq is one admitted sequence: a request plus its KV reservation
@@ -99,13 +214,26 @@ type llmSeq struct {
 	produced  int  // output tokens emitted
 	prefilled bool // prompt processed; eligible for decode iterations
 	ttftAt    sim.Time
+
+	// Disaggregation: prefill progress in tokens (chunked prefill
+	// advances it per chunk; colocated sequences never use it) and the
+	// prefill-completion time the migration wait is measured from. On a
+	// prefill replica `blocks` covers only the prompt; the migration
+	// swaps it for the full prompt+output reservation on the decode
+	// side.
+	promptDone int
+	prefDone   sim.Time
 }
 
 // llmAdmit moves admittable requests from the queue head into running
 // sequences: FIFO, stopping at MaxBatch or at the first request whose
 // full KV reservation does not fit (no head-of-line bypass — admission
 // order stays deterministic and starvation-free). A stop forced by KV
-// pressure is counted as a stall.
+// pressure is counted as a stall. The disaggregated prefill pool runs
+// its own variant of this loop (launchDisaggPrefill in disagg.go:
+// prompt-only reservation, width counts only unfinished prefills,
+// queue-delay window sample) — bookkeeping changes here likely apply
+// there too.
 func (f *fleet) llmAdmit(r *replica, q *slotQueue, now sim.Time) []*llmSeq {
 	t := q.ten
 	var joined []*llmSeq
@@ -300,17 +428,21 @@ func (f *fleet) emitFirstToken(t *tenantState, s *llmSeq, now sim.Time) {
 	t.llm.tokensOut++
 }
 
+// removeRunning takes a sequence out of a slot queue's running set.
+func (q *slotQueue) removeRunning(s *llmSeq) {
+	for i, x := range q.running {
+		if x == s {
+			q.running = append(q.running[:i], q.running[i+1:]...)
+			return
+		}
+	}
+}
+
 // completeSeq retires a finished sequence: end-to-end latency recorded
 // against the SLO, per-token latency derived from TTFT, KV freed, and
 // the sequence removed from its running set.
 func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time) {
-	q := r.queueFor(t)
-	for i, x := range q.running {
-		if x == s {
-			q.running = append(q.running[:i], q.running[i+1:]...)
-			break
-		}
-	}
+	r.queueFor(t).removeRunning(s)
 	r.kv.free(s.blocks, float64(now))
 	lat := float64(now - s.req.at)
 	t.lat.Add(lat)
@@ -322,7 +454,15 @@ func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time)
 	}
 	t.completed++
 	if s.req.output > 1 {
-		t.llm.tpot.Add(float64(now-s.ttftAt) / float64(s.req.output-1))
+		tpot := float64(now-s.ttftAt) / float64(s.req.output-1)
+		t.llm.tpot.Add(tpot)
+		if t.disagg() != nil && f.cfg.Autoscale {
+			t.llm.windowTPOT.Add(tpot)
+		}
+	}
+	if t.disagg() != nil {
+		// The freed decode blocks may admit a parked migration.
+		f.drainMigQ(t, now)
 	}
 }
 
@@ -332,13 +472,41 @@ func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time)
 // pre-measurement in spawnReplica).
 func (f *fleet) preMeasureLLM(t *tenantState, nm, nv int) error {
 	tr := t.cfg.LLM.Trace
-	maxCtx := PadBatch(tr.PromptMax + tr.OutputMax)
+	maxCtx := PadBatch(tr.MaxTokens())
+	pMin, pMax := PadBatch(tr.PromptMin), PadBatch(tr.MaxPrompt())
+	chunk := 0
+	if d := t.disagg(); d != nil && d.ChunkTokens > 0 {
+		// Chunked prefill invocations process anywhere from one token (a
+		// short final chunk) up to the chunk size, each possibly behind
+		// cached context up to the longest prompt.
+		chunk = d.ChunkTokens
+		pMin = 1
+		if c := PadBatch(chunk); c < pMax {
+			pMax = c
+		}
+	}
+	bDec := PadBatch(t.cfg.MaxBatch)
+	if d := t.disagg(); d != nil && PadBatch(d.DecodeBatch) > bDec {
+		// Decode slots batch wider than the prefill width.
+		bDec = PadBatch(d.DecodeBatch)
+	}
 	for b := 1; b <= PadBatch(t.cfg.MaxBatch); b <<= 1 {
-		for p := PadBatch(tr.PromptMin); p <= PadBatch(tr.PromptMax); p <<= 1 {
+		for p := pMin; p <= pMax; p <<= 1 {
 			if _, err := f.costs.LLMCycles(PhasePrefill, b, p, nm, nv); err != nil {
 				return err
 			}
+			if chunk > 0 {
+				// Context sits at chunk-boundary multiples; its padded
+				// buckets run from the chunk bucket to the prompt bound.
+				for c := PadBatch(chunk); c <= PadBatch(tr.MaxPrompt()); c <<= 1 {
+					if _, err := f.costs.LLMChunkCycles(b, p, c, nm, nv); err != nil {
+						return err
+					}
+				}
+			}
 		}
+	}
+	for b := 1; b <= bDec; b <<= 1 {
 		for c := PadBatch(tr.PromptMin + 1); c <= maxCtx; c <<= 1 {
 			if _, err := f.costs.LLMCycles(PhaseDecode, b, c, nm, nv); err != nil {
 				return err

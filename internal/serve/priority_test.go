@@ -65,11 +65,11 @@ func TestRouteSurvivesFullDrain(t *testing.T) {
 
 		// Make-before-break resize: spawn the bigger replica, drain the
 		// old one (it is idle, so it retires on the spot).
-		if err := f.spawnReplica(ten, ten.curEUs+2); err != nil {
+		if err := f.spawnReplica(ten, ten.curEUs+2, RoleMixed); err != nil {
 			t.Fatalf("%s: resize spawn: %v", router, err)
 		}
 		ten.curEUs += 2
-		f.drainOne(ten, 0, true)
+		f.drainOne(ten, RoleMixed, 0, true)
 		if got := ten.activeCount(); got != 1 {
 			t.Fatalf("%s: after resize, %d active replicas, want 1", router, got)
 		}
@@ -77,7 +77,7 @@ func TestRouteSurvivesFullDrain(t *testing.T) {
 		// Queue work on the survivor, then drain it too — the state the
 		// pre-fix router could not survive.
 		f.arrive(ten, 0)
-		f.drainOne(ten, 0, false)
+		f.drainOne(ten, RoleMixed, 0, false)
 		if got := ten.activeCount(); got != 0 {
 			t.Fatalf("%s: tenant not fully draining (%d active)", router, got)
 		}
@@ -195,6 +195,46 @@ func TestBatchBoundedWait(t *testing.T) {
 			t.Errorf("seed %d: Batch accounting broken: %d ≠ %d + %d",
 				seed, bg.arrivals, bg.rejected, bg.completed)
 		}
+	}
+}
+
+// TestAgingCreditBoundsWait pins the credit scheme's defining
+// property: a batch's total victimization wait (time suspended, across
+// preemptions and bypasses) never exceeds the aging-credit budget of
+// MaxPreemptsPerBatch × PreemptQuantumCycles by more than the one
+// interloper that was in flight when the credit ran out. Event counts
+// are NOT the bound — delay is.
+func TestAgingCreditBoundsWait(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	exercised := false
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := priorityConfig(seed, true)
+		cfg.Tenants[0].Load = 0.9 // sustained interactive pressure
+		f, err := newFleet(cfg, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ten := range f.tenants {
+			f.scheduleArrival(ten)
+		}
+		f.scheduleScale(cfg.ScaleEverySec * cfg.Core.FrequencyHz)
+		f.eng.Run()
+		budget := f.preemptBudget
+		// Overshoot allowance: the interloper running when the credit
+		// expired (an MNIST batch, ~13k cycles here) plus its context
+		// switches — far below one more budget.
+		const slack = 150_000
+		bg := f.tenants[1]
+		if bg.maxVictimWait > budget+slack {
+			t.Errorf("seed %d: a batch waited %.0f cycles under a %.0f-cycle credit budget",
+				seed, bg.maxVictimWait, budget)
+		}
+		if bg.maxVictimWait > 0 {
+			exercised = true
+		}
+	}
+	if !exercised {
+		t.Error("no batch was ever victimized — the credit ledger was never exercised")
 	}
 }
 

@@ -92,6 +92,21 @@ type LLMTenantReport struct {
 	KVOccMean     float64 `json:"kv_occupancy_mean"`
 	KVOccPeak     float64 `json:"kv_occupancy_peak"`
 	KVStalls      int     `json:"kv_stalls"`
+
+	// Disaggregation (zero for colocated tenants): per-role fleet sizes,
+	// chunked-prefill granularity, KV-migration traffic and the mean
+	// prefill-to-decode handoff time (queue + transfer + link latency —
+	// the slice of TTFT the interconnect owns), plus how often a
+	// finished prompt found no admitting decode slot.
+	PrefillReplicas int     `json:"prefill_replicas,omitempty"`
+	PrefillPeak     int     `json:"prefill_peak,omitempty"`
+	DecodeReplicas  int     `json:"decode_replicas,omitempty"`
+	DecodePeak      int     `json:"decode_peak,omitempty"`
+	ChunkTokens     int     `json:"chunk_tokens,omitempty"`
+	Migrations      int     `json:"migrations,omitempty"`
+	MigrationMB     float64 `json:"migration_mb,omitempty"`
+	MigMeanMs       float64 `json:"mig_mean_ms,omitempty"`
+	MigStalls       int     `json:"mig_stalls,omitempty"`
 }
 
 // PriorityReport aggregates the tenants of one priority class: the
@@ -136,6 +151,16 @@ type Report struct {
 	Resumes          int              `json:"resumes,omitempty"`
 	SwitchOverheadMs float64          `json:"switch_overhead_ms,omitempty"`
 
+	// Interconnect accounting (zero when no tenant is disaggregated):
+	// configured per-link bandwidth, mean busy fraction over the
+	// instantiated links, total payload moved and the worst concurrency
+	// any single link saw (what its max-min share divided by).
+	LinkGBps      float64 `json:"link_gbps,omitempty"`
+	LinkUtil      float64 `json:"link_util,omitempty"`
+	LinkMovedMB   float64 `json:"link_moved_mb,omitempty"`
+	LinkPeakFlows int     `json:"link_peak_flows,omitempty"`
+	Links         int     `json:"links,omitempty"`
+
 	// FleetEUUtil is the fraction of all fleet EU-cycles spent serving.
 	FleetEUUtil float64 `json:"fleet_eu_util"`
 	// AllocatedEUFrac is the time-averaged fraction of fleet EUs bound to
@@ -179,11 +204,18 @@ func (rep *Report) Table() string {
 	if llm := rep.llmTable(); llm != "" {
 		sb.WriteString(llm)
 	}
+	if disagg := rep.disaggTable(); disagg != "" {
+		sb.WriteString(disagg)
+	}
 	if len(rep.Priorities) > 0 {
 		sb.WriteString(rep.priorityTable())
 	}
 	fmt.Fprintf(&sb, "fleet: EU util %.1f%%, allocated EUs %.1f%%, stranded EUs %.2f, placements %d ok / %d failed\n",
 		rep.FleetEUUtil*100, rep.AllocatedEUFrac*100, rep.MeanStrandedEUs, rep.MapAccepts, rep.MapRejects)
+	if rep.Links > 0 {
+		fmt.Fprintf(&sb, "interconnect: %d links at %.3f GB/s, %.1f MB moved, %.1f%% busy, peak %d flows/link\n",
+			rep.Links, rep.LinkGBps, rep.LinkMovedMB, rep.LinkUtil*100, rep.LinkPeakFlows)
+	}
 	if rep.Preempt || rep.Preemptions > 0 {
 		fmt.Fprintf(&sb, "preemption: %d preempts, %d resumes, %.2f ms switch overhead\n",
 			rep.Preemptions, rep.Resumes, rep.SwitchOverheadMs)
@@ -215,6 +247,40 @@ func (rep *Report) llmTable() string {
 	}
 	var sb strings.Builder
 	header := []string{"llm tenant", "batcher", "ttft-p50(ms)", "ttft-p99(ms)", "tpot-p50(ms)", "tpot-p99(ms)", "tok/s", "prefills", "decode-iters", "kv-occ(peak)", "kv-stalls"}
+	renderTable(&sb, header, rows)
+	return sb.String()
+}
+
+// disaggTable renders the disaggregation section: one row per
+// disaggregated tenant — per-role fleet sizes, migration traffic and
+// handoff pricing. Empty when the run has none.
+func (rep *Report) disaggTable() string {
+	var rows [][]string
+	for _, t := range rep.Tenants {
+		l := t.LLM
+		if l == nil || (l.PrefillReplicas == 0 && l.DecodeReplicas == 0) {
+			continue
+		}
+		chunk := "whole-prompt"
+		if l.ChunkTokens > 0 {
+			chunk = fmt.Sprintf("%d tok", l.ChunkTokens)
+		}
+		rows = append(rows, []string{
+			t.Name,
+			fmt.Sprintf("%d(%d)", l.PrefillReplicas, l.PrefillPeak),
+			fmt.Sprintf("%d(%d)", l.DecodeReplicas, l.DecodePeak),
+			chunk,
+			fmt.Sprint(l.Migrations),
+			fmt.Sprintf("%.1f", l.MigrationMB),
+			fmt.Sprintf("%.2f", l.MigMeanMs),
+			fmt.Sprint(l.MigStalls),
+		})
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	header := []string{"disagg tenant", "prefill(peak)", "decode(peak)", "chunk", "migrations", "mig-MB", "mig-mean(ms)", "mig-stalls"}
 	renderTable(&sb, header, rows)
 	return sb.String()
 }

@@ -38,7 +38,39 @@ import (
 	"neu10/internal/model"
 	"neu10/internal/sim"
 	"neu10/internal/virt"
+	"neu10/internal/xfer"
 )
+
+// Role specializes a replica slot in a disaggregated LLM fleet. The
+// zero value keeps the colocated behavior: a mixed slot runs whatever
+// its tenant's batcher hands it.
+type Role int
+
+const (
+	// RoleMixed serves every work kind — the colocated default.
+	RoleMixed Role = iota
+	// RolePrefill only runs prompt processing; arrivals of a
+	// disaggregated tenant route exclusively here, and finished prompts
+	// migrate their KV to a decode slot over the interconnect.
+	RolePrefill
+	// RoleDecode only runs decode iterations over sequences whose KV a
+	// migration has landed; it never sees a prefill, so decode TPOT is
+	// isolated from prompt bursts by construction.
+	RoleDecode
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleMixed:
+		return "mixed"
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
 
 // RouterPolicy selects how the SLO-aware router spreads a tenant's
 // admitted requests across its replicas.
@@ -220,6 +252,9 @@ func (tc *TenantConfig) defaults() {
 	}
 	if tc.LLM != nil {
 		tc.LLM.defaults()
+		if d := tc.LLM.Disagg; d != nil && d.DecodeBatch == 0 {
+			d.DecodeBatch = 2 * tc.MaxBatch
+		}
 	}
 }
 
@@ -251,7 +286,16 @@ func (tc *TenantConfig) validate() error {
 		return fmt.Errorf("serve: tenant %s priority %d unknown", tc.Name, tc.Priority)
 	}
 	if tc.LLM != nil {
-		return tc.LLM.validate(tc.Name)
+		if err := tc.LLM.validate(tc.Name); err != nil {
+			return err
+		}
+		// Disaggregated pools are private by construction: a prefill or
+		// decode slot serves exactly one tenant's one phase, which is the
+		// whole point — temporal sharing would reintroduce the
+		// interference disaggregation removes.
+		if tc.LLM.Disagg != nil && tc.ShareGroup != "" {
+			return fmt.Errorf("serve: tenant %s: disaggregation and share groups are mutually exclusive", tc.Name)
+		}
 	}
 	return nil
 }
@@ -292,11 +336,27 @@ type Config struct {
 	// checkpoints at (default 4096 cycles). Quanta longer than a batch's
 	// service time make that batch effectively non-preemptible.
 	PreemptQuantumCycles float64
-	// MaxPreemptsPerBatch bounds how many times one batch may be
-	// preempted or bypassed before it becomes non-preemptible (default
-	// 4) — the anti-starvation bound for Batch work under sustained
-	// Interactive load.
+	// MaxPreemptsPerBatch denominates the aging-credit budget that
+	// bounds Batch wait (default 4): every batch tolerates up to
+	// MaxPreemptsPerBatch × PreemptQuantumCycles cycles of victimization
+	// delay (time spent suspended or bypassed by higher-priority work);
+	// once the accrued delay exhausts that credit the batch is immune to
+	// further preemption and bypass — the anti-starvation bound for
+	// Batch work under sustained Interactive load. (This replaces the
+	// original hard event cap: a batch victimized by many cheap
+	// interruptions now stays preemptible longer, one victimized by a
+	// single long one becomes immune sooner, and either way its total
+	// extra wait is bounded in cycles, not events.)
 	MaxPreemptsPerBatch int
+
+	// LinkGBps is the modeled chip-to-chip interconnect bandwidth per
+	// link in GB/s (default 64); LinkLatencyUs the per-transfer latency
+	// in microseconds (default 2). Only disaggregated tenants
+	// (LLMConfig.Disagg) ship KV migrations over the fabric; everything
+	// else ignores it. Concurrent migrations between the same chip pair
+	// share the link max-min fairly (internal/xfer).
+	LinkGBps      float64
+	LinkLatencyUs float64
 
 	Tenants []TenantConfig
 }
@@ -317,6 +377,12 @@ func (c *Config) defaults() {
 	if c.MaxPreemptsPerBatch == 0 {
 		c.MaxPreemptsPerBatch = 4
 	}
+	if c.LinkGBps == 0 {
+		c.LinkGBps = 64
+	}
+	if c.LinkLatencyUs == 0 {
+		c.LinkLatencyUs = 2
+	}
 }
 
 func (c *Config) validate() error {
@@ -334,6 +400,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("serve: preemption quantum %v", c.PreemptQuantumCycles)
 	case c.MaxPreemptsPerBatch < 1:
 		return fmt.Errorf("serve: max preempts per batch %d", c.MaxPreemptsPerBatch)
+	case c.LinkGBps < 0:
+		return fmt.Errorf("serve: link bandwidth %v GB/s", c.LinkGBps)
+	case c.LinkLatencyUs < 0:
+		return fmt.Errorf("serve: link latency %v µs", c.LinkLatencyUs)
 	}
 	// Per-tenant validation happens in newFleet, against each tenant's
 	// defaulted private copy.
@@ -392,6 +462,9 @@ type batch struct {
 	kind batchKind
 	reqs []request
 	seqs []*llmSeq
+	// chunks, parallel to seqs, holds the prompt tokens each sequence
+	// advances in a disaggregated (possibly chunked) prefill invocation.
+	chunks []int
 
 	total     float64 // pure service cycles (CostDB, fixed at launch)
 	remaining float64 // service cycles still owed
@@ -399,7 +472,16 @@ type batch struct {
 
 	started  sim.Time   // start of the current segment
 	doneH    sim.Handle // scheduled completion of the current segment
-	preempts int        // preemptions + priority bypasses suffered
+	preempts int        // preemptions + priority bypasses suffered (stats)
+
+	// Aging credit: victimWait accrues the cycles this batch has spent
+	// suspended (waiting covers the open interval since waitFrom). Once
+	// it exhausts the fleet's preemptBudget the batch is immune to
+	// further preemption and bypass — the wait-denominated
+	// anti-starvation bound (see Config.MaxPreemptsPerBatch).
+	victimWait float64
+	waiting    bool
+	waitFrom   sim.Time
 }
 
 // replica is one mapped vNPU slot. It is owned (spawned, drained,
@@ -412,7 +494,8 @@ type replica struct {
 	ten    *tenantState
 	vnpu   *core.VNPU
 	nm, nv int
-	eus    int // EU budget this replica was allocated at
+	eus    int  // EU budget this replica was allocated at
+	role   Role // RoleMixed unless the owner is disaggregated
 
 	qs   []slotQueue // admitted, waiting; one queue per serving tenant
 	cur  *batch      // the batch currently in service
@@ -421,6 +504,10 @@ type replica struct {
 	// kv is the KV-cache accountant of this slot's vNPU memory
 	// partition; non-nil iff an LLM tenant is served here.
 	kv *kvAccountant
+	// inbound counts KV migrations in flight TOWARD this decode slot:
+	// their reservations are already charged to kv, and a slot with
+	// inbound work is not idle (it must not retire under a transfer).
+	inbound int
 
 	timerSet   bool
 	timer      sim.Handle
@@ -477,15 +564,28 @@ func (r *replica) inService() int {
 func (r *replica) backlog() int { return r.queued() + r.inService() }
 
 // idleEmpty reports whether the slot holds no work at all — the retire
-// condition for a draining slot.
+// condition for a draining slot. An in-flight migration counts as work
+// on both ends: the source still owns the sequence (and its prompt KV)
+// until the last byte lands, the target has the reservation charged.
 func (r *replica) idleEmpty() bool {
-	if r.cur != nil || len(r.susp) > 0 || r.queued() > 0 {
+	if r.cur != nil || len(r.susp) > 0 || r.queued() > 0 || r.inbound > 0 {
 		return false
 	}
 	for i := range r.qs {
 		if len(r.qs[i].running) > 0 {
 			return false
 		}
+	}
+	return true
+}
+
+// arrivalTarget reports whether slot r accepts tenant t's new
+// arrivals: any slot for colocated tenants, only prefill slots for
+// disaggregated ones (decode slots receive work exclusively through KV
+// migration).
+func arrivalTarget(t *tenantState, r *replica) bool {
+	if t.disagg() != nil {
+		return r.role == RolePrefill
 	}
 	return true
 }
@@ -504,6 +604,14 @@ type tenantState struct {
 	basePerCycle float64 // base arrival rate, requests per cycle
 	peakMult     float64 // max of the rate envelope (thinning bound)
 	capacityRPS  float64 // one initial replica's max-batch throughput
+
+	// Disaggregated pools autoscale against per-phase objectives derived
+	// from the same anchors as sloCycles: the prefill pool against its
+	// queue delay (prefillSLO = SLOFactor × mean-shape prefill cost) and
+	// the decode pool against TPOT (tpotSLO = SLOFactor × mean-context
+	// decode-iteration cost). Zero for non-disaggregated tenants.
+	prefillSLO float64
+	tpotSLO    float64
 
 	arrRNG   *sim.RNG // arrival gaps + thinning coin
 	routeRNG *sim.RNG // power-of-two sampling
@@ -529,6 +637,8 @@ type tenantState struct {
 	windowRejected int
 	maxQueue       int
 	peakReplicas   int
+	prefPeak       int // peak prefill-pool size (disaggregated tenants)
+	decPeak        int // peak decode-pool size
 	scaleUps       int
 	scaleDowns     int
 	resizes        int
@@ -541,6 +651,7 @@ type tenantState struct {
 	resumes        int     // suspended batches resumed
 	stolenCycles   float64 // switch overhead charged against its batches
 	maxPreempts    int     // worst preempt+bypass count on a single batch
+	maxVictimWait  float64 // worst accrued victimization wait, cycles (credit ledger)
 
 	// work-conservation ledger (tests): service cycles priced at launch
 	// versus service cycles actually delivered across all segments.
@@ -595,6 +706,26 @@ func (t *tenantState) activeCount() int {
 	return n
 }
 
+// disagg returns the tenant's disaggregation config (nil when the
+// tenant is colocated or not an LLM).
+func (t *tenantState) disagg() *DisaggConfig {
+	if t.cfg.LLM == nil {
+		return nil
+	}
+	return t.cfg.LLM.Disagg
+}
+
+// activeRole counts non-draining replicas of one role.
+func (t *tenantState) activeRole(role Role) int {
+	n := 0
+	for _, r := range t.replicas {
+		if !r.draining && r.role == role {
+			n++
+		}
+	}
+	return n
+}
+
 // fleet is the whole serving simulation.
 type fleet struct {
 	cfg    Config
@@ -602,6 +733,9 @@ type fleet struct {
 	costs  *CostDB
 	mapper *core.Mapper
 	alloc  *core.Allocator
+	// fabric is the chip-to-chip interconnect KV migrations ship over;
+	// non-nil iff some tenant is disaggregated.
+	fabric *xfer.Fabric
 
 	tenants   []*tenantState
 	nextVNPU  int
@@ -612,8 +746,12 @@ type fleet struct {
 	// gates the per-priority report section so priority-unaware configs
 	// render exactly as before.
 	prioEnabled bool
-	prioLat     [numPriorities]metrics.Latencies
-	switches    virt.SwitchLedger
+	// preemptBudget is the aging-credit allowance in cycles:
+	// MaxPreemptsPerBatch × PreemptQuantumCycles of victimization delay
+	// per batch.
+	preemptBudget float64
+	prioLat       [numPriorities]metrics.Latencies
+	switches      virt.SwitchLedger
 
 	// time-weighted fleet accounting (lazy snapshots, like internal/cluster)
 	lastSnap      float64
@@ -669,12 +807,13 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 		return nil, err
 	}
 	f := &fleet{
-		cfg:       cfg,
-		eng:       sim.NewEngine(),
-		costs:     db,
-		mapper:    mapper,
-		alloc:     alloc,
-		durCycles: cfg.DurationSec * cfg.Core.FrequencyHz,
+		cfg:           cfg,
+		eng:           sim.NewEngine(),
+		costs:         db,
+		mapper:        mapper,
+		alloc:         alloc,
+		durCycles:     cfg.DurationSec * cfg.Core.FrequencyHz,
+		preemptBudget: float64(cfg.MaxPreemptsPerBatch) * cfg.PreemptQuantumCycles,
 	}
 	cm := compiler.NewCostModel(cfg.Core)
 	// Phase 1: build every tenant, so share groups can be resolved
@@ -733,42 +872,89 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 			}
 		}
 	}
+	// The interconnect exists as soon as any tenant is disaggregated;
+	// per-pair links instantiate lazily on first migration.
+	for _, t := range f.tenants {
+		if t.disagg() != nil {
+			bwPerCycle := cfg.LinkGBps * 1e9 / cfg.Core.FrequencyHz
+			latency := cfg.LinkLatencyUs * 1e-6 * cfg.Core.FrequencyHz
+			fab, err := xfer.NewFabric(f.eng, bwPerCycle, latency)
+			if err != nil {
+				return nil, err
+			}
+			f.fabric = fab
+			break
+		}
+	}
 	// Phase 2: spawn initial replicas and derive SLOs and offered rates
 	// from the measured full-batch service time of one fresh replica.
 	for _, t := range f.tenants {
-		for k := 0; k < t.cfg.InitialReplicas; k++ {
-			if err := f.spawnReplica(t, t.curEUs); err != nil {
-				return nil, fmt.Errorf("serve: tenant %s initial replica %d: %w", t.cfg.Name, k, err)
+		if d := t.disagg(); d != nil {
+			for k := 0; k < d.PrefillReplicas; k++ {
+				if err := f.spawnReplica(t, t.curEUs, RolePrefill); err != nil {
+					return nil, fmt.Errorf("serve: tenant %s initial prefill replica %d: %w", t.cfg.Name, k, err)
+				}
+			}
+			for k := 0; k < d.DecodeReplicas; k++ {
+				if err := f.spawnReplica(t, t.curEUs, RoleDecode); err != nil {
+					return nil, fmt.Errorf("serve: tenant %s initial decode replica %d: %w", t.cfg.Name, k, err)
+				}
+			}
+		} else {
+			for k := 0; k < t.cfg.InitialReplicas; k++ {
+				if err := f.spawnReplica(t, t.curEUs, RoleMixed); err != nil {
+					return nil, fmt.Errorf("serve: tenant %s initial replica %d: %w", t.cfg.Name, k, err)
+				}
 			}
 		}
 		r0 := t.replicas[0]
 		var full float64
 		var err error
+		// sloAnchor is the per-request service-time anchor the derived
+		// SLO multiplies; it equals `full` (the compute anchor capacity
+		// is derived from) except for disaggregated tenants, whose
+		// requests additionally wait out a KV migration.
+		var sloAnchor float64
 		if t.llm != nil {
 			// An LLM request's ideal service is a full-batch generation of
 			// the MEAN shape: one prefill plus output−1 decode iterations,
 			// all at MaxBatch occupancy — the SLO/capacity anchor playing
 			// the role the whole-model full-batch time plays below.
 			tr := t.cfg.LLM.Trace
-			pre, perr := db.LLMCycles(PhasePrefill, t.cfg.MaxBatch, tr.PromptMean, r0.nm, r0.nv)
+			pre, perr := db.LLMCycles(PhasePrefill, t.cfg.MaxBatch, tr.MeanPrompt(), r0.nm, r0.nv)
 			if perr != nil {
 				return nil, perr
 			}
-			dec, derr := db.LLMCycles(PhaseDecode, t.cfg.MaxBatch, tr.PromptMean+tr.OutputMean, r0.nm, r0.nv)
+			dec, derr := db.LLMCycles(PhaseDecode, t.cfg.MaxBatch, tr.MeanPrompt()+tr.OutputMean, r0.nm, r0.nv)
 			if derr != nil {
 				return nil, derr
 			}
 			full = pre + float64(tr.OutputMean-1)*dec
+			sloAnchor = full
+			if t.disagg() != nil {
+				// The mean KV migration (bandwidth + latency) prices into
+				// the LATENCY anchor only: a pipelined handoff delays each
+				// request without consuming compute, so throughput — and
+				// therefore the Load→rate conversion, which must match the
+				// colocated baseline at equal Load — excludes it. The
+				// per-pool autoscalers get per-phase objectives from the
+				// same measurements.
+				sloAnchor += float64(model.LLMKVTransferBytes(tr.MeanPrompt()))/(cfg.LinkGBps*1e9/cfg.Core.FrequencyHz) +
+					cfg.LinkLatencyUs*1e-6*cfg.Core.FrequencyHz
+				t.prefillSLO = t.cfg.SLOFactor * pre
+				t.tpotSLO = t.cfg.SLOFactor * dec
+			}
 		} else {
 			full, err = db.ServiceCycles(t.cfg.Model, t.cfg.MaxBatch, r0.nm, r0.nv)
 			if err != nil {
 				return nil, err
 			}
+			sloAnchor = full
 		}
 		if t.cfg.SLOMs > 0 {
 			t.sloCycles = t.cfg.SLOMs / 1e3 * cfg.Core.FrequencyHz
 		} else {
-			t.sloCycles = t.cfg.SLOFactor * full
+			t.sloCycles = t.cfg.SLOFactor * sloAnchor
 			t.cfg.SLOMs = t.sloCycles / cfg.Core.FrequencyHz * 1e3
 		}
 		if t.cfg.BatchWindowMs > 0 {
@@ -781,7 +967,14 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 		t.capacityRPS = float64(t.cfg.MaxBatch) / (full / cfg.Core.FrequencyHz)
 		rps := t.cfg.RatePerSec
 		if rps <= 0 {
-			rps = t.cfg.Load * float64(t.cfg.InitialReplicas) * t.capacityRPS
+			chips := t.cfg.InitialReplicas
+			if d := t.disagg(); d != nil {
+				// Load is offered against the whole disaggregated footprint,
+				// so colocated-vs-disagg comparisons at matched chip counts
+				// and equal Load see the same offered rate.
+				chips = d.PrefillReplicas + d.DecodeReplicas
+			}
+			rps = t.cfg.Load * float64(chips) * t.capacityRPS
 		}
 		t.basePerCycle = rps / cfg.Core.FrequencyHz
 		t.peakMult = 1
@@ -868,7 +1061,7 @@ func (f *fleet) route(t *tenantState) *replica {
 	cands := f.routeScratch[:0]
 	for _, p := range t.peers {
 		for _, r := range p.replicas {
-			if !r.draining {
+			if !r.draining && arrivalTarget(t, r) {
 				cands = append(cands, r)
 			}
 		}
@@ -885,6 +1078,9 @@ func (f *fleet) route(t *tenantState) *replica {
 		}
 		for _, p := range t.peers {
 			for _, r := range p.replicas {
+				if !arrivalTarget(t, r) {
+					continue
+				}
 				if better(r, pick) {
 					pick = r
 				}
@@ -1045,6 +1241,23 @@ func (f *fleet) report() *Report {
 				lr.PromptTokensMean = float64(l.promptTokens) / float64(l.admitted)
 				lr.OutputTokensMean = float64(l.outputTokens) / float64(l.admitted)
 			}
+			if d := t.disagg(); d != nil {
+				lr.Batcher = "disaggregated"
+				lr.PrefillReplicas = t.activeRole(RolePrefill)
+				lr.PrefillPeak = t.prefPeak
+				lr.DecodeReplicas = t.activeRole(RoleDecode)
+				lr.DecodePeak = t.decPeak
+				lr.ChunkTokens = d.ChunkTokens
+				lr.Migrations = l.migrations
+				lr.MigrationMB = float64(l.migBytes) / (1 << 20)
+				lr.MigStalls = l.migStalls
+				// Mean over LANDED migrations: waits accrue at landing, so
+				// dividing by starts would bias the mean low if a report
+				// were ever taken with transfers still on the wire.
+				if l.migLanded > 0 {
+					lr.MigMeanMs = ms(l.migWaitCycles / float64(l.migLanded))
+				}
+			}
 			// KV occupancy spans the tenant's whole serving group: on
 			// shared slots its sequences allocate from peer-owned
 			// partitions too, and fold-at-retire credits the OWNER. Two
@@ -1110,6 +1323,16 @@ func (f *fleet) report() *Report {
 	var overhead float64
 	rep.Preemptions, rep.Resumes, overhead = f.switches.Snapshot()
 	rep.SwitchOverheadMs = ms(overhead)
+	if f.fabric != nil {
+		st := f.fabric.Stats(end)
+		rep.LinkGBps = f.cfg.LinkGBps
+		rep.Links = f.fabric.Links()
+		rep.LinkMovedMB = float64(st.BytesMoved) / (1 << 20)
+		rep.LinkPeakFlows = st.PeakActive
+		if n := f.fabric.Links(); n > 0 && end > 0 {
+			rep.LinkUtil = st.BusyCycles / (end * float64(n))
+		}
+	}
 	totalEUs := float64(f.cfg.Cores * (f.cfg.Core.MEs + f.cfg.Core.VEs))
 	if end > 0 {
 		rep.FleetEUUtil = busy / (end * totalEUs)

@@ -19,8 +19,18 @@ import (
 //	checkpoint save (virt.SwitchCycles), launch the preemptor ──►
 //	dispatch on completion: resume the suspended batch (paying the
 //	restore) unless an even higher-priority queue is waiting and the
-//	victim still has bypass budget (MaxPreemptsPerBatch bounds
-//	preempts + bypasses, so Batch work cannot starve).
+//	victim still has aging credit.
+//
+// Starvation is bounded by AGING CREDIT, denominated in delay rather
+// than events: every batch tolerates up to MaxPreemptsPerBatch ×
+// PreemptQuantumCycles cycles of victimization wait (time suspended,
+// whether it got there by preemption or was bypassed while suspended).
+// A batch whose accrued wait exhausts the credit is immune to further
+// preemption and bypass, so its total extra delay is hard-bounded in
+// cycles — many cheap interruptions spend the credit slowly, one long
+// one spends it at once, and either way the victim's wait cannot
+// exceed the budget plus the one interloper in flight when the credit
+// ran out.
 
 // takeBatch returns a recycled (or new) batch instance; retired
 // batches go back through putBatch so the steady-state launch path
@@ -40,9 +50,21 @@ func (f *fleet) putBatch(b *batch) {
 	for i := range b.seqs {
 		b.seqs[i] = nil
 	}
-	reqs, seqs := b.reqs[:0], b.seqs[:0]
-	*b = batch{reqs: reqs, seqs: seqs}
+	reqs, seqs, chunks := b.reqs[:0], b.seqs[:0], b.chunks[:0]
+	*b = batch{reqs: reqs, seqs: seqs, chunks: chunks}
 	f.batchFree = append(f.batchFree, b)
+}
+
+// creditLeft returns the unexhausted victimization allowance of batch
+// b at `now`, counting the open suspension interval. ≤ 0 means immune:
+// b can neither be preempted (while running) nor bypassed (while
+// suspended) again.
+func (f *fleet) creditLeft(b *batch, now sim.Time) float64 {
+	w := b.victimWait
+	if b.waiting {
+		w += float64(now - b.waitFrom)
+	}
+	return f.preemptBudget - w
 }
 
 // disarmTimer cancels the slot's armed batch-window timer, if any.
@@ -95,6 +117,22 @@ func (f *fleet) bestWork(r *replica) (*slotQueue, batchKind) {
 			if len(q.reqs) > 0 {
 				consider(q, kindInvoke, q.reqs[0].at)
 			}
+		case t.disagg() != nil:
+			// Role-specialized slots see exactly one work kind: prompt
+			// processing on the prefill pool, decode iterations over
+			// migrated sequences on the decode pool.
+			if r.role == RolePrefill {
+				if key, ok := f.prefillWork(r, q); ok {
+					consider(q, kindLLMPrefill, key)
+				}
+				continue
+			}
+			for _, s := range q.running {
+				if s.prefilled && s.produced < s.req.output {
+					consider(q, kindLLMDecode, s.req.at)
+					break
+				}
+			}
 		case t.cfg.LLM.Static:
 			if len(q.reqs) > 0 && len(q.running) == 0 &&
 				r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
@@ -139,6 +177,10 @@ func (f *fleet) launch(r *replica, q *slotQueue, kind batchKind, now sim.Time, r
 	}
 	switch kind {
 	case kindLLMPrefill, kindLLMStaticPrefill:
+		if q.ten.disagg() != nil {
+			f.launchDisaggPrefill(r, q, now, restore)
+			return
+		}
 		f.launchLLMPrefill(r, q, kind, now, restore)
 	case kindLLMDecode:
 		f.launchLLMDecode(r, q, now, restore)
@@ -213,9 +255,10 @@ func (f *fleet) dispatch(r *replica, now sim.Time) {
 		top := r.susp[n-1]
 		if f.cfg.Preempt {
 			if q, kind := f.bestWork(r); q != nil && q.ten.cfg.Priority > top.ten.cfg.Priority &&
-				top.preempts < f.cfg.MaxPreemptsPerBatch {
-				// A bypass spends the same budget a preemption does:
-				// that is what bounds a Batch batch's total wait.
+				f.creditLeft(top, now) > 0 {
+				// A bypass spends the same aging credit a preemption
+				// does — the victim keeps waiting, and that wait is what
+				// the credit denominates.
 				top.preempts++
 				if top.preempts > top.ten.maxPreempts {
 					top.ten.maxPreempts = top.preempts
@@ -282,6 +325,10 @@ func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 	var chain *batch
 	switch b.kind {
 	case kindLLMPrefill:
+		if t.disagg() != nil {
+			f.finishDisaggPrefill(r, b, now)
+			break
+		}
 		f.finishLLMPrefill(r, b, now)
 	case kindLLMDecode:
 		f.finishLLMDecode(r, b, now)
@@ -334,8 +381,8 @@ func (f *fleet) maybePreempt(r *replica, now sim.Time) {
 	if q == nil || q.ten.cfg.Priority <= b.ten.cfg.Priority {
 		return
 	}
-	if b.preempts >= f.cfg.MaxPreemptsPerBatch {
-		return
+	if f.creditLeft(b, now) <= 0 {
+		return // aging credit exhausted: the batch runs non-preemptible
 	}
 	done := b.total - b.remaining
 	serviceStart := float64(b.started) + b.restore
@@ -384,15 +431,24 @@ func (f *fleet) suspend(r *replica, b *batch, rp sched.ResumePoint, now sim.Time
 	sw := f.switches.RecordPreempt(r.nm, r.nv)
 	t.stolenCycles += sw
 	r.cur = nil
+	b.waiting, b.waitFrom = true, now
 	r.susp = append(r.susp, b)
 	// The preemptor pays the victim's checkpoint save before it runs.
 	f.launch(r, q, kind, now, sw)
 }
 
 // resume restores a suspended batch: it owes exactly its banked
-// remaining service plus the checkpoint-restore debt.
+// remaining service plus the checkpoint-restore debt. The closed
+// suspension interval is charged against the batch's aging credit.
 func (f *fleet) resume(r *replica, b *batch, now sim.Time) {
 	t := b.ten
+	if b.waiting {
+		b.victimWait += float64(now - b.waitFrom)
+		b.waiting = false
+		if b.victimWait > t.maxVictimWait {
+			t.maxVictimWait = b.victimWait
+		}
+	}
 	sw := f.switches.RecordResume(r.nm, r.nv)
 	b.restore = sw
 	t.resumes++

@@ -34,6 +34,17 @@ func (r LLMRequest) Tokens() int { return r.Prompt + r.Output }
 type LLMTrace struct {
 	PromptMin, PromptMean, PromptMax int
 	OutputMin, OutputMean, OutputMax int
+
+	// PromptLongFrac, when > 0, makes the prompt distribution bimodal: a
+	// request's prompt is drawn from the long mode below with this
+	// probability, from the base mode above otherwise — the mixed
+	// long-prompt/short-prompt shape (RAG contexts and pasted documents
+	// among chat turns) that makes prefill/decode interference visible.
+	// The draw count per request stays fixed for a given trace config
+	// (both modes are always sampled), preserving trace identity across
+	// compared configurations.
+	PromptLongFrac                               float64
+	PromptLongMin, PromptLongMean, PromptLongMax int
 }
 
 // Defaults fills zero fields with a chat-like shape: prompts 32–1024
@@ -75,18 +86,60 @@ func (tr LLMTrace) Validate() error {
 	if err := check("prompt", tr.PromptMin, tr.PromptMean, tr.PromptMax); err != nil {
 		return err
 	}
+	if tr.PromptLongFrac < 0 || tr.PromptLongFrac >= 1 {
+		return fmt.Errorf("workload: long-prompt fraction %v out of [0,1)", tr.PromptLongFrac)
+	}
+	if tr.PromptLongFrac > 0 {
+		if err := check("long prompt", tr.PromptLongMin, tr.PromptLongMean, tr.PromptLongMax); err != nil {
+			return err
+		}
+	}
 	return check("output", tr.OutputMin, tr.OutputMean, tr.OutputMax)
 }
 
 // MaxTokens returns the largest KV reservation any drawn request can
 // need — the floor a replica's KV capacity must clear, or its queue
 // head could block forever.
-func (tr LLMTrace) MaxTokens() int { return tr.PromptMax + tr.OutputMax }
+func (tr LLMTrace) MaxTokens() int {
+	p := tr.PromptMax
+	if tr.PromptLongFrac > 0 && tr.PromptLongMax > p {
+		p = tr.PromptLongMax
+	}
+	return p + tr.OutputMax
+}
+
+// MaxPrompt returns the largest prompt any drawn request can carry —
+// the floor a prefill-pool replica's KV capacity must clear.
+func (tr LLMTrace) MaxPrompt() int {
+	if tr.PromptLongFrac > 0 && tr.PromptLongMax > tr.PromptMax {
+		return tr.PromptLongMax
+	}
+	return tr.PromptMax
+}
+
+// MeanPrompt returns the mixture's expected prompt length (the SLO and
+// migration-cost anchor for bimodal traces).
+func (tr LLMTrace) MeanPrompt() int {
+	if tr.PromptLongFrac <= 0 {
+		return tr.PromptMean
+	}
+	m := (1-tr.PromptLongFrac)*float64(tr.PromptMean) + tr.PromptLongFrac*float64(tr.PromptLongMean)
+	return int(m + 0.5)
+}
 
 // Draw samples one request shape from the trace's distributions.
 func (tr LLMTrace) Draw(rng *sim.RNG) LLMRequest {
+	prompt := drawLen(rng, tr.PromptMin, tr.PromptMean, tr.PromptMax)
+	if tr.PromptLongFrac > 0 {
+		// Both modes and the mode coin are always consumed, keeping the
+		// per-request draw count a constant of the trace config.
+		long := drawLen(rng, tr.PromptLongMin, tr.PromptLongMean, tr.PromptLongMax)
+		if rng.Float64() < tr.PromptLongFrac {
+			prompt = long
+		}
+	}
 	return LLMRequest{
-		Prompt: drawLen(rng, tr.PromptMin, tr.PromptMean, tr.PromptMax),
+		Prompt: prompt,
 		Output: drawLen(rng, tr.OutputMin, tr.OutputMean, tr.OutputMax),
 	}
 }

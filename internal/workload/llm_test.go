@@ -67,6 +67,65 @@ func TestLLMTraceDrawDeterministic(t *testing.T) {
 	}
 }
 
+// TestLLMTraceBimodal pins the long-prompt mixture: draws respect both
+// modes' bounds, the long mode appears at roughly its configured
+// fraction, consumption stays fixed per draw, and the helper bounds
+// (MaxPrompt/MaxTokens/MeanPrompt) cover the mixture.
+func TestLLMTraceBimodal(t *testing.T) {
+	tr := LLMTrace{
+		PromptMin: 16, PromptMean: 32, PromptMax: 64,
+		PromptLongFrac: 0.25, PromptLongMin: 128, PromptLongMean: 192, PromptLongMax: 256,
+		OutputMin: 2, OutputMean: 8, OutputMax: 16,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxPrompt() != 256 || tr.MaxTokens() != 256+16 {
+		t.Errorf("mixture bounds: MaxPrompt %d, MaxTokens %d", tr.MaxPrompt(), tr.MaxTokens())
+	}
+	if m := tr.MeanPrompt(); m != 72 { // 0.75×32 + 0.25×192
+		t.Errorf("MeanPrompt %d, want 72", m)
+	}
+	rng := sim.NewRNG(3)
+	long := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		r := tr.Draw(rng)
+		inBase := r.Prompt >= tr.PromptMin && r.Prompt <= tr.PromptMax
+		inLong := r.Prompt >= tr.PromptLongMin && r.Prompt <= tr.PromptLongMax
+		if !inBase && !inLong {
+			t.Fatalf("prompt %d outside both modes", r.Prompt)
+		}
+		if inLong {
+			long++
+		}
+	}
+	if frac := float64(long) / n; frac < 0.2 || frac > 0.3 {
+		t.Errorf("long-mode fraction %.3f far from configured 0.25", frac)
+	}
+	// Fixed consumption with the mixture enabled: both streams align.
+	a, b := sim.NewRNG(9), sim.NewRNG(9)
+	for i := 0; i < 500; i++ {
+		if ra, rb := tr.Draw(a), tr.Draw(b); ra != rb {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("bimodal draws consumed different numbers of RNG values")
+	}
+	// Malformed mixtures are rejected.
+	badFrac := tr
+	badFrac.PromptLongFrac = 1.5
+	if err := badFrac.Validate(); err == nil {
+		t.Error("long fraction 1.5 accepted")
+	}
+	badMode := tr
+	badMode.PromptLongMean = 1000
+	if err := badMode.Validate(); err == nil {
+		t.Error("long mean beyond long max accepted")
+	}
+}
+
 // TestLLMTraceValidate rejects malformed bounds.
 func TestLLMTraceValidate(t *testing.T) {
 	bad := []LLMTrace{

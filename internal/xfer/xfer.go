@@ -1,0 +1,259 @@
+// Package xfer models the cluster's chip-to-chip interconnect: the
+// links a disaggregated serving system ships KV caches (or any other
+// bulk payload) over between pNPUs. It is deliberately a fluid model,
+// not a packet simulator — the same altitude internal/sched's fluid
+// scheduler occupies for compute:
+//
+//   - A Link has a bandwidth (bytes per core cycle) and a fixed
+//     per-transfer latency (propagation + protocol, in cycles).
+//   - Concurrent transfers on one link share its bandwidth max-min
+//     fairly. With a single bottleneck resource and equally greedy
+//     flows, the max-min allocation is the equal share B/n, re-divided
+//     whenever a transfer starts or finishes — classic processor
+//     sharing. A transfer's payload drains at the current share; its
+//     completion fires `latency` cycles after the last byte leaves.
+//   - All progress is advanced lazily on the owning sim.Engine's
+//     clock: the link keeps exactly one pending event (the earliest
+//     completion) and re-derives it whenever membership changes, so a
+//     whole run stays deterministic and allocation-light.
+//
+// A Fabric is the per-pair link directory serving uses: it lazily
+// creates one identically-shaped Link per ordered (src, dst) chip pair
+// — a fully connected point-to-point topology, the usual abstraction
+// for intra-pod NPU interconnects — and aggregates fleet-wide stats.
+package xfer
+
+import (
+	"fmt"
+	"math"
+
+	"neu10/internal/sim"
+)
+
+// transfer is one in-flight payload on a link.
+type transfer struct {
+	remaining float64 // payload bytes still to move
+	bytes     int64
+	done      func(now sim.Time)
+}
+
+// Link is one chip-to-chip connection. All methods must be called from
+// the owning engine's event context (the single-threaded sim loop).
+type Link struct {
+	eng        *sim.Engine
+	name       string
+	bwPerCycle float64 // bytes per cycle
+	latency    float64 // cycles added after the last byte drains
+
+	active []*transfer
+
+	// stats
+	lastAt     float64
+	busyArea   float64 // cycles with ≥1 transfer in flight
+	flowArea   float64 // ∫ len(active) dt
+	bytesMoved int64
+	transfers  int
+	peakActive int
+
+	doneSet bool
+	doneH   sim.Handle
+}
+
+// NewLink builds a link on the engine's clock. bwPerCycle is in bytes
+// per core cycle; latency in cycles.
+func NewLink(eng *sim.Engine, name string, bwPerCycle, latency float64) (*Link, error) {
+	if bwPerCycle <= 0 {
+		return nil, fmt.Errorf("xfer: link %s bandwidth %v bytes/cycle", name, bwPerCycle)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("xfer: link %s latency %v cycles", name, latency)
+	}
+	return &Link{eng: eng, name: name, bwPerCycle: bwPerCycle, latency: latency,
+		lastAt: float64(eng.Now())}, nil
+}
+
+// Name returns the link's label.
+func (l *Link) Name() string { return l.name }
+
+// Active returns the number of transfers currently in their bandwidth
+// phase (latency-phase completions are already off the link).
+func (l *Link) Active() int { return len(l.active) }
+
+// Start begins shipping `bytes` over the link. done fires exactly once,
+// `latency` cycles after the payload's last byte drains at the link's
+// max-min fair share. A zero-byte transfer still pays the latency.
+func (l *Link) Start(bytes int64, done func(now sim.Time)) {
+	now := float64(l.eng.Now())
+	l.advance(now)
+	l.transfers++
+	if bytes <= 0 {
+		l.eng.After(sim.Time(l.latency)+1, done)
+		return
+	}
+	t := &transfer{remaining: float64(bytes), bytes: bytes, done: done}
+	l.active = append(l.active, t)
+	if len(l.active) > l.peakActive {
+		l.peakActive = len(l.active)
+	}
+	l.reschedule(now)
+}
+
+// advance drains every active transfer at the fair share over
+// [lastAt, now) and accrues the utilization integrals.
+func (l *Link) advance(now float64) {
+	dt := now - l.lastAt
+	if dt <= 0 {
+		return
+	}
+	if n := len(l.active); n > 0 {
+		share := l.bwPerCycle / float64(n)
+		for _, t := range l.active {
+			t.remaining -= share * dt
+		}
+		l.busyArea += dt
+		l.flowArea += float64(n) * dt
+	}
+	l.lastAt = now
+}
+
+// reschedule re-derives the single pending completion event: the
+// transfer with the least remaining payload finishes first (ties drain
+// together and complete in the same event, FIFO by start order).
+func (l *Link) reschedule(now float64) {
+	if l.doneSet {
+		l.eng.Cancel(l.doneH)
+		l.doneSet = false
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	min := math.Inf(1)
+	for _, t := range l.active {
+		if t.remaining < min {
+			min = t.remaining
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	eta := min / (l.bwPerCycle / float64(len(l.active)))
+	l.doneSet = true
+	l.doneH = l.eng.After(sim.Time(eta)+1, l.fire)
+}
+
+// fire advances progress and completes every transfer whose payload has
+// drained, then reschedules for the survivors. Completions keep start
+// order (the slice is filtered in place), so callback order is
+// deterministic.
+func (l *Link) fire(nowT sim.Time) {
+	l.doneSet = false
+	now := float64(nowT)
+	l.advance(now)
+	kept := l.active[:0]
+	var finished []*transfer
+	for _, t := range l.active {
+		// The event lands ≥1 cycle past the exact drain time, so the
+		// earliest transfer is at or below zero; anything within one
+		// cycle's fair share of empty drains in the same event.
+		if t.remaining <= 1e-9 {
+			finished = append(finished, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(l.active); i++ {
+		l.active[i] = nil
+	}
+	l.active = kept
+	l.reschedule(now)
+	for _, t := range finished {
+		l.bytesMoved += t.bytes
+		if l.latency > 0 {
+			l.eng.After(sim.Time(l.latency)+1, t.done)
+		} else {
+			t.done(nowT)
+		}
+	}
+}
+
+// Stats is a link's (or fabric's) aggregate accounting.
+type Stats struct {
+	Transfers  int     // transfers started
+	BytesMoved int64   // payload bytes fully drained
+	BusyCycles float64 // cycles the link spent with ≥1 transfer in flight
+	FlowArea   float64 // ∫ active-transfer count dt (mean concurrency × time)
+	PeakActive int     // most transfers ever concurrent on one link
+}
+
+// Stats snapshots the link's accounting up to `now` (cycles).
+func (l *Link) Stats(now float64) Stats {
+	l.advance(now)
+	return Stats{
+		Transfers:  l.transfers,
+		BytesMoved: l.bytesMoved,
+		BusyCycles: l.busyArea,
+		FlowArea:   l.flowArea,
+		PeakActive: l.peakActive,
+	}
+}
+
+// Fabric lazily builds one Link per ordered (src, dst) chip pair, all
+// identically shaped — a fully connected point-to-point interconnect.
+type Fabric struct {
+	eng        *sim.Engine
+	bwPerCycle float64
+	latency    float64
+	links      map[[2]int]*Link
+	// order lists links by creation (an event-driven, therefore
+	// deterministic order); Stats folds float sums over it so the
+	// rounding of the aggregates never depends on map iteration.
+	order []*Link
+}
+
+// NewFabric builds an empty fabric; links appear on first use.
+func NewFabric(eng *sim.Engine, bwPerCycle, latency float64) (*Fabric, error) {
+	if bwPerCycle <= 0 {
+		return nil, fmt.Errorf("xfer: fabric bandwidth %v bytes/cycle", bwPerCycle)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("xfer: fabric latency %v cycles", latency)
+	}
+	return &Fabric{eng: eng, bwPerCycle: bwPerCycle, latency: latency, links: map[[2]int]*Link{}}, nil
+}
+
+// Link returns the src→dst link, creating it on first use. A loopback
+// pair (src == dst) is legal and models an on-chip copy at link speed.
+func (f *Fabric) Link(src, dst int) *Link {
+	key := [2]int{src, dst}
+	if l, ok := f.links[key]; ok {
+		return l
+	}
+	l, err := NewLink(f.eng, fmt.Sprintf("chip%d→chip%d", src, dst), f.bwPerCycle, f.latency)
+	if err != nil {
+		panic(err) // NewFabric validated the shape; unreachable
+	}
+	f.links[key] = l
+	f.order = append(f.order, l)
+	return l
+}
+
+// Links returns how many pair links have been instantiated.
+func (f *Fabric) Links() int { return len(f.links) }
+
+// Stats folds every instantiated link's accounting up to `now`. Peak
+// concurrency is the max over links (per-link contention is what the
+// max-min share divides by); the other fields are sums.
+func (f *Fabric) Stats(now float64) Stats {
+	var s Stats
+	for _, l := range f.order {
+		ls := l.Stats(now)
+		s.Transfers += ls.Transfers
+		s.BytesMoved += ls.BytesMoved
+		s.BusyCycles += ls.BusyCycles
+		s.FlowArea += ls.FlowArea
+		if ls.PeakActive > s.PeakActive {
+			s.PeakActive = ls.PeakActive
+		}
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+package xfer
+
+import (
+	"math"
+	"testing"
+
+	"neu10/internal/sim"
+)
+
+// TestSoloTransferTiming pins the base timing model: a solo transfer of
+// B bytes on a link of bw bytes/cycle completes after B/bw cycles plus
+// the fixed latency (each scheduling hop may add up to one cycle of
+// quantization, never more).
+func TestSoloTransferTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	l, err := NewLink(eng, "test", 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	l.Start(1000, func(now sim.Time) { doneAt = now })
+	eng.Run()
+	// 1000 B at 10 B/cycle = 100 cycles drain + 100 latency = 200.
+	if doneAt < 200 || doneAt > 202 {
+		t.Errorf("solo transfer completed at %d, want 200 (+≤2 quantization)", doneAt)
+	}
+	st := l.Stats(float64(eng.Now()))
+	if st.BytesMoved != 1000 || st.Transfers != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.BusyCycles < 100 || st.BusyCycles > 102 {
+		t.Errorf("busy %v cycles, want ~100", st.BusyCycles)
+	}
+}
+
+// TestMaxMinFairSharing: two equal transfers started together each get
+// half the bandwidth and finish together at twice the solo drain time;
+// a short transfer started alongside a long one finishes first, after
+// which the long one reclaims the full bandwidth (the max-min
+// re-division on membership change).
+func TestMaxMinFairSharing(t *testing.T) {
+	eng := sim.NewEngine()
+	l, err := NewLink(eng, "test", 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aAt, bAt sim.Time
+	l.Start(1000, func(now sim.Time) { aAt = now })
+	l.Start(1000, func(now sim.Time) { bAt = now })
+	eng.Run()
+	// Each drains at 5 B/cycle: 200 cycles, together.
+	if aAt < 200 || aAt > 202 || bAt != aAt {
+		t.Errorf("equal pair completed at %d / %d, want both ~200", aAt, bAt)
+	}
+
+	eng = sim.NewEngine()
+	l, _ = NewLink(eng, "test", 10, 0)
+	var longAt, shortAt sim.Time
+	l.Start(2000, func(now sim.Time) { longAt = now })
+	l.Start(500, func(now sim.Time) { shortAt = now })
+	eng.Run()
+	// Shared until the short one drains: 500 B at 5 B/cycle = 100 cycles
+	// (long has 1500 left). Then the long one runs solo: 150 more.
+	if shortAt < 100 || shortAt > 102 {
+		t.Errorf("short transfer at %d, want ~100", shortAt)
+	}
+	if longAt < 250 || longAt > 254 {
+		t.Errorf("long transfer at %d, want ~250", longAt)
+	}
+	if got := l.Stats(float64(eng.Now())); got.PeakActive != 2 {
+		t.Errorf("peak active %d, want 2", got.PeakActive)
+	}
+}
+
+// TestWorkConservation: however transfers overlap, total bytes over
+// total busy time can never beat the link bandwidth, and every started
+// transfer completes exactly once.
+func TestWorkConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	l, err := NewLink(eng, "test", 7, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(42)
+	const n = 100
+	completions := 0
+	var total int64
+	for i := 0; i < n; i++ {
+		bytes := int64(1 + rng.Intn(5000))
+		total += bytes
+		at := sim.Time(rng.Intn(2000))
+		eng.At(at, func(sim.Time) {
+			l.Start(bytes, func(sim.Time) { completions++ })
+		})
+	}
+	eng.Run()
+	if completions != n {
+		t.Fatalf("%d/%d transfers completed", completions, n)
+	}
+	st := l.Stats(float64(eng.Now()))
+	if st.BytesMoved != total {
+		t.Errorf("moved %d bytes, want %d", st.BytesMoved, total)
+	}
+	if rate := float64(st.BytesMoved) / st.BusyCycles; rate > 7*1.01 {
+		t.Errorf("effective rate %.2f B/cycle beats the 7 B/cycle link", rate)
+	}
+	// Busy time is at least the back-to-back drain time of all bytes.
+	if st.BusyCycles < float64(total)/7-1 {
+		t.Errorf("busy %.0f cycles < serialized drain %.0f — bytes teleported", st.BusyCycles, float64(total)/7)
+	}
+}
+
+// TestZeroByteTransfer still pays the latency and completes once.
+func TestZeroByteTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	l, _ := NewLink(eng, "test", 10, 50)
+	var at sim.Time
+	fired := 0
+	l.Start(0, func(now sim.Time) { at = now; fired++ })
+	eng.Run()
+	if fired != 1 || at < 50 || at > 52 {
+		t.Errorf("zero-byte transfer fired %d times at %d, want once at ~50", fired, at)
+	}
+}
+
+// TestDeterministicReplay: the same schedule replays to identical
+// completion times and stats.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]sim.Time, Stats) {
+		eng := sim.NewEngine()
+		f, err := NewFabric(eng, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(7)
+		var times []sim.Time
+		for i := 0; i < 40; i++ {
+			src, dst := rng.Intn(4), rng.Intn(4)
+			bytes := int64(1 + rng.Intn(999))
+			at := sim.Time(rng.Intn(500))
+			eng.At(at, func(sim.Time) {
+				f.Link(src, dst).Start(bytes, func(now sim.Time) { times = append(times, now) })
+			})
+		}
+		eng.Run()
+		return times, f.Stats(float64(eng.Now()))
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if len(t1) != 40 || len(t2) != 40 {
+		t.Fatalf("completions %d / %d, want 40", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("replay diverged at completion %d: %d vs %d", i, t1[i], t2[i])
+		}
+	}
+	if s1 != s2 {
+		t.Errorf("replay stats diverged: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestFabricPairIsolation: transfers on distinct chip pairs do not
+// contend — two simultaneous transfers on different pairs finish in
+// solo time, and the fabric reports two links.
+func TestFabricPairIsolation(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := NewFabric(eng, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aAt, bAt sim.Time
+	f.Link(0, 1).Start(1000, func(now sim.Time) { aAt = now })
+	f.Link(2, 3).Start(1000, func(now sim.Time) { bAt = now })
+	eng.Run()
+	if aAt > 102 || bAt > 102 {
+		t.Errorf("pair-isolated transfers at %d / %d, want both ~100 (no contention)", aAt, bAt)
+	}
+	if f.Links() != 2 {
+		t.Errorf("fabric instantiated %d links, want 2", f.Links())
+	}
+	if st := f.Stats(float64(eng.Now())); st.BytesMoved != 2000 || st.PeakActive != 1 {
+		t.Errorf("fabric stats %+v, want 2000 bytes, peak 1 per link", st)
+	}
+}
+
+// TestLinkValidation rejects malformed shapes.
+func TestLinkValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewLink(eng, "bad", 0, 0); err == nil {
+		t.Error("zero-bandwidth link accepted")
+	}
+	if _, err := NewLink(eng, "bad", 1, -1); err == nil {
+		t.Error("negative-latency link accepted")
+	}
+	if _, err := NewFabric(eng, -1, 0); err == nil {
+		t.Error("negative-bandwidth fabric accepted")
+	}
+	if _, err := NewFabric(eng, 1, math.Inf(-1)); err == nil {
+		t.Error("negative-latency fabric accepted")
+	}
+}
