@@ -96,6 +96,12 @@ func BenchmarkServeLLM(b *testing.B) { benchExperiment(b, "serve-llm") }
 // KV-migration machinery.
 func BenchmarkServeDisagg(b *testing.B) { benchExperiment(b, "serve-disagg") }
 
+// BenchmarkServeChaos measures the fault-injection scenario: three runs
+// on the identical trace (healthy, faulted, faulted with recovery) —
+// the crash/teardown path, transfer aborts, emergency spawns and
+// decode-pool evacuation on top of the disaggregated machinery.
+func BenchmarkServeChaos(b *testing.B) { benchExperiment(b, "serve-chaos") }
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSystolicArrayGEMM measures the functional matrix engine: one

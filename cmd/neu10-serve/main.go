@@ -8,6 +8,7 @@
 //	neu10-serve -scenario priority             # preemptive sharing vs FIFO
 //	neu10-serve -scenario llm                  # continuous vs static batching
 //	neu10-serve -scenario disagg               # disaggregated prefill/decode vs colocated
+//	neu10-serve -scenario chaos                # chip crashes, pod outage, link degradation
 //	neu10-serve -scenario mix-shift -json
 //	neu10-serve -list
 //
@@ -33,11 +34,12 @@ var scenarios = map[string]string{
 	"priority":    "serve-priority",
 	"llm":         "serve-llm",
 	"disagg":      "serve-disagg",
+	"chaos":       "serve-chaos",
 }
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "steady", "scenario: steady, flash-crowd, mix-shift, priority, llm, or disagg")
+		scenario = flag.String("scenario", "steady", "scenario: steady, flash-crowd, mix-shift, priority, llm, disagg, or chaos")
 		seed     = flag.Uint64("seed", 1, "seed for arrivals, routing and therefore the whole report")
 		workers  = flag.Int("workers", 0, "worker pool for scenario-internal comparisons (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit the structured report(s) as JSON instead of a table")
@@ -53,6 +55,8 @@ func main() {
 		fmt.Println("llm          KV-cache-aware LLM serving; continuous vs static batching, same trace")
 		fmt.Println("disagg       disaggregated prefill/decode over a modeled interconnect vs colocated,")
 		fmt.Println("             same trace, swept over link bandwidth")
+		fmt.Println("chaos        mid-trace chip crashes, a pod outage and link degradation on a")
+		fmt.Println("             disaggregated fleet; no-fault vs fault vs fault+recovery, same trace")
 		return
 	}
 
@@ -60,7 +64,7 @@ func main() {
 	if !ok {
 		id = strings.TrimSpace(*scenario) // allow raw experiment ids too
 		if !strings.HasPrefix(id, "serve-") {
-			fatal(fmt.Errorf("unknown scenario %q (want steady, flash-crowd, mix-shift, priority, llm or disagg)", *scenario))
+			fatal(fmt.Errorf("unknown scenario %q (want steady, flash-crowd, mix-shift, priority, llm, disagg or chaos)", *scenario))
 		}
 	}
 

@@ -97,7 +97,7 @@ func IDs() []string {
 		"fig24", "fig25", "fig26", "fig27",
 		"ablation-harvest", "ablation-preempt", "slo", "cluster",
 		"serve-steady", "serve-flash", "serve-mix", "serve-priority", "serve-llm",
-		"serve-disagg",
+		"serve-disagg", "serve-chaos",
 	}
 }
 
@@ -152,6 +152,8 @@ func (r *Runner) Run(id string) (Result, error) {
 		return r.ServeLLM()
 	case "serve-disagg":
 		return r.ServeDisagg()
+	case "serve-chaos":
+		return r.ServeChaos()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

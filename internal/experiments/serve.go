@@ -291,6 +291,86 @@ func (r *Runner) ServeDisagg() (*ServeResult, error) {
 	return &ServeResult{ID: "serve-disagg", Reports: reports}, nil
 }
 
+// ServeChaos is the fault-injection scenario: one disaggregated
+// LLaMA-13B tenant (2 prefill + 2 decode replicas, chunked prefill, KV
+// migrations over the fabric) on an 8-pNPU fleet, the identical trace
+// reported three ways:
+//
+//   - chaos/no-fault: the healthy reference run;
+//   - chaos/fault: a mid-trace decode-replica crash (35%), a correlated
+//     pod outage taking chips 0–1 down (52%), and the interconnect
+//     degraded to 1/16 bandwidth for [55%, 72%) — no recovery machinery
+//     beyond the autoscaler's ordinary windowed ladder and MinReplicas
+//     resurrection;
+//   - chaos/fault+recover: the same faults with one warm spare per
+//     pool, crash-triggered emergency spawns (bypassing the p99
+//     window), and migration-based decode-pool evacuation.
+//
+// Crashed replicas lose their resident KV: queued and in-flight
+// requests re-queue to survivors, partially-generated sequences replay
+// with their prefix folded into the prompt (recompute itemized in the
+// chaos table). Healthy output: fault attainment (requests arriving
+// after the first fault, served within SLO) strictly higher and
+// time-to-recover strictly lower with recovery than without, at the
+// price of the spare capacity and recompute tokens the table shows.
+func (r *Runner) ServeChaos() (*ServeResult, error) {
+	trace := workload.LLMTrace{
+		PromptMin: 16, PromptMean: 32, PromptMax: 64,
+		PromptLongFrac: 0.25, PromptLongMin: 128, PromptLongMean: 192, PromptLongMax: 256,
+		OutputMin: 6, OutputMean: 12, OutputMax: 24,
+	}
+	mkFaults := func() *serve.FaultPlan {
+		return &serve.FaultPlan{Events: []serve.FaultEvent{
+			{Kind: serve.FaultCrashReplica, AtFrac: 0.35, Tenant: "assistant", Role: serve.RoleDecode},
+			{Kind: serve.FaultPodOutage, AtFrac: 0.52, Chips: []int{0, 1}},
+			{Kind: serve.FaultLinkDegrade, AtFrac: 0.55, Scale: 1.0 / 16, UntilFrac: 0.72},
+		}}
+	}
+	mk := func(label string, faults *serve.FaultPlan, rec *serve.RecoveryConfig) serve.Config {
+		return serve.Config{
+			Scenario:    label,
+			Core:        r.opts.Core,
+			Cores:       8,
+			Router:      serve.LeastLoaded,
+			DurationSec: 6.0,
+			Seed:        r.opts.ServeSeed,
+			Autoscale:   true,
+			Faults:      faults,
+			Recover:     rec,
+			Tenants: []serve.TenantConfig{{
+				// RatePerSec (not Load) so every variant sees the
+				// byte-identical arrival trace; SLOMs explicit for the same
+				// reason.
+				Name: "assistant", Model: "LLaMA", RatePerSec: 24, EUs: 4,
+				MaxBatch: 4, QueueCap: 64, SLOMs: 2000,
+				InitialReplicas: 4, MaxReplicas: 8,
+				LLM: &serve.LLMConfig{
+					Trace: trace,
+					Disagg: &serve.DisaggConfig{
+						PrefillReplicas: 2, MaxPrefill: 3,
+						DecodeReplicas: 2, MaxDecode: 4,
+						ChunkTokens: 64,
+					},
+				},
+			}},
+		}
+	}
+	cfgs := []serve.Config{
+		mk("chaos/no-fault", nil, nil),
+		mk("chaos/fault", mkFaults(), nil),
+		mk("chaos/fault+recover", mkFaults(),
+			&serve.RecoveryConfig{WarmSpares: 1, EmergencySpawn: true, Evacuate: true}),
+	}
+	reports, err := parMapPairs(r.workers(), cfgs,
+		func(_ int, cfg serve.Config) (*serve.Report, error) {
+			return serve.Run(cfg, r.serveCosts())
+		})
+	if err != nil {
+		return nil, fmt.Errorf("serve-chaos: %w", err)
+	}
+	return &ServeResult{ID: "serve-chaos", Reports: reports}, nil
+}
+
 // ServeMixShift runs two diurnal tenants in antiphase — as one's
 // traffic wanes the other's peaks — so the autoscaler must migrate
 // capacity between them on a fleet too small to hold both peaks at

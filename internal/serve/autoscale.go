@@ -57,6 +57,21 @@ func (f *fleet) scaleTenant(t *tenantState, now sim.Time) {
 		f.scaleTenantDisagg(t, now)
 		return
 	}
+	// Resurrection floor, checked BEFORE the ladder: MinReplicas is a
+	// capacity promise, not a decay asymptote. A fleet crashed below it
+	// (fault.go) presents an empty window — no samples, and a backlog of
+	// zero once everything shed — which the ladder reads as idle calm;
+	// without this a tenant crashed to nothing would stay dead forever
+	// while every arrival sheds at the door. Warm spares raise the floor
+	// the same way they raised the initial spawn.
+	floor := t.cfg.MinReplicas + f.warmSpares()
+	for t.activeCount() < floor {
+		if err := f.spawnReplica(t, t.curEUs, RoleMixed); err != nil {
+			t.scaleFails++
+			break
+		}
+		t.scaleUps++
+	}
 	samples := t.windowLat.Count()
 	p99 := t.windowLat.P99()
 	backlog := f.tenantBacklog(t)
@@ -90,7 +105,7 @@ func (f *fleet) scaleTenant(t *tenantState, now sim.Time) {
 			t.resizes++
 			f.drainOne(t, RoleMixed, now, true)
 		}
-	case calm && t.activeCount() > t.cfg.MinReplicas:
+	case calm && t.activeCount() > floor:
 		f.drainOne(t, RoleMixed, now, false)
 		t.scaleDowns++
 	case calm && t.curEUs > t.cfg.EUs:
@@ -129,6 +144,27 @@ func (f *fleet) scaleTenantDisagg(t *tenantState, now sim.Time) {
 	d := t.cfg.LLM.Disagg
 	l := t.llm
 
+	// Per-pool resurrection floors — see scaleTenant: a pool crashed
+	// below its Min (+ warm spares) must come back regardless of what
+	// the windowed signals say about an empty window.
+	preFloor := d.MinPrefill + f.warmSpares()
+	for t.activeRole(RolePrefill) < preFloor {
+		if err := f.spawnReplica(t, t.curEUs, RolePrefill); err != nil {
+			t.scaleFails++
+			break
+		}
+		t.scaleUps++
+	}
+	decFloor := d.MinDecode + f.warmSpares()
+	for t.activeRole(RoleDecode) < decFloor {
+		if err := f.spawnReplica(t, t.curEUs, RoleDecode); err != nil {
+			t.scaleFails++
+			break
+		}
+		t.scaleUps++
+		f.drainMigQ(t, now)
+	}
+
 	// The pool's backlog is queued arrivals PLUS prompts mid-prefill —
 	// a window with empty queues but chunked prefills still in flight
 	// is busy, not idle (sequences already handed to migration hold no
@@ -161,7 +197,7 @@ func (f *fleet) scaleTenantDisagg(t *tenantState, now sim.Time) {
 		} else {
 			t.scaleUps++
 		}
-	case preCalm && t.activeRole(RolePrefill) > d.MinPrefill:
+	case preCalm && t.activeRole(RolePrefill) > preFloor:
 		f.drainOne(t, RolePrefill, now, false)
 		t.scaleDowns++
 	}
@@ -195,7 +231,7 @@ func (f *fleet) scaleTenantDisagg(t *tenantState, now sim.Time) {
 			// A fresh decode slot can admit parked migrations immediately.
 			f.drainMigQ(t, now)
 		}
-	case decCalm && t.activeRole(RoleDecode) > d.MinDecode:
+	case decCalm && t.activeRole(RoleDecode) > decFloor:
 		f.drainOne(t, RoleDecode, now, false)
 		t.scaleDowns++
 	}
@@ -285,9 +321,13 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 				capOverride = p.cfg.LLM.KVCapTokens
 			}
 			worst := p.cfg.LLM.Trace.MaxTokens()
-			if role == RolePrefill {
+			if role == RolePrefill && f.cfg.Faults == nil {
 				// A prefill slot only ever holds prompt KV: generated
-				// tokens live on the decode side of the migration.
+				// tokens live on the decode side of the migration. Under
+				// fault injection a crash replay folds generated tokens
+				// back into the prompt (up to MaxTokens−1), so faulted
+				// fleets keep the full floor — otherwise a replayed head
+				// could block the prefill queue forever.
 				worst = p.cfg.LLM.Trace.MaxPrompt()
 			}
 			worstTokens := (worst + blockTokens - 1) / blockTokens * blockTokens
@@ -311,7 +351,7 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 					continue
 				}
 				worstTok := p.cfg.LLM.Trace.MaxTokens()
-				if role == RolePrefill {
+				if role == RolePrefill && f.cfg.Faults == nil {
 					worstTok = p.cfg.LLM.Trace.MaxPrompt()
 				}
 				if worst := kv.blocksFor(worstTok); worst > kv.totalBlocks {
@@ -373,6 +413,13 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 		}
 	}
 	t.replicaTL.Add(now, float64(t.activeCount()))
+	// Recovery milestone (fault.go): the first time a crashed tenant's
+	// active count regains its pre-fault level — through emergency
+	// spawns, the resurrection floor, or the ordinary ladder — closes
+	// its time-to-recover clock.
+	if t.crashAt > 0 && t.recoveredAt == 0 && t.activeCount() >= t.preFaultActive {
+		t.recoveredAt = now
+	}
 	return nil
 }
 

@@ -205,7 +205,9 @@ func (f *fleet) startMigration(src *replica, s *llmSeq, now sim.Time) {
 // beginTransfer charges the full prompt+output reservation to the
 // decode replica and puts the prompt KV on the wire. The prefill-side
 // blocks stay held until the last byte lands — the pages cannot be
-// dropped while they are still being copied.
+// dropped while they are still being copied. The flight enters the
+// tenant's in-flight registry so a crash can abort it mid-copy with
+// conservation intact (fault.go).
 func (f *fleet) beginTransfer(src, dst *replica, s *llmSeq, now sim.Time) {
 	t := src.ten
 	dblocks := dst.kv.blocksFor(s.req.prompt + s.req.output)
@@ -213,24 +215,29 @@ func (f *fleet) beginTransfer(src, dst *replica, s *llmSeq, now sim.Time) {
 	dst.inbound++
 	bytes := model.LLMKVTransferBytes(s.req.prompt)
 	t.llm.migrations++
-	t.llm.migBytes += bytes
-	f.fabric.Link(src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU).Start(bytes,
-		func(now sim.Time) { f.finishMigration(src, dst, s, dblocks, now) })
+	fl := &migFlight{seq: s, src: src, dst: dst, dblocks: dblocks, bytes: bytes}
+	fl.xfr = f.fabric.Link(src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU).Start(bytes,
+		func(now sim.Time) { f.finishMigration(fl, now) })
+	t.llm.migInflight = append(t.llm.migInflight, fl)
 }
 
 // finishMigration lands a KV transfer: the prefill-side prompt blocks
 // are released exactly now, the decode-side reservation (charged at
 // transfer start) takes over, the sequence joins the decode replica's
 // running set and its first token is delivered — TTFT prices queueing,
-// prefill and the migration.
-func (f *fleet) finishMigration(src, dst *replica, s *llmSeq, dblocks int, now sim.Time) {
+// prefill and the migration. Payload bytes count at landing, so an
+// aborted transfer never inflates the conservation ledger.
+func (f *fleet) finishMigration(fl *migFlight, now sim.Time) {
+	src, dst, s := fl.src, fl.dst, fl.seq
 	t := src.ten
+	t.llm.dropFlight(fl)
 	src.kv.free(s.blocks, float64(now))
 	src.queueFor(t).removeRunning(s)
-	s.blocks = dblocks
+	s.blocks = fl.dblocks
 	dst.inbound--
 	dst.queueFor(t).running = append(dst.queueFor(t).running, s)
 	t.llm.migLanded++
+	t.llm.migBytes += fl.bytes
 	t.llm.migWaitCycles += float64(now - s.prefDone)
 	f.emitFirstToken(t, s, now)
 	if s.produced >= s.req.output {

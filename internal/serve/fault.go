@@ -1,0 +1,747 @@
+package serve
+
+import (
+	"fmt"
+
+	"neu10/internal/model"
+	"neu10/internal/sim"
+)
+
+// Fault injection and chaos serving. A production fleet the paper's
+// virtualization layer targets loses chips, links flap, and whole pods
+// go dark; the fleet here only ever changed by autoscaler intent. A
+// FaultPlan schedules deterministic fault events on the sim clock —
+// replica/chip crashes, correlated pod outages, degraded and flapping
+// interconnect links — and a RecoveryConfig enables the machinery that
+// absorbs them: warm spares, crash-triggered emergency spawns that
+// bypass the autoscaler's observation window, and migration-based
+// evacuation that rebalances a decode pool over the PR-5 KV-migration
+// path. Everything runs inside engine events, so a chaos run is exactly
+// as reproducible as a healthy one.
+//
+// Crash semantics (destroyReplica): the replica is removed instantly —
+// no graceful drain. Resident KV is lost with the chip; in-flight and
+// queued requests are re-queued to surviving slots (re-entering through
+// the ordinary router and admission control), and a partially-generated
+// sequence is handled per CrashPolicy: replayed — its generated prefix
+// folds into the prompt, so the lost KV is recomputed by one prefill
+// over prompt+produced tokens, priced through the ordinary prefill cost
+// path (model.LLMPrefillChunk on chunked pools) — or failed outright.
+// In-flight KV migrations touching the dead chip abort with exact
+// conservation: a reservation charged to a dead target rolls back on
+// the source's surviving books, a transfer whose source died frees the
+// target's reservation at abort, and nothing lands twice.
+
+// CrashPolicy selects what happens to a sequence that had already
+// produced output when its replica crashes.
+type CrashPolicy int
+
+const (
+	// CrashReplay (the default) re-queues the request with its generated
+	// prefix folded into the prompt: prompt' = prompt+produced, output' =
+	// output−produced. The lost KV is recomputed by a prefill over the
+	// folded prompt, decoding resumes at the next token, and end-to-end
+	// latency keeps the original arrival — the crash penalty lands on the
+	// SLO. Sequences with no output yet are always re-queued this way.
+	CrashReplay CrashPolicy = iota
+	// CrashFail drops partially-generated sequences outright: the crash
+	// costs those requests, not recompute capacity.
+	CrashFail
+)
+
+func (p CrashPolicy) String() string {
+	switch p {
+	case CrashReplay:
+		return "replay"
+	case CrashFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// FaultKind is one fault event's mechanism.
+type FaultKind int
+
+const (
+	// FaultCrashReplica kills Count replicas of one tenant (oldest
+	// first — deterministic victim selection), optionally filtered by
+	// Role.
+	FaultCrashReplica FaultKind = iota
+	// FaultPodOutage kills every replica of every tenant mapped to the
+	// listed chips at once — the correlated-failure case.
+	FaultPodOutage
+	// FaultLinkDegrade scales the whole interconnect's bandwidth by
+	// Scale at AtFrac and, when UntilFrac > AtFrac, restores it there.
+	// Several degrade events make a flapping link. In-flight transfers
+	// stretch mid-copy (xfer.Link.SetBandwidthScale).
+	FaultLinkDegrade
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrashReplica:
+		return "crash"
+	case FaultPodOutage:
+		return "pod-outage"
+	case FaultLinkDegrade:
+		return "link-degrade"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	Kind FaultKind
+	// AtFrac places the event on the sim clock as a fraction of the
+	// run's duration, in [0, 1].
+	AtFrac float64
+
+	// Tenant names the victim tenant (FaultCrashReplica only).
+	Tenant string
+	// Role filters crash victims in a disaggregated fleet; RoleMixed
+	// (the zero value) matches any role.
+	Role Role
+	// Count is how many replicas one crash event kills (default 1).
+	Count int
+
+	// Chips lists the pNPUs a pod outage takes down (FaultPodOutage).
+	Chips []int
+
+	// Scale is the bandwidth multiplier a link degradation applies
+	// (0 < Scale; 1 restores). UntilFrac, when > AtFrac, bounds the
+	// degradation window.
+	Scale     float64
+	UntilFrac float64
+}
+
+// FaultPlan is a run's full fault schedule.
+type FaultPlan struct {
+	Events []FaultEvent
+	Policy CrashPolicy
+}
+
+func (p *FaultPlan) defaults() {
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.Kind == FaultCrashReplica && e.Count == 0 {
+			e.Count = 1
+		}
+	}
+}
+
+func (p *FaultPlan) validate(c *Config) error {
+	if p.Policy < CrashReplay || p.Policy > CrashFail {
+		return fmt.Errorf("serve: crash policy %d unknown", p.Policy)
+	}
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.AtFrac < 0 || e.AtFrac > 1 {
+			return fmt.Errorf("serve: fault %d at fraction %v outside [0,1]", i, e.AtFrac)
+		}
+		switch e.Kind {
+		case FaultCrashReplica:
+			found := false
+			for j := range c.Tenants {
+				if c.Tenants[j].Name == e.Tenant {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("serve: fault %d crashes unknown tenant %q", i, e.Tenant)
+			}
+			if e.Role < RoleMixed || e.Role > RoleDecode {
+				return fmt.Errorf("serve: fault %d role %d unknown", i, e.Role)
+			}
+			if e.Count < 1 {
+				return fmt.Errorf("serve: fault %d kills %d replicas", i, e.Count)
+			}
+		case FaultPodOutage:
+			if len(e.Chips) == 0 {
+				return fmt.Errorf("serve: fault %d is a pod outage with no chips", i)
+			}
+			for _, c2 := range e.Chips {
+				if c2 < 0 || c2 >= c.Cores {
+					return fmt.Errorf("serve: fault %d outage chip %d outside the %d-pNPU fleet", i, c2, c.Cores)
+				}
+			}
+		case FaultLinkDegrade:
+			if !(e.Scale > 0) {
+				return fmt.Errorf("serve: fault %d link scale %v", i, e.Scale)
+			}
+			if e.UntilFrac != 0 && (e.UntilFrac < e.AtFrac || e.UntilFrac > 1) {
+				return fmt.Errorf("serve: fault %d degrade window [%v, %v) malformed", i, e.AtFrac, e.UntilFrac)
+			}
+		default:
+			return fmt.Errorf("serve: fault %d kind %d unknown", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// RecoveryConfig enables the recovery machinery a FaultPlan exercises.
+// The zero value of each knob is "off", so a faulted run with a nil
+// RecoveryConfig is the no-recovery baseline: survivors absorb what the
+// router can re-queue and the (optional) autoscaler reacts only at its
+// windowed pace.
+type RecoveryConfig struct {
+	// WarmSpares spawns this many extra replicas per pool (per role for
+	// disaggregated tenants) ahead of demand at fleet build, and raises
+	// the autoscaler's floor by the same amount so the spares are
+	// maintained — capacity standing by before the first fault.
+	WarmSpares int
+	// EmergencySpawn respawns crashed capacity at the crash instant —
+	// one replacement per victim, same role and EU budget — bypassing
+	// the autoscaler's p99 observation window entirely.
+	EmergencySpawn bool
+	// Evacuate rebalances a disaggregated decode pool after a crash by
+	// migrating mid-generation KV from overloaded decode slots to
+	// underloaded ones (typically the emergency spawns), reusing the
+	// prefill→decode migration path and its conservation accounting.
+	Evacuate bool
+}
+
+func (rc *RecoveryConfig) validate() error {
+	if rc.WarmSpares < 0 {
+		return fmt.Errorf("serve: %d warm spares", rc.WarmSpares)
+	}
+	return nil
+}
+
+// warmSpares is the per-pool spare-capacity floor increment.
+func (f *fleet) warmSpares() int {
+	if f.cfg.Recover == nil {
+		return 0
+	}
+	return f.cfg.Recover.WarmSpares
+}
+
+// scheduleFaults places every FaultPlan event on the engine's clock.
+func (f *fleet) scheduleFaults() {
+	p := f.cfg.Faults
+	if p == nil {
+		return
+	}
+	for i := range p.Events {
+		e := p.Events[i]
+		switch e.Kind {
+		case FaultLinkDegrade:
+			f.eng.At(sim.Time(e.AtFrac*f.durCycles), func(sim.Time) { f.setLinkScale(e.Scale) })
+			if e.UntilFrac > e.AtFrac {
+				f.eng.At(sim.Time(e.UntilFrac*f.durCycles), func(sim.Time) { f.setLinkScale(1) })
+			}
+		default:
+			f.eng.At(sim.Time(e.AtFrac*f.durCycles), func(now sim.Time) { f.injectFault(e, now) })
+		}
+	}
+}
+
+// setLinkScale applies a fabric-wide bandwidth scale (no-op for fleets
+// without an interconnect — only disaggregated tenants ship bytes).
+func (f *fleet) setLinkScale(scale float64) {
+	if f.fabric != nil {
+		if err := f.fabric.SetBandwidthScale(scale); err != nil {
+			panic(err) // validate() bounds Scale; unreachable
+		}
+	}
+}
+
+// harvested is one request recovered from a crashed replica, waiting to
+// be re-queued to a survivor.
+type harvested struct {
+	ten *tenantState
+	req request
+}
+
+// injectFault resolves one crash-class event's victims and executes it.
+func (f *fleet) injectFault(e FaultEvent, now sim.Time) {
+	var victims []*replica
+	switch e.Kind {
+	case FaultCrashReplica:
+		t := f.tenantByName(e.Tenant)
+		// Oldest matching replicas first (t.replicas is spawn-ordered, so
+		// uid ascends): deterministic victim selection.
+		for _, r := range t.replicas {
+			if len(victims) >= e.Count {
+				break
+			}
+			if e.Role == RoleMixed || r.role == e.Role {
+				victims = append(victims, r)
+			}
+		}
+	case FaultPodOutage:
+		for _, t := range f.tenants { // tenant-index, then spawn order
+			for _, r := range t.replicas {
+				for _, chip := range e.Chips {
+					if r.vnpu.Mapping.PNPU == chip {
+						victims = append(victims, r)
+						break
+					}
+				}
+			}
+		}
+	}
+	if len(victims) > 0 {
+		f.crashReplicas(victims, now)
+	}
+}
+
+func (f *fleet) tenantByName(name string) *tenantState {
+	for _, t := range f.tenants {
+		if t.cfg.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// crashReplicas executes one crash event over its full victim set. The
+// phases are strictly ordered so a pod outage can never re-route work
+// onto a sibling dying in the same event:
+//
+//  1. bookkeeping — time-to-recover anchors per affected tenant, then
+//     every victim is tombstoned (retired+draining) so routing, decode
+//     picking and stale events all skip it;
+//  2. migration triage — every in-flight KV transfer touching a dead
+//     chip aborts with conservation intact, parked migrations whose
+//     source died resolve per policy;
+//  3. teardown — victims are torn out of the fleet, harvesting their
+//     queued requests and running sequences;
+//  4. recovery spawns — emergency replacements (RecoveryConfig) come up
+//     BEFORE the harvest is re-queued, so recovered work can land on
+//     them;
+//  5. re-queue — harvested requests re-enter through the ordinary
+//     router and admission control (full queues shed: a crash under
+//     overload loses work, deterministically);
+//  6. rebalance — decode-pool evacuation, re-routing of orphaned
+//     migrations, and the parked-migration drain.
+func (f *fleet) crashReplicas(victims []*replica, now sim.Time) {
+	// Phase 1: anchors, then tombstones. preFaultActive must be read
+	// before any victim is marked draining.
+	var affected []*tenantState
+	seen := map[*tenantState]bool{}
+	for _, t := range f.tenants { // tenant-index order: deterministic
+		for _, r := range victims {
+			if r.ten == t && !seen[t] {
+				seen[t] = true
+				affected = append(affected, t)
+			}
+		}
+	}
+	for _, t := range affected {
+		if t.crashAt == 0 {
+			t.crashAt = float64(now)
+			t.preFaultActive = t.activeCount()
+		}
+	}
+	type respawn struct {
+		t    *tenantState
+		role Role
+		eus  int
+	}
+	var respawns []respawn
+	for _, r := range victims {
+		if r.retired {
+			continue // listed twice (overlapping chip sets); already dead
+		}
+		r.retired = true
+		r.draining = true
+		respawns = append(respawns, respawn{r.ten, r.role, r.eus})
+	}
+
+	// Phase 2: abort migrations touching a dead chip. The flight
+	// registry is per owning tenant; iterate owners in tenant-index
+	// order and flights in start order.
+	var out []harvested
+	type pokeSrc struct{ r *replica }
+	var pokes []pokeSrc
+	type remig struct {
+		src *replica
+		seq *llmSeq
+	}
+	var remigs []remig
+	for _, t := range f.tenants {
+		if t.llm == nil {
+			continue
+		}
+		kept := t.llm.migInflight[:0]
+		for _, fl := range t.llm.migInflight {
+			srcDead, dstDead := fl.src.retired, fl.dst.retired
+			if !srcDead && !dstDead {
+				kept = append(kept, fl)
+				continue
+			}
+			fl.xfr.Cancel()
+			if fl.evac {
+				t.llm.evacAborted++
+			} else {
+				t.llm.migAborted++
+			}
+			if !dstDead {
+				// The reservation charged to the target at transfer start
+				// rolls back exactly — the landing that would have consumed
+				// it can never come.
+				fl.dst.kv.free(fl.dblocks, float64(now))
+				fl.dst.inbound--
+			}
+			switch {
+			case srcDead:
+				// The payload's source pages died mid-copy: the sequence's
+				// KV is gone wherever the transfer was headed.
+				fl.src.queueFor(t).removeRunning(fl.seq)
+				f.crashSeqOutcome(t, fl.seq, &out)
+			case fl.evac:
+				// Target died under an evacuation: the sequence never left
+				// the source — unfreeze it and let the source keep decoding.
+				fl.seq.migrating = false
+				pokes = append(pokes, pokeSrc{fl.src})
+			default:
+				// Target died under a prefill→decode handoff: the prompt KV
+				// is still whole on the source; re-route after teardown.
+				remigs = append(remigs, remig{fl.src, fl.seq})
+			}
+		}
+		for i := len(kept); i < len(t.llm.migInflight); i++ {
+			t.llm.migInflight[i] = nil
+		}
+		t.llm.migInflight = kept
+		// Parked migrations whose source died lost their prompt KV with
+		// the chip; resolve them per policy (FIFO order preserved). The
+		// sequence also leaves the victim's running set here — it is
+		// resolved NOW, and the teardown below must not harvest it again.
+		if len(t.llm.migQ) > 0 {
+			keptQ := t.llm.migQ[:0]
+			for _, m := range t.llm.migQ {
+				if m.from.retired {
+					m.from.queueFor(t).removeRunning(m.seq)
+					f.crashSeqOutcome(t, m.seq, &out)
+					continue
+				}
+				keptQ = append(keptQ, m)
+			}
+			for i := len(keptQ); i < len(t.llm.migQ); i++ {
+				t.llm.migQ[i] = migPending{}
+			}
+			t.llm.migQ = keptQ
+		}
+	}
+
+	// Phase 3: teardown.
+	for _, r := range victims {
+		f.destroyReplica(r, now, &out)
+	}
+
+	// Phase 4: emergency spawns — replacement capacity comes up before
+	// the harvest re-queues, so recovered work can route onto it.
+	if rec := f.cfg.Recover; rec != nil && rec.EmergencySpawn {
+		for _, rs := range respawns {
+			if err := f.spawnReplica(rs.t, rs.eus, rs.role); err != nil {
+				rs.t.scaleFails++
+			} else {
+				rs.t.emergencySpawns++
+			}
+		}
+	}
+
+	// Phase 5: re-queue the harvest in recovery order (victims oldest
+	// first, each victim's queues in tenant-index order, requests FIFO).
+	for _, h := range out {
+		f.requeue(h, now)
+	}
+
+	// Phase 6: rebalance and drain.
+	if rec := f.cfg.Recover; rec != nil && rec.Evacuate {
+		for _, t := range affected {
+			if t.disagg() != nil {
+				f.rebalanceDecode(t, now)
+			}
+		}
+	}
+	for _, rm := range remigs {
+		if !rm.src.retired {
+			f.startMigration(rm.src, rm.seq, now)
+		}
+	}
+	for _, t := range f.tenants {
+		if t.disagg() != nil {
+			f.drainMigQ(t, now)
+		}
+	}
+	for _, p := range pokes {
+		if p.r.cur == nil && !p.r.retired {
+			f.dispatch(p.r, now)
+		}
+	}
+}
+
+// destroyReplica tears one tombstoned victim out of the fleet: every
+// pending event it owns is canceled, batches in flight are un-issued
+// (the work-conservation ledger only ever counts delivered service),
+// queued requests and running sequences are harvested for re-queueing,
+// and the slot's accounting folds into its owner exactly as a graceful
+// retire would — only the KV contents are lost, never the books.
+func (f *fleet) destroyReplica(r *replica, now sim.Time, out *[]harvested) {
+	t := r.ten
+	t.crashes++
+	if r.timerSet {
+		f.eng.Cancel(r.timer)
+		r.timerSet = false
+	}
+	if r.preemptSet {
+		f.eng.Cancel(r.preemptH)
+		r.preemptSet = false
+	}
+	harvestBatch := func(b *batch) {
+		// Un-issue the undelivered remainder: issued−served stays exact
+		// (served was settled at the last checkpoint; the partial segment
+		// since then was never settled and is now never delivered).
+		b.ten.issuedServiceCycles -= b.remaining
+		if b.kind == kindInvoke {
+			for _, req := range b.reqs {
+				*out = append(*out, harvested{b.ten, req})
+			}
+		}
+		// LLM batches advance sequences that live in the running sets
+		// harvested below — nothing request-shaped to recover here.
+		f.putBatch(b)
+	}
+	if b := r.cur; b != nil {
+		f.eng.Cancel(b.doneH)
+		// The chip was genuinely busy until the instant it died.
+		r.busyEUCycles += float64(now-b.started) * float64(r.nm+r.nv)
+		r.cur = nil
+		harvestBatch(b)
+	}
+	for _, b := range r.susp {
+		harvestBatch(b)
+	}
+	r.susp = r.susp[:0]
+	for i := range r.qs {
+		q := &r.qs[i]
+		qt := q.ten
+		for _, req := range q.reqs {
+			*out = append(*out, harvested{qt, req})
+		}
+		q.reqs = q.reqs[:0]
+		for _, s := range q.running {
+			f.crashSeqOutcome(qt, s, out)
+		}
+		for j := range q.running {
+			q.running[j] = nil
+		}
+		q.running = q.running[:0]
+	}
+	f.snapshot(float64(now))
+	f.allocatedEUs -= r.vnpu.Config.TotalEUs()
+	f.busySum += r.busyEUCycles
+	if r.kv != nil {
+		// Occupancy integrates up to the crash; the blocks themselves die
+		// with the chip (surviving replicas' conservation is what the
+		// property tests reconcile).
+		t.foldKV(r.kv, float64(now))
+	}
+	f.mapper.Unmap(r.vnpu)
+	for i, x := range t.replicas {
+		if x == r {
+			t.replicas = append(t.replicas[:i], t.replicas[i+1:]...)
+			break
+		}
+	}
+	t.replicaTL.Add(float64(now), float64(t.activeCount()))
+}
+
+// crashSeqOutcome resolves one sequence whose resident KV died with its
+// replica: re-queue (replaying any generated prefix by folding it into
+// the prompt) or fail, per the plan's CrashPolicy. The KV tokens lost —
+// everything resident at the crash — are itemized as recompute debt.
+func (f *fleet) crashSeqOutcome(t *tenantState, s *llmSeq, out *[]harvested) {
+	lost := 0
+	if s.prefilled {
+		lost = s.ctx // prompt + produced so far
+	} else if s.promptDone > 0 {
+		lost = s.promptDone // chunked-prefill progress
+	}
+	if s.produced > 0 && f.cfg.Faults.Policy == CrashFail {
+		t.crashLost++
+		return
+	}
+	req := s.req
+	req.replay = true
+	if s.produced > 0 {
+		req.prompt = s.req.prompt + s.produced
+		req.output = s.req.output - s.produced
+		req.hadTok = true
+		t.replays++
+	}
+	t.recomputeTokens += int64(lost)
+	*out = append(*out, harvested{t, req})
+}
+
+// requeue routes one harvested request back into the surviving fleet
+// through the ordinary router and admission control. No survivor with
+// queue room → the request is lost to the crash (counted, never
+// silently dropped); the router's total-crash behavior — nil only when
+// the tenant has no replicas at all — is exactly the PR-3 hardening.
+func (f *fleet) requeue(h harvested, now sim.Time) {
+	t := h.ten
+	r := f.route(t)
+	if r == nil {
+		t.crashLost++
+		return
+	}
+	q := r.queueFor(t)
+	if len(q.reqs) >= t.cfg.QueueCap {
+		t.crashLost++
+		return
+	}
+	q.reqs = append(q.reqs, h.req)
+	if len(q.reqs) > t.maxQueue {
+		t.maxQueue = len(q.reqs)
+	}
+	t.crashRequeued++
+	f.poke(r, t, now)
+}
+
+// rebalanceDecode evacuates mid-generation sequences from overloaded
+// decode slots toward underloaded ones (typically fresh emergency
+// spawns) after a crash: while the widest load gap is ≥ 2 sequences,
+// the cheapest movable sequence (smallest resident context — least
+// bytes on the wire) migrates over the interconnect. Sequences already
+// migrating count toward their TARGET's load, so each move closes the
+// gap by two and the loop terminates.
+func (f *fleet) rebalanceDecode(t *tenantState, now sim.Time) {
+	d := t.disagg()
+	if d == nil || f.fabric == nil {
+		return
+	}
+	load := func(r *replica) int {
+		n := r.inbound
+		for _, s := range r.queueFor(t).running {
+			if !s.migrating {
+				n++
+			}
+		}
+		return n
+	}
+	for {
+		var hi, lo *replica
+		for _, r := range t.replicas {
+			if r.role != RoleDecode || r.draining {
+				continue
+			}
+			l := load(r)
+			if hi == nil || l > load(hi) || (l == load(hi) && r.uid < hi.uid) {
+				hi = r
+			}
+			if lo == nil || l < load(lo) || (l == load(lo) && r.uid < lo.uid) {
+				lo = r
+			}
+		}
+		if hi == nil || lo == nil || hi == lo || load(hi)-load(lo) < 2 {
+			return
+		}
+		if load(lo) >= d.DecodeBatch {
+			return // the light slot has no width room either
+		}
+		// Cheapest movable sequence: not already migrating, not finished,
+		// and not inside the decode iteration currently in flight (its
+		// state must freeze for the copy). Ties break by arrival.
+		inCur := func(s *llmSeq) bool {
+			if hi.cur == nil {
+				return false
+			}
+			for _, x := range hi.cur.seqs {
+				if x == s {
+					return true
+				}
+			}
+			return false
+		}
+		var pick *llmSeq
+		for _, s := range hi.queueFor(t).running {
+			if s.migrating || !s.prefilled || s.produced >= s.req.output || inCur(s) {
+				continue
+			}
+			if pick == nil || s.ctx < pick.ctx || (s.ctx == pick.ctx && s.req.at < pick.req.at) {
+				pick = s
+			}
+		}
+		if pick == nil {
+			// Under continuous batching every resident sequence is usually
+			// inside the in-flight iteration, so a crash-instant rebalance
+			// finds the gap but nothing frozen to ship. Retry when the
+			// iteration drains (finish() checks the flag at every decode
+			// batch boundary, before the next batch collects).
+			for _, s := range hi.queueFor(t).running {
+				if !s.migrating && s.prefilled && s.produced < s.req.output && inCur(s) {
+					t.llm.rebalPending = true
+					break
+				}
+			}
+			return
+		}
+		if !lo.kv.fits(lo.kv.blocksFor(pick.req.prompt + pick.req.output)) {
+			return
+		}
+		f.beginEvacuation(hi, lo, pick, now)
+	}
+}
+
+// beginEvacuation ships one mid-generation sequence's resident KV from
+// src to dst. Same conservation discipline as the prefill→decode
+// handoff: the full reservation is charged to dst at start, the
+// sequence freezes (no decode advances it) while its pages are on the
+// wire, and src's blocks free exactly at landing.
+func (f *fleet) beginEvacuation(src, dst *replica, s *llmSeq, now sim.Time) {
+	t := src.ten
+	s.migrating = true
+	dblocks := dst.kv.blocksFor(s.req.prompt + s.req.output)
+	dst.kv.alloc(dblocks, float64(now))
+	dst.inbound++
+	bytes := model.LLMKVTransferBytes(s.ctx)
+	t.llm.evacStarted++
+	fl := &migFlight{seq: s, src: src, dst: dst, dblocks: dblocks, bytes: bytes, evac: true}
+	fl.xfr = f.fabric.Link(src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU).Start(bytes,
+		func(now sim.Time) { f.finishEvacuation(fl, now) })
+	t.llm.migInflight = append(t.llm.migInflight, fl)
+}
+
+// finishEvacuation lands an evacuation: src's blocks free exactly now,
+// the dst reservation (charged at start) takes over, and the sequence
+// thaws into dst's running set mid-generation.
+func (f *fleet) finishEvacuation(fl *migFlight, now sim.Time) {
+	src, dst, s := fl.src, fl.dst, fl.seq
+	t := src.ten
+	t.llm.dropFlight(fl)
+	src.kv.free(s.blocks, float64(now))
+	src.queueFor(t).removeRunning(s)
+	s.blocks = fl.dblocks
+	s.migrating = false
+	dst.inbound--
+	dst.queueFor(t).running = append(dst.queueFor(t).running, s)
+	t.llm.evacLanded++
+	t.llm.evacBytes += fl.bytes
+	// Freed source blocks may admit a parked migration; both ends have
+	// fresh scheduling state.
+	f.drainMigQ(t, now)
+	if src.cur == nil && !src.retired {
+		f.dispatch(src, now)
+	}
+	if dst.cur == nil && !dst.retired {
+		f.dispatch(dst, now)
+	}
+}
+
+// noteFaultDone feeds the fault-window attainment counters: requests
+// that ARRIVED inside the window (first fault → end of run) and were
+// served within the SLO. The ≤ comparison matches Latencies.CountBelow,
+// so window and whole-run attainment are directly comparable.
+func (f *fleet) noteFaultDone(t *tenantState, reqAt sim.Time, lat float64) {
+	if !f.faulted || float64(reqAt) < f.fwStart {
+		return
+	}
+	if lat <= t.sloCycles {
+		t.fwSloOK++
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"neu10/internal/metrics"
 	"neu10/internal/sim"
 	"neu10/internal/workload"
+	"neu10/internal/xfer"
 )
 
 // LLM serving: autoregressive tenants with KV-cache-aware batching.
@@ -184,10 +185,26 @@ type llmTenant struct {
 	// Disaggregation runtime (zero / empty for colocated tenants).
 	migQ          []migPending // prefilled seqs awaiting a decode slot, FIFO
 	migrations    int          // KV migrations started
-	migLanded     int          // KV migrations completed (== migrations once drained)
-	migBytes      int64        // Σ payload bytes shipped
+	migLanded     int          // KV migrations completed
+	migAborted    int          // KV migrations aborted by a crash (fault.go)
+	migBytes      int64        // Σ payload bytes LANDED (aborts never count)
 	migWaitCycles float64      // Σ (decode join − prefill finish) over LANDED migrations
 	migStalls     int          // prefill completions that found no admitting decode slot
+
+	// In-flight transfer registry (prefill→decode handoffs and crash
+	// evacuations), start-ordered: crash handling walks it to abort
+	// flights touching a dead chip with conservation intact. Once
+	// drained, migrations == migLanded + migAborted and likewise for
+	// evacuations.
+	migInflight []*migFlight
+	evacStarted int   // crash evacuations launched (fault.go)
+	evacLanded  int   // crash evacuations landed
+	evacAborted int   // crash evacuations aborted by a second fault
+	evacBytes   int64 // Σ evacuated KV bytes LANDED
+	// rebalPending: a post-crash rebalance found the load gap but every
+	// movable sequence sat inside an in-flight decode iteration (whose
+	// state must freeze for the copy); retry at the next batch boundary.
+	rebalPending bool
 
 	// Per-pool autoscaler windows (reset every control interval).
 	windowWait      metrics.Latencies // prefill queue delay: arrival → prefill start
@@ -202,6 +219,30 @@ type llmTenant struct {
 type migPending struct {
 	seq  *llmSeq
 	from *replica
+}
+
+// migFlight is one KV transfer on the wire: a prefill→decode handoff
+// (evac false) or a mid-generation crash evacuation (evac true). The
+// target's full reservation (dblocks) was charged at start; bytes is
+// the payload priced onto the link. The xfer handle lets a crash abort
+// the copy mid-flight.
+type migFlight struct {
+	seq      *llmSeq
+	src, dst *replica
+	dblocks  int
+	bytes    int64
+	xfr      *xfer.Transfer
+	evac     bool
+}
+
+// dropFlight removes one landed or aborted flight from the registry.
+func (l *llmTenant) dropFlight(fl *migFlight) {
+	for i, x := range l.migInflight {
+		if x == fl {
+			l.migInflight = append(l.migInflight[:i], l.migInflight[i+1:]...)
+			return
+		}
+	}
 }
 
 // llmSeq is one admitted sequence: a request plus its KV reservation
@@ -223,6 +264,11 @@ type llmSeq struct {
 	// side.
 	promptDone int
 	prefDone   sim.Time
+
+	// migrating freezes the sequence while a crash evacuation ships its
+	// KV (fault.go): no decode iteration includes it until the pages
+	// land, so its state is immutable on the wire.
+	migrating bool
 }
 
 // llmAdmit moves admittable requests from the queue head into running
@@ -308,7 +354,7 @@ func (f *fleet) launchLLMDecode(r *replica, q *slotQueue, now sim.Time, restore 
 	b.ten, b.restore, b.kind = t, restore, kindLLMDecode
 	maxCtx := 0
 	for _, s := range q.running {
-		if s.prefilled && s.produced < s.req.output {
+		if s.prefilled && !s.migrating && s.produced < s.req.output {
 			b.seqs = append(b.seqs, s)
 			if s.ctx > maxCtx {
 				maxCtx = s.ctx
@@ -418,13 +464,17 @@ func (f *fleet) finishLLMStaticDecode(r *replica, b *batch, now sim.Time) {
 }
 
 // emitFirstToken records a sequence's prefill completion: first token
-// out, TTFT measured from arrival (queueing included).
+// out, TTFT measured from arrival (queueing included). A crash replay
+// whose first token was already delivered before the crash skips the
+// TTFT sample — the user saw that token once.
 func (f *fleet) emitFirstToken(t *tenantState, s *llmSeq, now sim.Time) {
 	s.prefilled = true
 	s.produced = 1
 	s.ctx++
 	s.ttftAt = now
-	t.llm.ttft.Add(float64(now - s.req.at))
+	if !s.req.hadTok {
+		t.llm.ttft.Add(float64(now - s.req.at))
+	}
 	t.llm.tokensOut++
 }
 
@@ -446,6 +496,7 @@ func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time)
 	r.kv.free(s.blocks, float64(now))
 	lat := float64(now - s.req.at)
 	t.lat.Add(lat)
+	f.noteFaultDone(t, s.req.at, lat)
 	if f.cfg.Autoscale {
 		t.windowLat.Add(lat)
 	}

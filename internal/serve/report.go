@@ -52,6 +52,25 @@ type TenantReport struct {
 	StolenMs        float64 `json:"stolen_ms,omitempty"`
 	MaxBatchPreempt int     `json:"max_batch_preempts,omitempty"`
 
+	// Fault injection and recovery (fault.go; all zero on fault-free
+	// runs). FaultAttainment/FaultGoodputRPS cover requests ARRIVING in
+	// the fault window (first scheduled fault → end of run), directly
+	// comparable to the whole-run SLOAttainment. TTRMs is first crash →
+	// active count back at its pre-fault level; Recovered false means
+	// the run ended first and TTRMs reports the censored bound.
+	Crashes         int     `json:"crashes,omitempty"`
+	CrashRequeued   int     `json:"crash_requeued,omitempty"`
+	CrashLost       int     `json:"crash_lost,omitempty"`
+	Replays         int     `json:"replays,omitempty"`
+	RecomputeTokens int64   `json:"recompute_tokens,omitempty"`
+	EmergencySpawns int     `json:"emergency_spawns,omitempty"`
+	Evacuations     int     `json:"evacuations,omitempty"`
+	EvacuationMB    float64 `json:"evacuation_mb,omitempty"`
+	FaultAttainment float64 `json:"fault_attainment,omitempty"`
+	FaultGoodputRPS float64 `json:"fault_goodput_rps,omitempty"`
+	TTRMs           float64 `json:"ttr_ms,omitempty"`
+	Recovered       bool    `json:"recovered,omitempty"`
+
 	// LLM carries the autoregressive-serving section for LLM tenants
 	// (nil otherwise).
 	LLM *LLMTenantReport `json:"llm,omitempty"`
@@ -160,6 +179,17 @@ type Report struct {
 	LinkMovedMB   float64 `json:"link_moved_mb,omitempty"`
 	LinkPeakFlows int     `json:"link_peak_flows,omitempty"`
 	Links         int     `json:"links,omitempty"`
+	LinkCanceled  int     `json:"link_canceled,omitempty"`
+
+	// Fault schedule (zero/empty on fault-free runs): event count, crash
+	// policy, when the fault window opens, and the recovery machinery
+	// enabled for the run.
+	FaultEvents    int     `json:"fault_events,omitempty"`
+	FaultPolicy    string  `json:"fault_policy,omitempty"`
+	FaultFromSec   float64 `json:"fault_from_sec,omitempty"`
+	WarmSpares     int     `json:"warm_spares,omitempty"`
+	EmergencySpawn bool    `json:"emergency_spawn,omitempty"`
+	Evacuate       bool    `json:"evacuate,omitempty"`
 
 	// FleetEUUtil is the fraction of all fleet EU-cycles spent serving.
 	FleetEUUtil float64 `json:"fleet_eu_util"`
@@ -207,6 +237,9 @@ func (rep *Report) Table() string {
 	if disagg := rep.disaggTable(); disagg != "" {
 		sb.WriteString(disagg)
 	}
+	if chaos := rep.chaosTable(); chaos != "" {
+		sb.WriteString(chaos)
+	}
 	if len(rep.Priorities) > 0 {
 		sb.WriteString(rep.priorityTable())
 	}
@@ -215,6 +248,24 @@ func (rep *Report) Table() string {
 	if rep.Links > 0 {
 		fmt.Fprintf(&sb, "interconnect: %d links at %.3f GB/s, %.1f MB moved, %.1f%% busy, peak %d flows/link\n",
 			rep.Links, rep.LinkGBps, rep.LinkMovedMB, rep.LinkUtil*100, rep.LinkPeakFlows)
+	}
+	if rep.FaultEvents > 0 {
+		recov := "none"
+		if rep.WarmSpares > 0 || rep.EmergencySpawn || rep.Evacuate {
+			parts := []string{}
+			if rep.WarmSpares > 0 {
+				parts = append(parts, fmt.Sprintf("%d warm spares", rep.WarmSpares))
+			}
+			if rep.EmergencySpawn {
+				parts = append(parts, "emergency-spawn")
+			}
+			if rep.Evacuate {
+				parts = append(parts, "evacuate")
+			}
+			recov = strings.Join(parts, "+")
+		}
+		fmt.Fprintf(&sb, "faults: %d events (policy %s) from %.2fs, recovery %s, %d transfers canceled\n",
+			rep.FaultEvents, rep.FaultPolicy, rep.FaultFromSec, recov, rep.LinkCanceled)
 	}
 	if rep.Preempt || rep.Preemptions > 0 {
 		fmt.Fprintf(&sb, "preemption: %d preempts, %d resumes, %.2f ms switch overhead\n",
@@ -281,6 +332,38 @@ func (rep *Report) disaggTable() string {
 	}
 	var sb strings.Builder
 	header := []string{"disagg tenant", "prefill(peak)", "decode(peak)", "chunk", "migrations", "mig-MB", "mig-mean(ms)", "mig-stalls"}
+	renderTable(&sb, header, rows)
+	return sb.String()
+}
+
+// chaosTable renders the fault/recovery section: one row per tenant,
+// only when the run scheduled faults (FaultEvents > 0), so fault-free
+// reports render byte-identically to before.
+func (rep *Report) chaosTable() string {
+	if rep.FaultEvents == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	header := []string{"chaos tenant", "crashes", "requeued", "lost", "replays", "recompute-tok", "evacs", "spawns", "fault-attain", "ttr(ms)"}
+	rows := [][]string{}
+	for _, t := range rep.Tenants {
+		ttr := "-"
+		if t.Crashes > 0 {
+			if t.Recovered {
+				ttr = fmt.Sprintf("%.2f", t.TTRMs)
+			} else {
+				ttr = fmt.Sprintf(">%.2f", t.TTRMs)
+			}
+		}
+		rows = append(rows, []string{
+			t.Name,
+			fmt.Sprint(t.Crashes), fmt.Sprint(t.CrashRequeued), fmt.Sprint(t.CrashLost),
+			fmt.Sprint(t.Replays), fmt.Sprint(t.RecomputeTokens),
+			fmt.Sprint(t.Evacuations), fmt.Sprint(t.EmergencySpawns),
+			fmt.Sprintf("%.1f%%", t.FaultAttainment*100),
+			ttr,
+		})
+	}
 	renderTable(&sb, header, rows)
 	return sb.String()
 }

@@ -358,6 +358,15 @@ type Config struct {
 	LinkGBps      float64
 	LinkLatencyUs float64
 
+	// Faults schedules deterministic fault injection — replica/chip
+	// crashes, correlated pod outages, link degradation — on the sim
+	// clock; nil (the default) keeps the fleet fault-free. See fault.go.
+	Faults *FaultPlan
+	// Recover enables the recovery machinery a FaultPlan exercises (warm
+	// spares, emergency spawns, decode-pool evacuation); nil is the
+	// no-recovery baseline.
+	Recover *RecoveryConfig
+
 	Tenants []TenantConfig
 }
 
@@ -383,6 +392,9 @@ func (c *Config) defaults() {
 	if c.LinkLatencyUs == 0 {
 		c.LinkLatencyUs = 2
 	}
+	if c.Faults != nil {
+		c.Faults.defaults()
+	}
 }
 
 func (c *Config) validate() error {
@@ -405,6 +417,16 @@ func (c *Config) validate() error {
 	case c.LinkLatencyUs < 0:
 		return fmt.Errorf("serve: link latency %v µs", c.LinkLatencyUs)
 	}
+	if c.Faults != nil {
+		if err := c.Faults.validate(c); err != nil {
+			return err
+		}
+	}
+	if c.Recover != nil {
+		if err := c.Recover.validate(); err != nil {
+			return err
+		}
+	}
 	// Per-tenant validation happens in newFleet, against each tenant's
 	// defaulted private copy.
 	return nil
@@ -419,6 +441,14 @@ type request struct {
 	at     sim.Time
 	prompt int
 	output int
+
+	// Crash-replay provenance (see fault.go): a replayed request keeps
+	// its ORIGINAL arrival time — the crash penalty lands on the SLO —
+	// with any generated prefix folded into prompt/output. hadTok marks
+	// a replay whose first token was already delivered before the crash,
+	// so the TTFT recorder is not fed twice.
+	replay bool
+	hadTok bool
 }
 
 // slotQueue is one tenant's wait queue on a replica slot. Private
@@ -664,6 +694,19 @@ type tenantState struct {
 	kvUsedArea  float64
 	kvBlockArea float64
 	kvPeakFrac  float64
+
+	// Fault/recovery accounting (see fault.go; all zero fault-free).
+	crashes         int   // replicas lost to fault events
+	crashRequeued   int   // harvested requests re-queued to survivors
+	crashLost       int   // harvested requests lost (policy or no room)
+	replays         int   // partially-generated sequences replayed
+	recomputeTokens int64 // Σ resident KV tokens lost to crashes
+	emergencySpawns int   // crash-triggered replacement spawns
+	crashAt         float64
+	preFaultActive  int     // active replicas at the first crash
+	recoveredAt     float64 // first instant active count regained preFaultActive
+	fwArrivals      int     // arrivals inside the fault window
+	fwSloOK         int     // ...of which finished within the SLO
 }
 
 // foldKV accrues one replica accountant's occupancy into the tenant's
@@ -742,6 +785,12 @@ type fleet struct {
 	nextUID   int
 	durCycles float64
 
+	// faulted gates every chaos-only report field and counter, so
+	// fault-free runs render byte-identically to before; fwStart is the
+	// fault window's opening edge (first scheduled event), in cycles.
+	faulted bool
+	fwStart float64
+
 	// prioEnabled: any share group, non-default priority, or Preempt —
 	// gates the per-priority report section so priority-unaware configs
 	// render exactly as before.
@@ -778,6 +827,7 @@ func Run(cfg Config, db *CostDB) (*Report, error) {
 	for _, t := range f.tenants {
 		f.scheduleArrival(t)
 	}
+	f.scheduleFaults()
 	if f.cfg.Autoscale {
 		f.scheduleScale(f.cfg.ScaleEverySec * f.cfg.Core.FrequencyHz)
 	}
@@ -814,6 +864,15 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 		alloc:         alloc,
 		durCycles:     cfg.DurationSec * cfg.Core.FrequencyHz,
 		preemptBudget: float64(cfg.MaxPreemptsPerBatch) * cfg.PreemptQuantumCycles,
+	}
+	if cfg.Faults != nil && len(cfg.Faults.Events) > 0 {
+		f.faulted = true
+		f.fwStart = math.Inf(1)
+		for _, e := range cfg.Faults.Events {
+			if at := e.AtFrac * f.durCycles; at < f.fwStart {
+				f.fwStart = at
+			}
+		}
 	}
 	cm := compiler.NewCostModel(cfg.Core)
 	// Phase 1: build every tenant, so share groups can be resolved
@@ -904,6 +963,20 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 			for k := 0; k < t.cfg.InitialReplicas; k++ {
 				if err := f.spawnReplica(t, t.curEUs, RoleMixed); err != nil {
 					return nil, fmt.Errorf("serve: tenant %s initial replica %d: %w", t.cfg.Name, k, err)
+				}
+			}
+		}
+		// Warm spares: extra capacity standing by before the first fault
+		// (per pool for disaggregated tenants). Best-effort — a fleet too
+		// small for its spares records the misses and serves anyway.
+		for k := 0; k < f.warmSpares(); k++ {
+			roles := []Role{RoleMixed}
+			if t.disagg() != nil {
+				roles = []Role{RolePrefill, RoleDecode}
+			}
+			for _, role := range roles {
+				if err := f.spawnReplica(t, t.curEUs, role); err != nil {
+					t.scaleFails++
 				}
 			}
 		}
@@ -1012,6 +1085,9 @@ func (f *fleet) scheduleArrival(t *tenantState) {
 // — also sheds (admission-reject); route documents when that happens.
 func (f *fleet) arrive(t *tenantState, now sim.Time) {
 	t.arrivals++
+	if f.faulted && float64(now) >= f.fwStart {
+		t.fwArrivals++
+	}
 	req := request{at: now}
 	if t.llm != nil {
 		// Shape draws happen before admission, so every configuration
@@ -1294,6 +1370,37 @@ func (f *fleet) report() *Report {
 			// is a broken promise too.
 			tr.SLOAttainment = float64(sloOK) / float64(t.arrivals)
 		}
+		if f.faulted {
+			tr.Crashes = t.crashes
+			tr.CrashRequeued = t.crashRequeued
+			tr.CrashLost = t.crashLost
+			tr.Replays = t.replays
+			tr.RecomputeTokens = t.recomputeTokens
+			tr.EmergencySpawns = t.emergencySpawns
+			if t.llm != nil {
+				tr.Evacuations = t.llm.evacLanded
+				tr.EvacuationMB = float64(t.llm.evacBytes) / (1 << 20)
+			}
+			// Fault-window attainment/goodput: requests arriving from the
+			// first scheduled fault onward, same ≤-SLO rule as CountBelow.
+			if t.fwArrivals > 0 {
+				tr.FaultAttainment = float64(t.fwSloOK) / float64(t.fwArrivals)
+			}
+			if winSec := (end - f.fwStart) / freq; winSec > 0 {
+				tr.FaultGoodputRPS = float64(t.fwSloOK) / winSec
+			}
+			if t.crashAt > 0 {
+				// Time-to-recover: first crash → active count back at its
+				// pre-fault level. An unrecovered tenant reports the censored
+				// bound (end of run) with Recovered false.
+				tr.Recovered = t.recoveredAt > 0
+				rec := t.recoveredAt
+				if rec == 0 {
+					rec = end
+				}
+				tr.TTRMs = ms(rec - t.crashAt)
+			}
+		}
 		rep.Tenants = append(rep.Tenants, tr)
 	}
 	for p := numPriorities - 1; p >= 0; p-- { // highest class first
@@ -1329,8 +1436,19 @@ func (f *fleet) report() *Report {
 		rep.Links = f.fabric.Links()
 		rep.LinkMovedMB = float64(st.BytesMoved) / (1 << 20)
 		rep.LinkPeakFlows = st.PeakActive
+		rep.LinkCanceled = st.Canceled
 		if n := f.fabric.Links(); n > 0 && end > 0 {
 			rep.LinkUtil = st.BusyCycles / (end * float64(n))
+		}
+	}
+	if f.faulted {
+		rep.FaultEvents = len(f.cfg.Faults.Events)
+		rep.FaultPolicy = f.cfg.Faults.Policy.String()
+		rep.FaultFromSec = f.fwStart / freq
+		if rc := f.cfg.Recover; rc != nil {
+			rep.WarmSpares = rc.WarmSpares
+			rep.EmergencySpawn = rc.EmergencySpawn
+			rep.Evacuate = rc.Evacuate
 		}
 	}
 	totalEUs := float64(f.cfg.Cores * (f.cfg.Core.MEs + f.cfg.Core.VEs))

@@ -128,7 +128,7 @@ func (f *fleet) bestWork(r *replica) (*slotQueue, batchKind) {
 				continue
 			}
 			for _, s := range q.running {
-				if s.prefilled && s.produced < s.req.output {
+				if s.prefilled && !s.migrating && s.produced < s.req.output {
 					consider(q, kindLLMDecode, s.req.at)
 					break
 				}
@@ -340,6 +340,7 @@ func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 		for _, req := range b.reqs {
 			lat := float64(now - req.at)
 			t.lat.Add(lat)
+			f.noteFaultDone(t, req.at, lat)
 			if f.cfg.Autoscale {
 				// The observation window only exists for the autoscaler; a
 				// fixed fleet would just duplicate every sample unread.
@@ -358,10 +359,18 @@ func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 		f.eng.Cancel(r.preemptH)
 		r.preemptSet = false
 	}
+	wasDecode := b.kind == kindLLMDecode
 	f.putBatch(b)
 	if chain != nil {
 		f.startSegment(r, chain, now)
 		return
+	}
+	// A crash-time rebalance that found its movable sequences locked
+	// inside this very iteration parked itself; the batch boundary is
+	// the first instant their state is frozen and shippable.
+	if wasDecode && t.llm != nil && t.llm.rebalPending {
+		t.llm.rebalPending = false
+		f.rebalanceDecode(t, now)
 	}
 	f.dispatch(r, now)
 }

@@ -17,6 +17,12 @@
 //     completion) and re-derives it whenever membership changes, so a
 //     whole run stays deterministic and allocation-light.
 //
+// Links additionally support runtime degradation (SetBandwidthScale)
+// and transfer cancellation (Transfer.Cancel) — the fault-injection
+// surface: a degraded link stretches every in-flight copy mid-payload,
+// and a crashed endpoint aborts its transfers without their completion
+// callbacks ever firing.
+//
 // A Fabric is the per-pair link directory serving uses: it lazily
 // creates one identically-shaped Link per ordered (src, dst) chip pair
 // — a fully connected point-to-point topology, the usual abstraction
@@ -35,6 +41,49 @@ type transfer struct {
 	remaining float64 // payload bytes still to move
 	bytes     int64
 	done      func(now sim.Time)
+
+	latSet   bool // payload drained; the latency-phase completion is pending
+	latH     sim.Handle
+	finished bool // done fired, or the transfer was canceled
+}
+
+// Transfer is the handle Start returns for one payload: it stays valid
+// for the transfer's whole lifetime and supports cancellation.
+type Transfer struct {
+	l *Link
+	t *transfer
+}
+
+// Cancel aborts the transfer if it has not completed: its done callback
+// will never fire, and any payload still unsent is abandoned (partial
+// progress does not count toward BytesMoved — the payload never fully
+// drained). Surviving transfers on the link immediately speed up to the
+// wider fair share. Reports false when the transfer already completed.
+func (tr *Transfer) Cancel() bool {
+	l, t := tr.l, tr.t
+	if t.finished {
+		return false
+	}
+	t.finished = true
+	l.canceled++
+	if t.latSet {
+		// Payload fully drained; only the latency-phase completion event
+		// remains — the bytes moved, but the handoff they announced will
+		// never be acted on.
+		l.eng.Cancel(t.latH)
+		t.latSet = false
+		return true
+	}
+	now := float64(l.eng.Now())
+	l.advance(now)
+	for i, x := range l.active {
+		if x == t {
+			l.active = append(l.active[:i], l.active[i+1:]...)
+			break
+		}
+	}
+	l.reschedule(now)
+	return true
 }
 
 // Link is one chip-to-chip connection. All methods must be called from
@@ -42,8 +91,9 @@ type transfer struct {
 type Link struct {
 	eng        *sim.Engine
 	name       string
-	bwPerCycle float64 // bytes per cycle
+	bwPerCycle float64 // nominal bytes per cycle
 	latency    float64 // cycles added after the last byte drains
+	scale      float64 // runtime bandwidth multiplier (fault injection)
 
 	active []*transfer
 
@@ -53,6 +103,7 @@ type Link struct {
 	flowArea   float64 // ∫ len(active) dt
 	bytesMoved int64
 	transfers  int
+	canceled   int
 	peakActive int
 
 	doneSet bool
@@ -69,7 +120,7 @@ func NewLink(eng *sim.Engine, name string, bwPerCycle, latency float64) (*Link, 
 		return nil, fmt.Errorf("xfer: link %s latency %v cycles", name, latency)
 	}
 	return &Link{eng: eng, name: name, bwPerCycle: bwPerCycle, latency: latency,
-		lastAt: float64(eng.Now())}, nil
+		scale: 1, lastAt: float64(eng.Now())}, nil
 }
 
 // Name returns the link's label.
@@ -79,23 +130,61 @@ func (l *Link) Name() string { return l.name }
 // phase (latency-phase completions are already off the link).
 func (l *Link) Active() int { return len(l.active) }
 
-// Start begins shipping `bytes` over the link. done fires exactly once,
-// `latency` cycles after the payload's last byte drains at the link's
-// max-min fair share. A zero-byte transfer still pays the latency.
-func (l *Link) Start(bytes int64, done func(now sim.Time)) {
+// BandwidthScale returns the current runtime multiplier (1 = healthy).
+func (l *Link) BandwidthScale() float64 { return l.scale }
+
+// rate is the effective bandwidth: nominal × runtime scale.
+func (l *Link) rate() float64 { return l.bwPerCycle * l.scale }
+
+// SetBandwidthScale rescales the link's effective bandwidth at runtime
+// — a degraded (scale < 1) or recovered (scale = 1) link under fault
+// injection. In-flight transfers stretch or shrink mid-payload.
+//
+// Progress MUST be advanced at the OLD rate up to now before the rate
+// changes: advance() drains the whole [lastAt, now) interval at the
+// current share, so mutating the rate first would retroactively apply
+// the new bandwidth to an interval already served at the old one —
+// skewing both the completion time and the busy/flow integrals the
+// Stats report. Only then is the pending completion re-derived at the
+// new share.
+func (l *Link) SetBandwidthScale(scale float64) error {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 1) {
+		return fmt.Errorf("xfer: link %s bandwidth scale %v", l.name, scale)
+	}
+	now := float64(l.eng.Now())
+	l.advance(now)
+	l.scale = scale
+	l.reschedule(now)
+	return nil
+}
+
+// Start begins shipping `bytes` over the link. done fires exactly once
+// — `latency` cycles after the payload's last byte drains at the link's
+// max-min fair share — unless the returned handle is canceled first. A
+// zero-byte transfer still pays the latency.
+func (l *Link) Start(bytes int64, done func(now sim.Time)) *Transfer {
 	now := float64(l.eng.Now())
 	l.advance(now)
 	l.transfers++
-	if bytes <= 0 {
-		l.eng.After(sim.Time(l.latency)+1, done)
-		return
-	}
 	t := &transfer{remaining: float64(bytes), bytes: bytes, done: done}
+	if bytes <= 0 {
+		t.latSet = true
+		t.latH = l.eng.After(sim.Time(l.latency)+1, func(at sim.Time) { l.complete(t, at) })
+		return &Transfer{l: l, t: t}
+	}
 	l.active = append(l.active, t)
 	if len(l.active) > l.peakActive {
 		l.peakActive = len(l.active)
 	}
 	l.reschedule(now)
+	return &Transfer{l: l, t: t}
+}
+
+// complete fires a transfer's done callback exactly once.
+func (l *Link) complete(t *transfer, now sim.Time) {
+	t.latSet = false
+	t.finished = true
+	t.done(now)
 }
 
 // advance drains every active transfer at the fair share over
@@ -106,7 +195,7 @@ func (l *Link) advance(now float64) {
 		return
 	}
 	if n := len(l.active); n > 0 {
-		share := l.bwPerCycle / float64(n)
+		share := l.rate() / float64(n)
 		for _, t := range l.active {
 			t.remaining -= share * dt
 		}
@@ -136,7 +225,7 @@ func (l *Link) reschedule(now float64) {
 	if min < 0 {
 		min = 0
 	}
-	eta := min / (l.bwPerCycle / float64(len(l.active)))
+	eta := min / (l.rate() / float64(len(l.active)))
 	l.doneSet = true
 	l.doneH = l.eng.After(sim.Time(eta)+1, l.fire)
 }
@@ -169,9 +258,11 @@ func (l *Link) fire(nowT sim.Time) {
 	for _, t := range finished {
 		l.bytesMoved += t.bytes
 		if l.latency > 0 {
-			l.eng.After(sim.Time(l.latency)+1, t.done)
+			t.latSet = true
+			tt := t
+			t.latH = l.eng.After(sim.Time(l.latency)+1, func(at sim.Time) { l.complete(tt, at) })
 		} else {
-			t.done(nowT)
+			l.complete(t, nowT)
 		}
 	}
 }
@@ -179,6 +270,7 @@ func (l *Link) fire(nowT sim.Time) {
 // Stats is a link's (or fabric's) aggregate accounting.
 type Stats struct {
 	Transfers  int     // transfers started
+	Canceled   int     // transfers aborted before completion
 	BytesMoved int64   // payload bytes fully drained
 	BusyCycles float64 // cycles the link spent with ≥1 transfer in flight
 	FlowArea   float64 // ∫ active-transfer count dt (mean concurrency × time)
@@ -190,6 +282,7 @@ func (l *Link) Stats(now float64) Stats {
 	l.advance(now)
 	return Stats{
 		Transfers:  l.transfers,
+		Canceled:   l.canceled,
 		BytesMoved: l.bytesMoved,
 		BusyCycles: l.busyArea,
 		FlowArea:   l.flowArea,
@@ -203,6 +296,7 @@ type Fabric struct {
 	eng        *sim.Engine
 	bwPerCycle float64
 	latency    float64
+	scale      float64 // applied to existing links and inherited by new ones
 	links      map[[2]int]*Link
 	// order lists links by creation (an event-driven, therefore
 	// deterministic order); Stats folds float sums over it so the
@@ -218,7 +312,7 @@ func NewFabric(eng *sim.Engine, bwPerCycle, latency float64) (*Fabric, error) {
 	if latency < 0 {
 		return nil, fmt.Errorf("xfer: fabric latency %v cycles", latency)
 	}
-	return &Fabric{eng: eng, bwPerCycle: bwPerCycle, latency: latency, links: map[[2]int]*Link{}}, nil
+	return &Fabric{eng: eng, bwPerCycle: bwPerCycle, latency: latency, scale: 1, links: map[[2]int]*Link{}}, nil
 }
 
 // Link returns the src→dst link, creating it on first use. A loopback
@@ -232,9 +326,29 @@ func (f *Fabric) Link(src, dst int) *Link {
 	if err != nil {
 		panic(err) // NewFabric validated the shape; unreachable
 	}
+	// A link born inside a fabric-wide degradation window is degraded
+	// from its first byte.
+	l.scale = f.scale
 	f.links[key] = l
 	f.order = append(f.order, l)
 	return l
+}
+
+// SetBandwidthScale rescales every link — existing and future — by the
+// same factor: a fabric-wide degradation (or recovery at scale 1). The
+// per-link rescale reschedules each link's in-flight transfers at the
+// new fair share.
+func (f *Fabric) SetBandwidthScale(scale float64) error {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 1) {
+		return fmt.Errorf("xfer: fabric bandwidth scale %v", scale)
+	}
+	f.scale = scale
+	for _, l := range f.order { // creation order: deterministic
+		if err := l.SetBandwidthScale(scale); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Links returns how many pair links have been instantiated.
@@ -248,6 +362,7 @@ func (f *Fabric) Stats(now float64) Stats {
 	for _, l := range f.order {
 		ls := l.Stats(now)
 		s.Transfers += ls.Transfers
+		s.Canceled += ls.Canceled
 		s.BytesMoved += ls.BytesMoved
 		s.BusyCycles += ls.BusyCycles
 		s.FlowArea += ls.FlowArea

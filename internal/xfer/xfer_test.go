@@ -184,6 +184,168 @@ func TestFabricPairIsolation(t *testing.T) {
 	}
 }
 
+// TestBandwidthRescaleMidCopy pins the degraded-link timing model —
+// and is the regression test for the progress-accounting skew: scaling
+// a link that has NOT advanced its transfers to `now` first would
+// retroactively re-price the whole elapsed interval at the new rate.
+// 1000 B at 1 B/cycle, halved at t=500: the first 500 B drain at full
+// rate, the remaining 500 B at 0.5 B/cycle take 1000 more cycles —
+// completion at exactly 1500 (+ event quantization), not 2000 (whole
+// copy at the degraded rate) and not 1000 (whole copy at full rate).
+func TestBandwidthRescaleMidCopy(t *testing.T) {
+	eng := sim.NewEngine()
+	l, err := NewLink(eng, "test", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	l.Start(1000, func(now sim.Time) { doneAt = now })
+	eng.At(500, func(sim.Time) {
+		if err := l.SetBandwidthScale(0.5); err != nil {
+			t.Errorf("SetBandwidthScale: %v", err)
+		}
+	})
+	eng.Run()
+	if doneAt < 1500 || doneAt > 1503 {
+		t.Errorf("degraded copy completed at %d, want exactly 1500 (+≤3 quantization)", doneAt)
+	}
+	// Busy time covers the whole stretched copy; bytes are conserved.
+	st := l.Stats(float64(eng.Now()))
+	if st.BytesMoved != 1000 {
+		t.Errorf("moved %d bytes, want 1000", st.BytesMoved)
+	}
+	if st.BusyCycles < 1500 || st.BusyCycles > 1503 {
+		t.Errorf("busy %.0f cycles, want ~1500", st.BusyCycles)
+	}
+
+	// A flap (degrade then restore) splits the copy into three exact
+	// phases: 250 B at 1 B/cycle, then 500 cycles at 0.25 B/cycle move
+	// 125 B, then the remaining 625 B at full rate — 250+500+625 = 1375.
+	eng = sim.NewEngine()
+	l, _ = NewLink(eng, "test", 1, 0)
+	doneAt = 0
+	l.Start(1000, func(now sim.Time) { doneAt = now })
+	eng.At(250, func(sim.Time) { _ = l.SetBandwidthScale(0.25) })
+	eng.At(750, func(sim.Time) { _ = l.SetBandwidthScale(1) })
+	eng.Run()
+	if doneAt < 1375 || doneAt > 1379 {
+		t.Errorf("flapped copy completed at %d, want exactly 1375 (+≤4 quantization)", doneAt)
+	}
+	if l.BandwidthScale() != 1 {
+		t.Errorf("scale %v after restore, want 1", l.BandwidthScale())
+	}
+
+	if err := l.SetBandwidthScale(0); err == nil {
+		t.Error("zero bandwidth scale accepted")
+	}
+	if err := l.SetBandwidthScale(-2); err == nil {
+		t.Error("negative bandwidth scale accepted")
+	}
+	if err := l.SetBandwidthScale(math.Inf(1)); err == nil {
+		t.Error("infinite bandwidth scale accepted")
+	}
+}
+
+// TestFabricRescaleCoversFutureLinks: a fabric-wide degradation applies
+// to links instantiated DURING the window too — a migration between a
+// fresh chip pair inside an outage is just as slow as on existing pairs.
+func TestFabricRescaleCoversFutureLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := NewFabric(eng, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Link(0, 1) // exists before the degradation
+	if err := f.SetBandwidthScale(0.5); err != nil {
+		t.Fatal(err)
+	}
+	var oldAt, newAt sim.Time
+	f.Link(0, 1).Start(1000, func(now sim.Time) { oldAt = now })
+	f.Link(2, 3).Start(1000, func(now sim.Time) { newAt = now }) // born degraded
+	eng.Run()
+	// Both at 5 B/cycle: 200 cycles.
+	if oldAt < 200 || oldAt > 202 || newAt < 200 || newAt > 202 {
+		t.Errorf("degraded transfers at %d / %d, want both ~200", oldAt, newAt)
+	}
+	if err := f.SetBandwidthScale(0); err == nil {
+		t.Error("zero fabric scale accepted")
+	}
+}
+
+// TestTransferCancel covers the three cancellation states: mid-payload
+// (survivors reclaim bandwidth, no bytes counted), latency phase (bytes
+// counted, done never fires), and post-completion (Cancel reports
+// false). Exactly the semantics a chip crash needs: the dead endpoint's
+// transfers vanish without their landing callbacks ever firing.
+func TestTransferCancel(t *testing.T) {
+	eng := sim.NewEngine()
+	l, _ := NewLink(eng, "test", 10, 0)
+	var aAt sim.Time
+	bFired := false
+	l.Start(2000, func(now sim.Time) { aAt = now })
+	tb := l.Start(2000, func(sim.Time) { bFired = true })
+	eng.At(100, func(sim.Time) {
+		if !tb.Cancel() {
+			t.Error("mid-payload cancel reported false")
+		}
+	})
+	eng.Run()
+	// Shared 5 B/cycle for 100 cycles (a has 1500 left), then solo at
+	// 10 B/cycle: 150 more — a completes at 250, b never does.
+	if bFired {
+		t.Error("canceled transfer's done fired")
+	}
+	if aAt < 250 || aAt > 253 {
+		t.Errorf("survivor completed at %d, want ~250 (reclaimed bandwidth)", aAt)
+	}
+	st := l.Stats(float64(eng.Now()))
+	if st.BytesMoved != 2000 || st.Canceled != 1 || st.Transfers != 2 {
+		t.Errorf("stats %+v, want 2000 B moved, 1 canceled of 2", st)
+	}
+
+	// Latency-phase cancel: payload drained (bytes count) but the
+	// completion callback is suppressed.
+	eng = sim.NewEngine()
+	l, _ = NewLink(eng, "test", 10, 1000)
+	cFired := false
+	tc := l.Start(100, func(sim.Time) { cFired = true })
+	eng.At(500, func(sim.Time) { // drain ends ~10; deep in the latency phase
+		if !tc.Cancel() {
+			t.Error("latency-phase cancel reported false")
+		}
+	})
+	eng.Run()
+	if cFired {
+		t.Error("latency-phase canceled transfer's done fired")
+	}
+	if st := l.Stats(float64(eng.Now())); st.BytesMoved != 100 || st.Canceled != 1 {
+		t.Errorf("stats %+v, want 100 B moved, 1 canceled", st)
+	}
+
+	// Post-completion cancel is a no-op.
+	eng = sim.NewEngine()
+	l, _ = NewLink(eng, "test", 10, 0)
+	td := l.Start(100, func(sim.Time) {})
+	eng.Run()
+	if td.Cancel() {
+		t.Error("cancel after completion reported true")
+	}
+	if st := l.Stats(float64(eng.Now())); st.Canceled != 0 {
+		t.Errorf("completed-then-canceled transfer counted: %+v", st)
+	}
+
+	// Zero-byte transfers are cancelable in their (only) latency phase.
+	eng = sim.NewEngine()
+	l, _ = NewLink(eng, "test", 10, 50)
+	zFired := false
+	tz := l.Start(0, func(sim.Time) { zFired = true })
+	eng.At(10, func(sim.Time) { tz.Cancel() })
+	eng.Run()
+	if zFired {
+		t.Error("canceled zero-byte transfer's done fired")
+	}
+}
+
 // TestLinkValidation rejects malformed shapes.
 func TestLinkValidation(t *testing.T) {
 	eng := sim.NewEngine()
