@@ -10,10 +10,22 @@
 //	neu10-serve -scenario disagg               # disaggregated prefill/decode vs colocated
 //	neu10-serve -scenario chaos                # chip crashes, pod outage, link degradation
 //	neu10-serve -scenario mix-shift -json
+//	neu10-serve -scenario chaos -trace trace.json -timelines tl.csv
+//	neu10-serve -scenario chaos -gantt 8       # per-request lifecycle summary
 //	neu10-serve -list
 //
 // Scenarios are the canned serve.Config setups in internal/experiments;
 // output is deterministic for a given -seed at any -workers count.
+//
+// Observability (docs/OBSERVABILITY.md): -trace writes every scenario
+// leg's request-lifecycle trace as one Chrome trace-event JSON file —
+// open it at https://ui.perfetto.dev. -timelines writes the sampled
+// time series (queue depth, KV occupancy, pool sizes, link utilization,
+// attainment) as CSV, or as JSON when the path ends in .json. -gantt N
+// prints a per-request phase summary for the first N requests per
+// tenant. Any of these switches observability on; the simulation
+// itself — every table and JSON report — is byte-identical with it on
+// or off.
 package main
 
 import (
@@ -21,42 +33,54 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"neu10/internal/experiments"
+	"neu10/internal/obs"
+	"neu10/internal/serve"
 )
 
 // scenarios maps CLI names to experiment ids.
 var scenarios = map[string]string{
-	"steady":      "serve-steady",
-	"flash-crowd": "serve-flash",
-	"mix-shift":   "serve-mix",
-	"priority":    "serve-priority",
-	"llm":         "serve-llm",
-	"disagg":      "serve-disagg",
-	"chaos":       "serve-chaos",
+	"steady":       "serve-steady",
+	"flash-crowd":  "serve-flash",
+	"mix-shift":    "serve-mix",
+	"priority":     "serve-priority",
+	"llm":          "serve-llm",
+	"disagg":       "serve-disagg",
+	"chaos":        "serve-chaos",
+	"chaos-traced": "serve-chaos-traced",
 }
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "steady", "scenario: steady, flash-crowd, mix-shift, priority, llm, disagg, or chaos")
-		seed     = flag.Uint64("seed", 1, "seed for arrivals, routing and therefore the whole report")
-		workers  = flag.Int("workers", 0, "worker pool for scenario-internal comparisons (0 = GOMAXPROCS)")
-		jsonOut  = flag.Bool("json", false, "emit the structured report(s) as JSON instead of a table")
-		list     = flag.Bool("list", false, "list scenarios and exit")
+		scenario   = flag.String("scenario", "steady", "scenario: steady, flash-crowd, mix-shift, priority, llm, disagg, or chaos")
+		seed       = flag.Uint64("seed", 1, "seed for arrivals, routing and therefore the whole report")
+		workers    = flag.Int("workers", 0, "worker pool for scenario-internal comparisons (0 = GOMAXPROCS)")
+		jsonOut    = flag.Bool("json", false, "emit the structured report(s) as JSON instead of a table")
+		list       = flag.Bool("list", false, "list scenarios and exit")
+		traceOut   = flag.String("trace", "", "write request-lifecycle traces as Chrome trace-event JSON (Perfetto) to this file")
+		ganttN     = flag.Int("gantt", 0, "print a per-request lifecycle summary for the first N requests per tenant")
+		tlOut      = flag.String("timelines", "", "write sampled time series to this file (CSV, or JSON when the path ends in .json)")
+		sampleMs   = flag.Float64("sample-ms", 0, "timeline sampling period in sim milliseconds (0 = default 10)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("steady       three mixed tenants at moderate Poisson load, autoscaler on")
-		fmt.Println("flash-crowd  one tenant hit by a 5x burst; autoscaled vs fixed fleet, same trace")
-		fmt.Println("mix-shift    two diurnal tenants in antiphase; capacity migrates between them")
-		fmt.Println("priority     interactive+batch tenants on shared slots; preemptive vs FIFO, same trace")
-		fmt.Println("llm          KV-cache-aware LLM serving; continuous vs static batching, same trace")
-		fmt.Println("disagg       disaggregated prefill/decode over a modeled interconnect vs colocated,")
-		fmt.Println("             same trace, swept over link bandwidth")
-		fmt.Println("chaos        mid-trace chip crashes, a pod outage and link degradation on a")
-		fmt.Println("             disaggregated fleet; no-fault vs fault vs fault+recovery, same trace")
+		fmt.Println("steady        three mixed tenants at moderate Poisson load, autoscaler on")
+		fmt.Println("flash-crowd   one tenant hit by a 5x burst; autoscaled vs fixed fleet, same trace")
+		fmt.Println("mix-shift     two diurnal tenants in antiphase; capacity migrates between them")
+		fmt.Println("priority      interactive+batch tenants on shared slots; preemptive vs FIFO, same trace")
+		fmt.Println("llm           KV-cache-aware LLM serving; continuous vs static batching, same trace")
+		fmt.Println("disagg        disaggregated prefill/decode over a modeled interconnect vs colocated,")
+		fmt.Println("              same trace, swept over link bandwidth")
+		fmt.Println("chaos         mid-trace chip crashes, a pod outage and link degradation on a")
+		fmt.Println("              disaggregated fleet; no-fault vs fault vs fault+recovery, same trace")
+		fmt.Println("chaos-traced  the chaos scenario with tracing and timelines always on")
 		return
 	}
 
@@ -68,9 +92,28 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	opts := experiments.DefaultOptions()
 	opts.Workers = *workers
 	opts.ServeSeed = *seed
+	if *traceOut != "" || *ganttN > 0 || *tlOut != "" {
+		opts.ServeObs = &serve.ObsConfig{
+			Trace:         *traceOut != "" || *ganttN > 0,
+			Timelines:     *tlOut != "",
+			SampleEveryMs: *sampleMs,
+		}
+	}
 	runner, err := experiments.NewRunner(opts)
 	if err != nil {
 		fatal(err)
@@ -80,19 +123,110 @@ func main() {
 		fatal(err)
 	}
 
+	sr, isServe := res.(*experiments.ServeResult)
+	if (*jsonOut || *traceOut != "" || *ganttN > 0 || *tlOut != "") && !isServe {
+		fatal(fmt.Errorf("%s is not a serving scenario", id))
+	}
+
 	if *jsonOut {
-		sr, ok := res.(*experiments.ServeResult)
-		if !ok {
-			fatal(fmt.Errorf("%s is not a serving scenario", id))
-		}
 		data, err := json.MarshalIndent(sr.Reports, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
 		os.Stdout.Write(append(data, '\n'))
-		return
+	} else {
+		fmt.Print(res.Table())
 	}
-	fmt.Print(res.Table())
+
+	if *traceOut != "" {
+		if err := writeTraces(*traceOut, sr.Reports); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "neu10-serve: trace written to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *ganttN > 0 {
+		for _, rep := range sr.Reports {
+			if rep.Trace != nil {
+				fmt.Print(rep.Trace.Gantt(*ganttN))
+			}
+		}
+	}
+	if *tlOut != "" {
+		if err := writeTimelines(*tlOut, sr.Reports); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "neu10-serve: timelines written to %s\n", *tlOut)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTraces merges every scenario leg's tracer into one Chrome
+// trace-event file; legs become distinct Perfetto process groups via
+// their scenario labels.
+func writeTraces(path string, reports []*serve.Report) error {
+	var tracers []*obs.Tracer
+	for _, rep := range reports {
+		if rep.Trace != nil {
+			tracers = append(tracers, rep.Trace)
+		}
+	}
+	if len(tracers) == 0 {
+		return fmt.Errorf("no traces collected (scenario ran with tracing off)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeAll(f, tracers); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTimelines dumps every leg's sampled series: long-format CSV by
+// default, JSON when the path ends in .json.
+func writeTimelines(path string, reports []*serve.Report) error {
+	var sets []*obs.TimelineSet
+	for _, rep := range reports {
+		if rep.Timelines != nil {
+			sets = append(sets, rep.Timelines)
+		}
+	}
+	if len(sets) == 0 {
+		return fmt.Errorf("no timelines collected (scenario ran with sampling off)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := error(nil)
+	if strings.HasSuffix(path, ".json") {
+		data, err := json.MarshalIndent(sets, "", "  ")
+		if err == nil {
+			data = append(data, '\n')
+			_, werr = f.Write(data)
+		} else {
+			werr = err
+		}
+	} else {
+		werr = obs.WriteCSVAll(f, sets)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

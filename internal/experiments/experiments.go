@@ -32,6 +32,11 @@ type Options struct {
 	// ServeSeed drives the online-serving scenarios (serve-*): arrivals,
 	// routing coin flips and therefore every number in their reports.
 	ServeSeed uint64
+	// ServeObs switches observability (lifecycle tracing, sampled
+	// timelines — internal/obs) on for every serve-* scenario; nil runs
+	// them with zero overhead and unchanged output. Reports are
+	// byte-identical for any worker count either way.
+	ServeObs *serve.ObsConfig
 }
 
 // DefaultOptions mirrors the paper's Table II setup.
@@ -97,7 +102,7 @@ func IDs() []string {
 		"fig24", "fig25", "fig26", "fig27",
 		"ablation-harvest", "ablation-preempt", "slo", "cluster",
 		"serve-steady", "serve-flash", "serve-mix", "serve-priority", "serve-llm",
-		"serve-disagg", "serve-chaos",
+		"serve-disagg", "serve-chaos", "serve-chaos-traced",
 	}
 }
 
@@ -154,6 +159,8 @@ func (r *Runner) Run(id string) (Result, error) {
 		return r.ServeDisagg()
 	case "serve-chaos":
 		return r.ServeChaos()
+	case "serve-chaos-traced":
+		return r.ServeChaosTraced()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

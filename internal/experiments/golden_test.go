@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neu10/internal/obs"
+)
+
+// TestGoldenServeReports pins the legacy output surface: with
+// observability off (the default), the serving scenarios' tables and
+// JSON reports must be byte-identical to the snapshots captured before
+// the observability subsystem existed (testdata/golden_serve_*). A
+// diff here means instrumentation perturbed the simulation or the
+// report encoding — exactly what the zero-overhead contract forbids.
+func TestGoldenServeReports(t *testing.T) {
+	r, err := NewRunner(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := func(name string) string {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	for _, id := range []string{"serve-steady", "serve-llm", "serve-disagg"} {
+		res, err := r.Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := map[string]string{
+			"serve-steady": "golden_serve_steady.txt",
+			"serve-llm":    "golden_serve_llm.txt",
+			"serve-disagg": "golden_serve_disagg.txt",
+		}[id]
+		if got, want := res.Table(), golden(file); got != want {
+			t.Errorf("%s table diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", id, file, got, want)
+		}
+		if id == "serve-disagg" {
+			continue // no JSON golden for the sweep
+		}
+		sr := res.(*ServeResult)
+		data, err := json.MarshalIndent(sr.Reports, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jfile := map[string]string{
+			"serve-steady": "golden_serve_steady.json",
+			"serve-llm":    "golden_serve_llm.json",
+		}[id]
+		if got, want := string(data)+"\n", golden(jfile); got != want {
+			t.Errorf("%s JSON diverged from %s", id, jfile)
+		}
+	}
+}
+
+// TestServeChaosTracedMatchesUntraced checks the traced chaos variant
+// renders the exact same tables as the untraced one (observation never
+// changes a number) while additionally carrying trace and timeline
+// artifacts on every report.
+func TestServeChaosTracedMatchesUntraced(t *testing.T) {
+	r, err := NewRunner(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := r.Run("serve-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := r.Run("serve-chaos-traced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Table() != traced.Table() {
+		t.Errorf("traced chaos tables differ from untraced:\n--- untraced ---\n%s\n--- traced ---\n%s",
+			plain.Table(), traced.Table())
+	}
+	for i, rep := range traced.(*ServeResult).Reports {
+		if rep.Trace == nil || rep.Trace.Len() == 0 {
+			t.Errorf("traced leg %d has no trace", i)
+		}
+		if rep.Timelines == nil || len(rep.Timelines.Series()) == 0 {
+			t.Errorf("traced leg %d has no timelines", i)
+		}
+	}
+	for i, rep := range plain.(*ServeResult).Reports {
+		if rep.Trace != nil || rep.Timelines != nil {
+			t.Errorf("untraced leg %d carries observability artifacts", i)
+		}
+	}
+}
+
+// TestTracedExportsWorkerInvariant is the traced determinism gate: the
+// serve-chaos-traced scenario's merged Chrome trace and timeline CSV
+// must be byte-identical between a sequential and an oversubscribed
+// parallel runner. Each leg owns a private tracer filled by its own
+// event loop, so worker interleaving must never reach the exports.
+func TestTracedExportsWorkerInvariant(t *testing.T) {
+	export := func(workers int) (string, string, string) {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		r, err := NewRunner(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run("serve-chaos-traced")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr := res.(*ServeResult)
+		var tracers []*obs.Tracer
+		var sets []*obs.TimelineSet
+		for _, rep := range sr.Reports {
+			tracers = append(tracers, rep.Trace)
+			sets = append(sets, rep.Timelines)
+		}
+		var tr, tl bytes.Buffer
+		if err := obs.WriteChromeAll(&tr, tracers); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteCSVAll(&tl, sets); err != nil {
+			t.Fatal(err)
+		}
+		return res.Table(), tr.String(), tl.String()
+	}
+	seqTab, seqTr, seqTl := export(1)
+	parTab, parTr, parTl := export(4)
+	if seqTab != parTab {
+		t.Error("traced chaos table differs between worker counts")
+	}
+	if seqTr != parTr {
+		t.Error("merged Chrome trace differs between worker counts")
+	}
+	if seqTl != parTl {
+		t.Error("timeline CSV differs between worker counts")
+	}
+}

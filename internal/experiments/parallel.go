@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -58,23 +61,27 @@ func parMap[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range next {
-				if int64(i) > failedAt.Load() {
-					continue
-				}
-				results[i], errs[i] = fn(i)
-				if errs[i] != nil {
-					for {
-						cur := failedAt.Load()
-						if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
-							break
+			// The pprof label tags every sample a -cpuprofile run collects
+			// with the worker that produced it (`pprof -tagfocus`).
+			pprof.Do(context.Background(), pprof.Labels("parmap-worker", fmt.Sprint(w)), func(context.Context) {
+				for i := range next {
+					if int64(i) > failedAt.Load() {
+						continue
+					}
+					results[i], errs[i] = fn(i)
+					if errs[i] != nil {
+						for {
+							cur := failedAt.Load()
+							if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+								break
+							}
 						}
 					}
 				}
-			}
-		}()
+			})
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -61,6 +61,7 @@ func (r *Runner) ServeSteady() (*ServeResult, error) {
 		Router:      serve.LeastLoaded,
 		DurationSec: 2.0,
 		Seed:        r.opts.ServeSeed,
+		Obs:         r.opts.ServeObs,
 		Autoscale:   true,
 		Tenants: []serve.TenantConfig{
 			{Name: "chat", Model: "BERT", Load: 0.55, EUs: 4, MaxBatch: 8,
@@ -95,6 +96,7 @@ func (r *Runner) ServeFlashCrowd() (*ServeResult, error) {
 			Router:        serve.PowerOfTwo,
 			DurationSec:   3.0,
 			Seed:          r.opts.ServeSeed,
+			Obs:           r.opts.ServeObs,
 			Autoscale:     autoscale,
 			ScaleEverySec: 0.1,
 			Tenants: []serve.TenantConfig{
@@ -140,6 +142,7 @@ func (r *Runner) ServePriority() (*ServeResult, error) {
 			Router:      serve.LeastLoaded,
 			DurationSec: 2.0,
 			Seed:        r.opts.ServeSeed,
+			Obs:         r.opts.ServeObs,
 			Preempt:     preempt,
 			// ~50 quantum boundaries per TFMR batch; the aging credit
 			// (64 × 0.5 ms quanta ≈ 32 ms of tolerated victimization
@@ -191,6 +194,7 @@ func (r *Runner) ServeLLM() (*ServeResult, error) {
 			Router:      serve.LeastLoaded,
 			DurationSec: 10.0,
 			Seed:        r.opts.ServeSeed,
+			Obs:         r.opts.ServeObs,
 			Tenants: []serve.TenantConfig{{
 				Name: "assistant", Model: "LLaMA", Load: 0.75, EUs: 4,
 				MaxBatch: 8, QueueCap: 32, InitialReplicas: 2, MaxReplicas: 2,
@@ -262,6 +266,7 @@ func (r *Runner) ServeDisagg() (*ServeResult, error) {
 			Router:      serve.LeastLoaded,
 			DurationSec: 8.0,
 			Seed:        r.opts.ServeSeed,
+			Obs:         r.opts.ServeObs,
 			LinkGBps:    gbps,
 			Tenants: []serve.TenantConfig{{
 				// RatePerSec (not Load) so every configuration sees the
@@ -314,6 +319,22 @@ func (r *Runner) ServeDisagg() (*ServeResult, error) {
 // time-to-recover strictly lower with recovery than without, at the
 // price of the spare capacity and recompute tokens the table shows.
 func (r *Runner) ServeChaos() (*ServeResult, error) {
+	return r.serveChaos("serve-chaos", r.opts.ServeObs)
+}
+
+// ServeChaosTraced is the chaos scenario with full observability forced
+// on — lifecycle tracing and sampled timelines — regardless of
+// Options.ServeObs. Its TABLES are byte-identical to serve-chaos (the
+// zero-overhead contract: observation never perturbs the simulation);
+// its reports additionally carry the Perfetto trace and the timeline
+// set, which is what cmd/neu10-serve -trace/-timelines and the
+// traced-determinism CI leg export.
+func (r *Runner) ServeChaosTraced() (*ServeResult, error) {
+	res, err := r.serveChaos("serve-chaos-traced", &serve.ObsConfig{Trace: true, Timelines: true})
+	return res, err
+}
+
+func (r *Runner) serveChaos(id string, obs *serve.ObsConfig) (*ServeResult, error) {
 	trace := workload.LLMTrace{
 		PromptMin: 16, PromptMean: 32, PromptMax: 64,
 		PromptLongFrac: 0.25, PromptLongMin: 128, PromptLongMean: 192, PromptLongMax: 256,
@@ -334,6 +355,7 @@ func (r *Runner) ServeChaos() (*ServeResult, error) {
 			Router:      serve.LeastLoaded,
 			DurationSec: 6.0,
 			Seed:        r.opts.ServeSeed,
+			Obs:         obs,
 			Autoscale:   true,
 			Faults:      faults,
 			Recover:     rec,
@@ -366,9 +388,9 @@ func (r *Runner) ServeChaos() (*ServeResult, error) {
 			return serve.Run(cfg, r.serveCosts())
 		})
 	if err != nil {
-		return nil, fmt.Errorf("serve-chaos: %w", err)
+		return nil, fmt.Errorf("%s: %w", id, err)
 	}
-	return &ServeResult{ID: "serve-chaos", Reports: reports}, nil
+	return &ServeResult{ID: id, Reports: reports}, nil
 }
 
 // ServeMixShift runs two diurnal tenants in antiphase — as one's
@@ -383,6 +405,7 @@ func (r *Runner) ServeMixShift() (*ServeResult, error) {
 		Router:      serve.JSQ,
 		DurationSec: 4.0,
 		Seed:        r.opts.ServeSeed,
+		Obs:         r.opts.ServeObs,
 		Autoscale:   true,
 		Tenants: []serve.TenantConfig{
 			{Name: "east", Model: "RtNt", Load: 0.55, EUs: 4, MaxBatch: 8,

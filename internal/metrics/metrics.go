@@ -137,11 +137,13 @@ func (u *Utilization) Value() float64 {
 }
 
 // TimeSeries collects (t, value) samples for the paper's timeline plots
-// (Figs. 2, 5, 7, 24), downsampling to a bounded number of points.
+// (Figs. 2, 5, 7, 24) and the observability timelines (internal/obs),
+// downsampling to a bounded number of points. The JSON shape matches
+// the timeline export documented in docs/OBSERVABILITY.md.
 type TimeSeries struct {
-	Name   string
-	Times  []float64
-	Values []float64
+	Name   string    `json:"name"`
+	Times  []float64 `json:"times_ms"`
+	Values []float64 `json:"values"`
 	limit  int
 }
 
@@ -201,4 +203,38 @@ func (ts *TimeSeries) MaxValue() float64 {
 		return 0
 	}
 	return m
+}
+
+// Last returns the most recent sample (0 when empty) — e.g. the final
+// cumulative value of an attainment timeline, which by construction
+// equals the run's aggregate.
+func (ts *TimeSeries) Last() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	return ts.Values[len(ts.Values)-1]
+}
+
+// RollingHist is an interval histogram: it accumulates samples between
+// observability ticks and, on Flush, reports the interval's order
+// statistics and starts the next interval — the time-resolved
+// counterpart of a run-wide Latencies recorder. The backing array is
+// retained across intervals, so a steady-state flush loop does not
+// allocate.
+type RollingHist struct {
+	win Latencies
+}
+
+// Add records one sample into the current interval.
+func (h *RollingHist) Add(v float64) { h.win.Add(v) }
+
+// Flush reports the current interval's count, p50 and p99, then resets
+// for the next interval. An empty interval reports zeros.
+func (h *RollingHist) Flush() (n int, p50, p99 float64) {
+	n = h.win.Count()
+	if n > 0 {
+		p50, p99 = h.win.P50(), h.win.P99()
+	}
+	h.win.Reset()
+	return n, p50, p99
 }

@@ -413,6 +413,11 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 		}
 	}
 	t.replicaTL.Add(now, float64(t.activeCount()))
+	if f.obs != nil {
+		f.obsRegisterReplica(r)
+		f.obs.trace.Instant("spawn", "scale", t.cfg.Name, obsTrackControl, now, -1,
+			"replica", int64(r.id), "role", fmt.Sprintf("%s eus=%d chip=%d", role, eus, v.Mapping.PNPU))
+	}
 	// Recovery milestone (fault.go): the first time a crashed tenant's
 	// active count regains its pre-fault level — through emergency
 	// spawns, the resurrection floor, or the ordinary ladder — closes
@@ -456,6 +461,10 @@ func (f *fleet) drainOne(t *tenantState, role Role, now sim.Time, bySize bool) {
 		return
 	}
 	pick.draining = true
+	if f.obs != nil {
+		f.obs.trace.Instant("drain", "scale", t.cfg.Name, obsTrackControl, float64(now), -1,
+			"replica", int64(pick.id), "role", pick.role.String())
+	}
 	if pick.idleEmpty() {
 		f.retire(pick, now)
 	}
@@ -477,6 +486,10 @@ func (f *fleet) retire(r *replica, now sim.Time) {
 	if r.preemptSet {
 		f.eng.Cancel(r.preemptH)
 		r.preemptSet = false
+	}
+	if f.obs != nil {
+		f.obs.trace.Instant("retire", "scale", t.cfg.Name, obsTrackControl, float64(now), -1,
+			"replica", int64(r.id), "role", r.role.String())
 	}
 	f.snapshot(float64(now))
 	f.allocatedEUs -= r.vnpu.Config.TotalEUs()

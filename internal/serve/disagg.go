@@ -85,6 +85,9 @@ func (f *fleet) launchDisaggPrefill(r *replica, q *slotQueue, now sim.Time, rest
 			// KV pressure (in-flight prompts plus prompts parked behind a
 			// slow migration path) blocks admission — the stall signal.
 			t.llm.kvStalls++
+			if f.obs != nil {
+				f.obs.trace.Instant("kv-stall", "sched", r.ten.cfg.Name, obsReplicaTrack(r), float64(now), req.id, "", 0, "tenant", t.cfg.Name)
+			}
 			break
 		}
 		r.kv.alloc(blocks, float64(now))
@@ -96,6 +99,10 @@ func (f *fleet) launchDisaggPrefill(r *replica, q *slotQueue, now sim.Time, rest
 		t.llm.admitted++
 		t.llm.promptTokens += int64(req.prompt)
 		t.llm.outputTokens += int64(req.output)
+		if f.obs != nil {
+			f.obs.trace.End("queue", "req", t.cfg.Name, float64(now), req.id)
+			f.obs.trace.Begin("prefill", "req", t.cfg.Name, float64(now), req.id)
+		}
 		if f.cfg.Autoscale {
 			// The prefill pool's autoscale signal: queue delay from
 			// arrival to the first prefill invocation.
@@ -154,6 +161,12 @@ func (f *fleet) finishDisaggPrefill(r *replica, b *batch, now sim.Time) {
 		if s.promptDone >= s.req.prompt {
 			s.ctx = s.req.prompt
 			s.prefDone = now
+			if f.obs != nil {
+				// The migrate phase covers the whole prefill→decode handoff:
+				// any parked wait plus the wire time (TTFT's interconnect slice).
+				f.obs.trace.End("prefill", "req", t.cfg.Name, float64(now), s.req.id)
+				f.obs.trace.Begin("migrate", "req", t.cfg.Name, float64(now), s.req.id)
+			}
 			f.startMigration(r, s, now)
 		}
 	}
@@ -200,6 +213,9 @@ func (f *fleet) startMigration(src *replica, s *llmSeq, now sim.Time) {
 	if f.cfg.Autoscale {
 		t.llm.windowMigStalls++
 	}
+	if f.obs != nil {
+		f.obs.trace.Instant("mig-stall", "sched", t.cfg.Name, obsTrackControl, float64(now), s.req.id, "parked", int64(len(t.llm.migQ)), "", "")
+	}
 }
 
 // beginTransfer charges the full prompt+output reservation to the
@@ -219,6 +235,10 @@ func (f *fleet) beginTransfer(src, dst *replica, s *llmSeq, now sim.Time) {
 	fl.xfr = f.fabric.Link(src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU).Start(bytes,
 		func(now sim.Time) { f.finishMigration(fl, now) })
 	t.llm.migInflight = append(t.llm.migInflight, fl)
+	if f.obs != nil {
+		f.obs.trace.Instant("kv-xfer", "req", t.cfg.Name, obsTrackControl, float64(now), s.req.id,
+			"bytes", bytes, "link", fmt.Sprintf("chip%d→chip%d", src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU))
+	}
 }
 
 // finishMigration lands a KV transfer: the prefill-side prompt blocks
@@ -239,6 +259,9 @@ func (f *fleet) finishMigration(fl *migFlight, now sim.Time) {
 	t.llm.migLanded++
 	t.llm.migBytes += fl.bytes
 	t.llm.migWaitCycles += float64(now - s.prefDone)
+	if f.obs != nil {
+		f.obs.trace.End("migrate", "req", t.cfg.Name, float64(now), s.req.id)
+	}
 	f.emitFirstToken(t, s, now)
 	if s.produced >= s.req.output {
 		f.completeSeq(dst, t, s, now)

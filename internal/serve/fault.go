@@ -227,9 +227,21 @@ func (f *fleet) scheduleFaults() {
 		e := p.Events[i]
 		switch e.Kind {
 		case FaultLinkDegrade:
-			f.eng.At(sim.Time(e.AtFrac*f.durCycles), func(sim.Time) { f.setLinkScale(e.Scale) })
+			f.eng.At(sim.Time(e.AtFrac*f.durCycles), func(now sim.Time) {
+				if f.obs != nil {
+					f.obs.trace.Instant("link-scale", "fault", obsProcFleet, obsTrackControl, float64(now), -1,
+						"", 0, "scale", fmt.Sprintf("%g", e.Scale))
+				}
+				f.setLinkScale(e.Scale)
+			})
 			if e.UntilFrac > e.AtFrac {
-				f.eng.At(sim.Time(e.UntilFrac*f.durCycles), func(sim.Time) { f.setLinkScale(1) })
+				f.eng.At(sim.Time(e.UntilFrac*f.durCycles), func(now sim.Time) {
+					if f.obs != nil {
+						f.obs.trace.Instant("link-scale", "fault", obsProcFleet, obsTrackControl, float64(now), -1,
+							"", 0, "scale", "1")
+					}
+					f.setLinkScale(1)
+				})
 			}
 		default:
 			f.eng.At(sim.Time(e.AtFrac*f.durCycles), func(now sim.Time) { f.injectFault(e, now) })
@@ -283,6 +295,10 @@ func (f *fleet) injectFault(e FaultEvent, now sim.Time) {
 		}
 	}
 	if len(victims) > 0 {
+		if f.obs != nil {
+			f.obs.trace.Instant("fault", "fault", obsProcFleet, obsTrackControl, float64(now), -1,
+				"victims", int64(len(victims)), "kind", e.Kind.String())
+		}
 		f.crashReplicas(victims, now)
 	}
 }
@@ -389,11 +405,21 @@ func (f *fleet) crashReplicas(victims []*replica, now sim.Time) {
 			case srcDead:
 				// The payload's source pages died mid-copy: the sequence's
 				// KV is gone wherever the transfer was headed.
+				if f.obs != nil {
+					ph := "migrate"
+					if fl.evac {
+						ph = "evac"
+					}
+					f.obs.trace.End(ph, "req", t.cfg.Name, float64(now), fl.seq.req.id)
+				}
 				fl.src.queueFor(t).removeRunning(fl.seq)
-				f.crashSeqOutcome(t, fl.seq, &out)
+				f.crashSeqOutcome(t, fl.seq, &out, now)
 			case fl.evac:
 				// Target died under an evacuation: the sequence never left
 				// the source — unfreeze it and let the source keep decoding.
+				if f.obs != nil {
+					f.obs.trace.End("evac", "req", t.cfg.Name, float64(now), fl.seq.req.id)
+				}
 				fl.seq.migrating = false
 				pokes = append(pokes, pokeSrc{fl.src})
 			default:
@@ -414,8 +440,11 @@ func (f *fleet) crashReplicas(victims []*replica, now sim.Time) {
 			keptQ := t.llm.migQ[:0]
 			for _, m := range t.llm.migQ {
 				if m.from.retired {
+					if f.obs != nil {
+						f.obs.trace.End("migrate", "req", t.cfg.Name, float64(now), m.seq.req.id)
+					}
 					m.from.queueFor(t).removeRunning(m.seq)
-					f.crashSeqOutcome(t, m.seq, &out)
+					f.crashSeqOutcome(t, m.seq, &out, now)
 					continue
 				}
 				keptQ = append(keptQ, m)
@@ -440,6 +469,10 @@ func (f *fleet) crashReplicas(victims []*replica, now sim.Time) {
 				rs.t.scaleFails++
 			} else {
 				rs.t.emergencySpawns++
+				if f.obs != nil {
+					f.obs.trace.Instant("emergency-spawn", "fault", rs.t.cfg.Name, obsTrackControl, float64(now), -1,
+						"eus", int64(rs.eus), "role", rs.role.String())
+				}
 			}
 		}
 	}
@@ -484,6 +517,10 @@ func (f *fleet) crashReplicas(victims []*replica, now sim.Time) {
 func (f *fleet) destroyReplica(r *replica, now sim.Time, out *[]harvested) {
 	t := r.ten
 	t.crashes++
+	if f.obs != nil {
+		f.obs.trace.Instant("crash", "fault", t.cfg.Name, obsTrackControl, float64(now), -1,
+			"replica", int64(r.id), "role", r.role.String())
+	}
 	if r.timerSet {
 		f.eng.Cancel(r.timer)
 		r.timerSet = false
@@ -499,6 +536,9 @@ func (f *fleet) destroyReplica(r *replica, now sim.Time, out *[]harvested) {
 		b.ten.issuedServiceCycles -= b.remaining
 		if b.kind == kindInvoke {
 			for _, req := range b.reqs {
+				if f.obs != nil {
+					f.obs.trace.End("service", "req", b.ten.cfg.Name, float64(now), req.id)
+				}
 				*out = append(*out, harvested{b.ten, req})
 			}
 		}
@@ -521,11 +561,14 @@ func (f *fleet) destroyReplica(r *replica, now sim.Time, out *[]harvested) {
 		q := &r.qs[i]
 		qt := q.ten
 		for _, req := range q.reqs {
+			if f.obs != nil {
+				f.obs.trace.End("queue", "req", qt.cfg.Name, float64(now), req.id)
+			}
 			*out = append(*out, harvested{qt, req})
 		}
 		q.reqs = q.reqs[:0]
 		for _, s := range q.running {
-			f.crashSeqOutcome(qt, s, out)
+			f.crashSeqOutcome(qt, s, out, now)
 		}
 		for j := range q.running {
 			q.running[j] = nil
@@ -555,7 +598,20 @@ func (f *fleet) destroyReplica(r *replica, now sim.Time, out *[]harvested) {
 // replica: re-queue (replaying any generated prefix by folding it into
 // the prompt) or fail, per the plan's CrashPolicy. The KV tokens lost —
 // everything resident at the crash — are itemized as recompute debt.
-func (f *fleet) crashSeqOutcome(t *tenantState, s *llmSeq, out *[]harvested) {
+func (f *fleet) crashSeqOutcome(t *tenantState, s *llmSeq, out *[]harvested, now sim.Time) {
+	if f.obs != nil {
+		// Close whichever lifecycle phase the crash interrupted: prefill
+		// when the prompt was still being processed (a disaggregated
+		// handoff's prefill phase already closed at prefDone, and its
+		// migrate phase is closed by the caller), decode when the sequence
+		// was mid-generation.
+		switch {
+		case !s.prefilled && s.prefDone == 0:
+			f.obs.trace.End("prefill", "req", t.cfg.Name, float64(now), s.req.id)
+		case s.prefilled && s.req.output > 1:
+			f.obs.trace.End("decode", "req", t.cfg.Name, float64(now), s.req.id)
+		}
+	}
 	lost := 0
 	if s.prefilled {
 		lost = s.ctx // prompt + produced so far
@@ -564,6 +620,10 @@ func (f *fleet) crashSeqOutcome(t *tenantState, s *llmSeq, out *[]harvested) {
 	}
 	if s.produced > 0 && f.cfg.Faults.Policy == CrashFail {
 		t.crashLost++
+		if f.obs != nil {
+			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), s.req.id,
+				"produced", int64(s.produced), "reason", "policy-fail")
+		}
 		return
 	}
 	req := s.req
@@ -575,6 +635,10 @@ func (f *fleet) crashSeqOutcome(t *tenantState, s *llmSeq, out *[]harvested) {
 		t.replays++
 	}
 	t.recomputeTokens += int64(lost)
+	if f.obs != nil {
+		f.obs.trace.Instant("crash-replay", "fault", t.cfg.Name, obsTrackControl, float64(now), req.id,
+			"lost_tokens", int64(lost), "", "")
+	}
 	*out = append(*out, harvested{t, req})
 }
 
@@ -588,12 +652,24 @@ func (f *fleet) requeue(h harvested, now sim.Time) {
 	r := f.route(t)
 	if r == nil {
 		t.crashLost++
+		if f.obs != nil {
+			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id,
+				"", 0, "reason", "no-replica")
+		}
 		return
 	}
 	q := r.queueFor(t)
 	if len(q.reqs) >= t.cfg.QueueCap {
 		t.crashLost++
+		if f.obs != nil {
+			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id,
+				"", 0, "reason", "queue-cap")
+		}
 		return
+	}
+	if f.obs != nil {
+		f.obs.trace.Instant("crash-requeue", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id, "", 0, "", "")
+		f.obs.trace.Begin("queue", "req", t.cfg.Name, float64(now), h.req.id)
 	}
 	q.reqs = append(q.reqs, h.req)
 	if len(q.reqs) > t.maxQueue {
@@ -705,6 +781,11 @@ func (f *fleet) beginEvacuation(src, dst *replica, s *llmSeq, now sim.Time) {
 	fl.xfr = f.fabric.Link(src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU).Start(bytes,
 		func(now sim.Time) { f.finishEvacuation(fl, now) })
 	t.llm.migInflight = append(t.llm.migInflight, fl)
+	if f.obs != nil {
+		f.obs.trace.Begin("evac", "req", t.cfg.Name, float64(now), s.req.id)
+		f.obs.trace.Instant("evac-start", "fault", t.cfg.Name, obsTrackControl, float64(now), s.req.id,
+			"bytes", bytes, "link", fmt.Sprintf("chip%d→chip%d", src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU))
+	}
 }
 
 // finishEvacuation lands an evacuation: src's blocks free exactly now,
@@ -722,6 +803,9 @@ func (f *fleet) finishEvacuation(fl *migFlight, now sim.Time) {
 	dst.queueFor(t).running = append(dst.queueFor(t).running, s)
 	t.llm.evacLanded++
 	t.llm.evacBytes += fl.bytes
+	if f.obs != nil {
+		f.obs.trace.End("evac", "req", t.cfg.Name, float64(now), s.req.id)
+	}
 	// Freed source blocks may admit a parked migration; both ends have
 	// fresh scheduling state.
 	f.drainMigQ(t, now)

@@ -298,9 +298,16 @@ func (f *fleet) llmAdmit(r *replica, q *slotQueue, now sim.Time) []*llmSeq {
 		t.llm.admitted++
 		t.llm.promptTokens += int64(req.prompt)
 		t.llm.outputTokens += int64(req.output)
+		if f.obs != nil {
+			f.obs.trace.End("queue", "req", t.cfg.Name, float64(now), req.id)
+			f.obs.trace.Begin("prefill", "req", t.cfg.Name, float64(now), req.id)
+		}
 	}
 	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch {
 		t.llm.kvStalls++
+		if f.obs != nil {
+			f.obs.trace.Instant("kv-stall", "sched", r.ten.cfg.Name, obsReplicaTrack(r), float64(now), q.reqs[0].id, "", 0, "tenant", t.cfg.Name)
+		}
 	}
 	return joined
 }
@@ -476,6 +483,18 @@ func (f *fleet) emitFirstToken(t *tenantState, s *llmSeq, now sim.Time) {
 		t.llm.ttft.Add(float64(now - s.req.at))
 	}
 	t.llm.tokensOut++
+	if f.obs != nil {
+		// Disaggregated prefill already closed its phase at prefDone
+		// (finishDisaggPrefill); here the first token lands after the
+		// migration, so only the decode phase opens.
+		if t.disagg() == nil {
+			f.obs.trace.End("prefill", "req", t.cfg.Name, float64(now), s.req.id)
+		}
+		f.obs.trace.Instant("first-token", "req", t.cfg.Name, obsTrackControl, float64(now), s.req.id, "ttft_us", int64(float64(now-s.req.at)/f.cfg.Core.FrequencyHz*1e6), "", "")
+		if s.produced < s.req.output {
+			f.obs.trace.Begin("decode", "req", t.cfg.Name, float64(now), s.req.id)
+		}
+	}
 }
 
 // removeRunning takes a sequence out of a slot queue's running set.
@@ -504,6 +523,13 @@ func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time)
 		f.prioLat[t.cfg.Priority].Add(lat)
 	}
 	t.completed++
+	if f.obs != nil {
+		f.obsCompletion(t, lat)
+		if s.req.output > 1 {
+			f.obs.trace.End("decode", "req", t.cfg.Name, float64(now), s.req.id)
+		}
+		f.obs.trace.Instant("complete", "req", t.cfg.Name, obsTrackControl, float64(now), s.req.id, "lat_us", int64(lat/f.cfg.Core.FrequencyHz*1e6), "", "")
+	}
 	if s.req.output > 1 {
 		tpot := float64(now-s.ttftAt) / float64(s.req.output-1)
 		t.llm.tpot.Add(tpot)

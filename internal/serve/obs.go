@@ -1,0 +1,273 @@
+package serve
+
+// Observability wiring for the serving simulator (see internal/obs and
+// docs/OBSERVABILITY.md): request-lifecycle tracing plus a sampled
+// timeline registry, both driven by the sim clock.
+//
+// The contract every hook site in serve.go / slot.go / llm.go /
+// disagg.go / fault.go / autoscale.go follows:
+//
+//   - f.obs == nil is the disabled state. Every hook is guarded by that
+//     one nil check, and all argument computation (string formatting,
+//     counter lookups) happens INSIDE the guard, so a disabled run
+//     executes no observability code, allocates nothing, and schedules
+//     no extra events — its engine event stream, report and JSON are
+//     byte-identical to a build without this file.
+//   - When enabled, events and samples are recorded by the run's own
+//     single-threaded event loop in creation order, stamped with sim
+//     cycles only. Parallel scenario legs each own a private obsState,
+//     so traces are byte-identical at any worker count.
+
+import (
+	"fmt"
+
+	"neu10/internal/metrics"
+	"neu10/internal/obs"
+	"neu10/internal/sim"
+	"neu10/internal/xfer"
+)
+
+// ObsConfig switches observability on for a run. The zero value (and a
+// nil pointer) disables everything.
+type ObsConfig struct {
+	// Trace records per-request lifecycle spans and control/fault
+	// instants, exported as Chrome trace-event JSON (Perfetto).
+	Trace bool
+	// Timelines samples queue depth, KV occupancy, fleet/pool sizes,
+	// link utilization/backlog and attainment every SampleEveryMs.
+	Timelines bool
+	// SampleEveryMs is the timeline sampling period in sim milliseconds
+	// (default 10).
+	SampleEveryMs float64
+	// WindowSamples is the sliding-window width, in samples, of the
+	// derived windowed-attainment series (default 20).
+	WindowSamples int
+}
+
+func (o *ObsConfig) defaults() {
+	if o.SampleEveryMs == 0 {
+		o.SampleEveryMs = 10
+	}
+	if o.WindowSamples == 0 {
+		o.WindowSamples = 20
+	}
+}
+
+func (o *ObsConfig) validate() error {
+	if o.SampleEveryMs < 0 {
+		return fmt.Errorf("serve: obs sample period %v ms", o.SampleEveryMs)
+	}
+	if o.WindowSamples < 0 {
+		return fmt.Errorf("serve: obs window %d samples", o.WindowSamples)
+	}
+	return nil
+}
+
+// enabled reports whether this config turns any collector on.
+func (o *ObsConfig) enabled() bool { return o != nil && (o.Trace || o.Timelines) }
+
+// obsState is one run's observability runtime; fleet.obs is nil when
+// disabled.
+type obsState struct {
+	cfg   ObsConfig
+	trace *obs.Tracer      // nil unless cfg.Trace
+	tl    *obs.TimelineSet // nil unless cfg.Timelines
+
+	// sloOK counts completions within SLO per tenant — the cumulative
+	// attainment numerator, maintained incrementally so sampling never
+	// re-sorts the latency recorder.
+	sloOK []int
+	// hist accumulates per-interval completion latencies (ms) per
+	// tenant for the rolling p50/p99 timeline.
+	hist []metrics.RollingHist
+	// lastLinkBusy remembers each link's busy integral at the previous
+	// tick, keyed by link name, to derive per-interval utilization.
+	lastLinkBusy map[string]float64
+	lastSample   float64
+}
+
+// Trace/track layout: one Chrome "process" per tenant plus a "fleet"
+// process for fabric and fault-plan events. Within a tenant process,
+// track 0 carries control instants (spawn/drain/scale/crash), and each
+// replica gets track 2+uid (fleet-unique, so shared slots never
+// collide). Async lifecycle phases are keyed by request id, not track.
+const (
+	obsProcFleet    = "fleet"
+	obsTrackControl = int32(0)
+)
+
+func obsReplicaTrack(r *replica) int32 { return int32(2 + r.uid) }
+
+// obsBatchName names a batch-kind execution slice.
+var obsBatchName = [...]string{
+	kindInvoke:           "invoke",
+	kindLLMPrefill:       "llm-prefill",
+	kindLLMDecode:        "llm-decode",
+	kindLLMStaticPrefill: "llm-static-prefill",
+	kindLLMStaticDecode:  "llm-static-decode",
+}
+
+// obsBatchWidth is the slice's width arg: requests for single-shot
+// batches, sequences for LLM kinds.
+func obsBatchWidth(b *batch) int {
+	if b.kind == kindInvoke {
+		return len(b.reqs)
+	}
+	return len(b.seqs)
+}
+
+// newObsState builds the run's observability runtime (cfg is already
+// defaulted and validated; callers check cfg.enabled() first).
+func newObsState(cfg ObsConfig, scenario string, freqHz float64, tenants int) *obsState {
+	o := &obsState{cfg: cfg, sloOK: make([]int, tenants), hist: make([]metrics.RollingHist, tenants)}
+	if cfg.Trace {
+		o.trace = obs.NewTracer(scenario, freqHz)
+	}
+	if cfg.Timelines {
+		o.tl = obs.NewTimelineSet(scenario, freqHz)
+		o.lastLinkBusy = map[string]float64{}
+	}
+	return o
+}
+
+// obsRegisterReplica names a freshly spawned replica's trace track.
+func (f *fleet) obsRegisterReplica(r *replica) {
+	f.obs.trace.NameTrack(r.ten.cfg.Name, obsReplicaTrack(r),
+		fmt.Sprintf("replica %d (%s, chip %d)", r.id, r.role, r.vnpu.Mapping.PNPU))
+}
+
+// obsCompletion folds one finished request into the attainment counters
+// and the rolling latency histogram. lat is in cycles.
+func (f *fleet) obsCompletion(t *tenantState, lat float64) {
+	if lat <= t.sloCycles {
+		f.obs.sloOK[t.idx]++
+	}
+	if f.obs.tl != nil {
+		f.obs.hist[t.idx].Add(lat / f.cfg.Core.FrequencyHz * 1e3)
+	}
+}
+
+// scheduleObs arms the recurring timeline sampling tick (every is in
+// cycles). Like the autoscaler tick, sampling stops at the scenario
+// horizon; report() takes one final sample at the drain end so the last
+// point of every cumulative series equals the run aggregate.
+func (f *fleet) scheduleObs(every float64) {
+	at := float64(f.eng.Now()) + every
+	if at > f.durCycles {
+		return
+	}
+	f.eng.At(sim.Time(at), func(now sim.Time) {
+		f.obsSample(float64(now))
+		f.scheduleObs(every)
+	})
+}
+
+// obsSample records one timeline tick at `now` cycles. All reads are
+// pure or lazily-advancing integrals (kv accrue, link advance), so a
+// sample never changes simulation behavior.
+func (f *fleet) obsSample(now float64) {
+	o := f.obs
+	if o == nil || o.tl == nil || now < o.lastSample {
+		return
+	}
+	dt := now - o.lastSample
+	o.lastSample = now
+	// Queue depth and running-set size, attributed to the QUEUE OWNER
+	// tenant (shared slots carry one queue per group member).
+	for _, t := range f.tenants {
+		name := t.cfg.Name
+		var depth, running int
+		for _, p := range t.peers {
+			for _, r := range p.replicas {
+				if q := r.queueFor(t); q != nil {
+					depth += len(q.reqs)
+					running += len(q.running)
+				}
+			}
+		}
+		o.tl.Add(name+"/queue", now, float64(depth))
+		o.tl.Add(name+"/replicas_active", now, float64(t.activeCount()))
+		if t.llm != nil {
+			o.tl.Add(name+"/running", now, float64(running))
+		}
+		if t.disagg() != nil {
+			o.tl.Add(name+"/prefill_replicas", now, float64(t.activeRole(RolePrefill)))
+			o.tl.Add(name+"/decode_replicas", now, float64(t.activeRole(RoleDecode)))
+		}
+		// Per-replica KV occupancy fraction (live replicas only; a
+		// retired replica's occupancy is folded into the tenant
+		// aggregate at retire time, same as the report).
+		for _, r := range t.replicas {
+			if r.kv != nil && r.kv.totalBlocks > 0 {
+				o.tl.Add(fmt.Sprintf("%s/kv_frac/r%d", name, r.id), now,
+					float64(r.kv.usedBlocks)/float64(r.kv.totalBlocks))
+			}
+		}
+		// Cumulative attainment (and its numerator/denominator, which
+		// the report post-processes into a sliding-window series).
+		o.tl.Add(name+"/arrivals", now, float64(t.arrivals))
+		o.tl.Add(name+"/slo_ok", now, float64(o.sloOK[t.idx]))
+		attain := 0.0
+		if t.arrivals > 0 {
+			attain = float64(o.sloOK[t.idx]) / float64(t.arrivals)
+		}
+		o.tl.Add(name+"/attain", now, attain)
+		if f.faulted {
+			fw := 0.0
+			if t.fwArrivals > 0 {
+				fw = float64(t.fwSloOK) / float64(t.fwArrivals)
+			}
+			o.tl.Add(name+"/fw_attain", now, fw)
+		}
+		// Rolling per-interval latency percentiles.
+		n, p50, p99 := o.hist[t.idx].Flush()
+		o.tl.Add(name+"/lat_n", now, float64(n))
+		o.tl.Add(name+"/lat_p50_ms", now, p50)
+		o.tl.Add(name+"/lat_p99_ms", now, p99)
+	}
+	if f.fabric != nil {
+		f.fabric.EachLink(func(l *xfer.Link) {
+			busy := l.BusyCycles(now)
+			util := 0.0
+			if dt > 0 {
+				util = (busy - o.lastLinkBusy[l.Name()]) / dt
+			}
+			o.lastLinkBusy[l.Name()] = busy
+			o.tl.Add("link/"+l.Name()+"/util", now, util)
+			o.tl.Add("link/"+l.Name()+"/backlog_mb", now, l.Backlog(now)/(1<<20))
+			o.tl.Add("link/"+l.Name()+"/active", now, float64(l.Active()))
+		})
+	}
+}
+
+// obsFinish takes the final sample, derives the windowed-attainment
+// series, adopts each tenant's replica timeline (converted from cycles
+// to ms) and attaches trace + timelines to the report.
+func (f *fleet) obsFinish(rep *Report, end float64) {
+	o := f.obs
+	if o == nil {
+		return
+	}
+	rep.Trace = o.trace
+	if o.tl == nil {
+		return
+	}
+	f.obsSample(end)
+	for _, t := range f.tenants {
+		name := t.cfg.Name
+		if num, den := o.tl.Get(name+"/slo_ok"), o.tl.Get(name+"/arrivals"); num != nil && den != nil {
+			if win, err := obs.WindowedRatio(name+"/attain_win", num, den, o.cfg.WindowSamples); err == nil {
+				o.tl.Attach(win)
+			}
+		}
+		// The replica timeline report.go previously dropped from JSON
+		// (json:"-"): re-based from cycles to ms and exported with
+		// everything else.
+		rt := metrics.NewTimeSeries(name+"/replicas", 0)
+		for i := range t.replicaTL.Times {
+			rt.Add(t.replicaTL.Times[i]/f.cfg.Core.FrequencyHz*1e3, t.replicaTL.Values[i])
+		}
+		o.tl.Attach(rt)
+	}
+	rep.Timelines = o.tl
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"neu10/internal/arch"
+)
+
+// obsOn is the full-observability config for tests.
+func obsOn() *ObsConfig { return &ObsConfig{Trace: true, Timelines: true} }
+
+// TestObsZeroOverhead is the zero-overhead contract at the fleet level:
+// the same seed must produce a byte-identical report table with
+// observability fully on and fully off — observation never perturbs the
+// simulation. (The allocation half of the contract — a nil tracer's
+// hooks allocate nothing — is locked down in internal/obs.)
+func TestObsZeroOverhead(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	plain, err := Run(fastConfig(7), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(7)
+	cfg.Obs = obsOn()
+	traced, err := Run(cfg, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Table() != traced.Table() {
+		t.Errorf("tracing changed the report:\n--- off ---\n%s\n--- on ---\n%s", plain.Table(), traced.Table())
+	}
+	if plain.Trace != nil || plain.Timelines != nil {
+		t.Error("disabled run carries observability artifacts")
+	}
+	if traced.Trace.Len() == 0 {
+		t.Error("traced run recorded no events")
+	}
+	if len(traced.Timelines.Series()) == 0 {
+		t.Error("traced run sampled no timelines")
+	}
+}
+
+// TestObsSharedConfigNotMutated guards the parallel-leg contract: Run
+// defaults a private copy of a shared ObsConfig, never the caller's.
+func TestObsSharedConfigNotMutated(t *testing.T) {
+	shared := &ObsConfig{Timelines: true}
+	cfg := fastConfig(3)
+	cfg.Obs = shared
+	if _, err := Run(cfg, NewCostDB(arch.TPUv4Like())); err != nil {
+		t.Fatal(err)
+	}
+	if shared.SampleEveryMs != 0 || shared.WindowSamples != 0 {
+		t.Errorf("Run mutated the caller's ObsConfig: %+v", *shared)
+	}
+}
+
+// TestObsChaosTraceDeterministic re-runs the chaos scenario (crashes,
+// pod outage, link degradation, recovery machinery) with tracing on and
+// requires byte-identical Chrome exports and timeline CSVs — the
+// property the CI traced-determinism leg diffs across worker counts.
+func TestObsChaosTraceDeterministic(t *testing.T) {
+	db := NewCostDB(arch.TPUv4Like())
+	export := func() (string, string) {
+		cfg := chaosConfig(1, chaosFaults(CrashReplay),
+			&RecoveryConfig{WarmSpares: 1, EmergencySpawn: true, Evacuate: true})
+		cfg.Obs = obsOn()
+		rep, err := Run(cfg, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr, tl bytes.Buffer
+		if err := rep.Trace.WriteChrome(&tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Timelines.WriteCSV(&tl); err != nil {
+			t.Fatal(err)
+		}
+		return tr.String(), tl.String()
+	}
+	tr1, tl1 := export()
+	tr2, tl2 := export()
+	if tr1 != tr2 {
+		t.Error("chaos trace export is not deterministic")
+	}
+	if tl1 != tl2 {
+		t.Error("chaos timeline export is not deterministic")
+	}
+	if len(tr1) == 0 || len(tl1) == 0 {
+		t.Fatal("empty exports")
+	}
+}
+
+// TestObsTimelinesReproduceReport cross-checks the sampled series
+// against the run's aggregates: the final point of the cumulative
+// fault-window attainment series must equal the report's
+// FaultAttainment exactly (same counters, same division), the overall
+// attainment series must end at SLOAttainment, and the re-based replica
+// timeline (the satellite export of the json:"-" ReplicaTimeline) must
+// be present with the same number of points.
+func TestObsTimelinesReproduceReport(t *testing.T) {
+	cfg := chaosConfig(1, chaosFaults(CrashReplay), nil)
+	cfg.Obs = obsOn()
+	rep, err := Run(cfg, NewCostDB(arch.TPUv4Like()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := rep.Tenants[0]
+	fw := rep.Timelines.Get(ten.Name + "/fw_attain")
+	if fw == nil {
+		t.Fatal("no fault-window attainment series")
+	}
+	if got := fw.Last(); got != ten.FaultAttainment {
+		t.Errorf("fw_attain ends at %v, report FaultAttainment %v", got, ten.FaultAttainment)
+	}
+	attain := rep.Timelines.Get(ten.Name + "/attain")
+	if attain == nil || attain.Last() != ten.SLOAttainment {
+		t.Errorf("attain series ends at %v, report SLOAttainment %v", attain.Last(), ten.SLOAttainment)
+	}
+	repl := rep.Timelines.Get(ten.Name + "/replicas")
+	if repl == nil {
+		t.Fatal("replica timeline not exported")
+	}
+	if len(repl.Times) != len(ten.ReplicaTimeline.Times) {
+		t.Errorf("exported replica timeline has %d points, internal %d",
+			len(repl.Times), len(ten.ReplicaTimeline.Times))
+	}
+	if win := rep.Timelines.Get(ten.Name + "/attain_win"); win == nil {
+		t.Error("windowed attainment series not derived")
+	}
+	// The trace must carry the fault instants the scenario injected.
+	var faults, crashes int
+	for _, e := range rep.Trace.Events() {
+		switch e.Name {
+		case "fault":
+			faults++
+		case "crash":
+			crashes++
+		}
+	}
+	if faults == 0 || crashes == 0 {
+		t.Errorf("trace has %d fault / %d crash instants, want both > 0", faults, crashes)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"neu10/internal/metrics"
+	"neu10/internal/obs"
 )
 
 // TenantReport summarizes one tenant's serving outcome.
@@ -201,6 +202,14 @@ type Report struct {
 	MeanStrandedEUs float64 `json:"mean_stranded_eus"`
 	MapAccepts      int     `json:"map_accepts"`
 	MapRejects      int     `json:"map_rejects"`
+
+	// Observability payloads (nil unless Config.Obs enabled them, so
+	// legacy JSON output is byte-identical): the run's lifecycle trace
+	// — exported to Perfetto via obs.WriteChrome, not marshaled inline
+	// — and the sampled timelines (queue depth, KV occupancy, pool
+	// sizes, link utilization, attainment; see docs/OBSERVABILITY.md).
+	Trace     *obs.Tracer      `json:"-"`
+	Timelines *obs.TimelineSet `json:"timelines,omitempty"`
 }
 
 // Table renders the report as a plain-text table. The output is a pure

@@ -367,6 +367,12 @@ type Config struct {
 	// no-recovery baseline.
 	Recover *RecoveryConfig
 
+	// Obs enables deterministic tracing and time-resolved telemetry
+	// (see obs.go and docs/OBSERVABILITY.md); nil — the default — runs
+	// with zero observability overhead and byte-identical output to a
+	// build without the subsystem.
+	Obs *ObsConfig
+
 	Tenants []TenantConfig
 }
 
@@ -394,6 +400,14 @@ func (c *Config) defaults() {
 	}
 	if c.Faults != nil {
 		c.Faults.defaults()
+	}
+	if c.Obs != nil {
+		// Clone before defaulting: one ObsConfig is typically shared
+		// across parallel scenario legs (experiments), and each run must
+		// own its copy.
+		o := *c.Obs
+		o.defaults()
+		c.Obs = &o
 	}
 }
 
@@ -427,6 +441,11 @@ func (c *Config) validate() error {
 			return err
 		}
 	}
+	if c.Obs != nil {
+		if err := c.Obs.validate(); err != nil {
+			return err
+		}
+	}
 	// Per-tenant validation happens in newFleet, against each tenant's
 	// defaulted private copy.
 	return nil
@@ -441,6 +460,11 @@ type request struct {
 	at     sim.Time
 	prompt int
 	output int
+
+	// id is the tenant-scoped arrival ordinal (1-based), the key trace
+	// lifecycle events pair on. Replays keep their original id, so a
+	// crash-requeued request's whole story lands on one trace row.
+	id int64
 
 	// Crash-replay provenance (see fault.go): a replayed request keeps
 	// its ORIGINAL arrival time — the crash penalty lands on the SLO —
@@ -813,6 +837,10 @@ type fleet struct {
 	routeScratch  []*replica
 	routeScratch2 []*replica
 	batchFree     []*batch // recycled batch instances (zero-alloc steady state)
+
+	// obs is the run's observability runtime; nil (the default) means
+	// every hook site is one nil check and nothing else (see obs.go).
+	obs *obsState
 }
 
 // Run executes one serving scenario. The optional CostDB carries
@@ -830,6 +858,9 @@ func Run(cfg Config, db *CostDB) (*Report, error) {
 	f.scheduleFaults()
 	if f.cfg.Autoscale {
 		f.scheduleScale(f.cfg.ScaleEverySec * f.cfg.Core.FrequencyHz)
+	}
+	if f.obs != nil && f.obs.tl != nil {
+		f.scheduleObs(f.obs.cfg.SampleEveryMs / 1e3 * f.cfg.Core.FrequencyHz)
 	}
 	f.eng.Run()
 	return f.report(), nil
@@ -873,6 +904,9 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 				f.fwStart = at
 			}
 		}
+	}
+	if cfg.Obs.enabled() {
+		f.obs = newObsState(*cfg.Obs, cfg.Scenario, cfg.Core.FrequencyHz, len(cfg.Tenants))
 	}
 	cm := compiler.NewCostModel(cfg.Core)
 	// Phase 1: build every tenant, so share groups can be resolved
@@ -1088,7 +1122,7 @@ func (f *fleet) arrive(t *tenantState, now sim.Time) {
 	if f.faulted && float64(now) >= f.fwStart {
 		t.fwArrivals++
 	}
-	req := request{at: now}
+	req := request{at: now, id: int64(t.arrivals)}
 	if t.llm != nil {
 		// Shape draws happen before admission, so every configuration
 		// compared on a seed (continuous vs static, any router) sees the
@@ -1102,6 +1136,9 @@ func (f *fleet) arrive(t *tenantState, now sim.Time) {
 		if f.cfg.Autoscale {
 			t.windowRejected++
 		}
+		if f.obs != nil {
+			f.obs.trace.Instant("reject", "req", t.cfg.Name, obsTrackControl, float64(now), req.id, "", 0, "reason", "no-replica")
+		}
 		return
 	}
 	q := r.queueFor(t)
@@ -1110,7 +1147,13 @@ func (f *fleet) arrive(t *tenantState, now sim.Time) {
 		if f.cfg.Autoscale {
 			t.windowRejected++
 		}
+		if f.obs != nil {
+			f.obs.trace.Instant("reject", "req", t.cfg.Name, obsTrackControl, float64(now), req.id, "", 0, "reason", "queue-cap")
+		}
 		return
+	}
+	if f.obs != nil {
+		f.obs.trace.Begin("queue", "req", t.cfg.Name, float64(now), req.id)
 	}
 	q.reqs = append(q.reqs, req)
 	if len(q.reqs) > t.maxQueue {
@@ -1459,5 +1502,6 @@ func (f *fleet) report() *Report {
 	}
 	rep.MapAccepts = f.mapAccepts
 	rep.MapRejects = f.mapRejects
+	f.obsFinish(rep, end)
 	return rep
 }

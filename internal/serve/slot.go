@@ -263,6 +263,9 @@ func (f *fleet) dispatch(r *replica, now sim.Time) {
 				if top.preempts > top.ten.maxPreempts {
 					top.ten.maxPreempts = top.preempts
 				}
+				if f.obs != nil {
+					f.obs.trace.Instant("bypass", "sched", r.ten.cfg.Name, obsReplicaTrack(r), float64(now), -1, "preempts", int64(top.preempts), "victim", top.ten.cfg.Name)
+				}
 				f.launch(r, q, kind, now, 0)
 				return
 			}
@@ -295,6 +298,12 @@ func (f *fleet) launchFrom(r *replica, q *slotQueue, now sim.Time, restore float
 	b.reqs = append(b.reqs[:0], q.reqs[:n]...)
 	rest := copy(q.reqs, q.reqs[n:])
 	q.reqs = q.reqs[:rest]
+	if f.obs != nil {
+		for i := range b.reqs {
+			f.obs.trace.End("queue", "req", t.cfg.Name, float64(now), b.reqs[i].id)
+			f.obs.trace.Begin("service", "req", t.cfg.Name, float64(now), b.reqs[i].id)
+		}
+	}
 	cycles, err := f.costs.ServiceCycles(t.cfg.Model, n, r.nm, r.nv)
 	if err != nil {
 		// Every group member's model was pre-measured at spawn for this
@@ -322,6 +331,10 @@ func (f *fleet) startSegment(r *replica, b *batch, now sim.Time) {
 // occupied for the whole generation (static batching's defining trait).
 func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 	t := b.ten
+	if f.obs != nil {
+		f.obs.trace.Span(obsBatchName[b.kind], "exec", r.ten.cfg.Name, obsReplicaTrack(r),
+			float64(b.started), float64(now), -1, "width", int64(obsBatchWidth(b)), "preempts", int64(b.preempts), "tenant", t.cfg.Name)
+	}
 	var chain *batch
 	switch b.kind {
 	case kindLLMPrefill:
@@ -350,6 +363,11 @@ func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 				f.prioLat[t.cfg.Priority].Add(lat)
 			}
 			t.completed++
+			if f.obs != nil {
+				f.obsCompletion(t, lat)
+				f.obs.trace.End("service", "req", t.cfg.Name, float64(now), req.id)
+				f.obs.trace.Instant("complete", "req", t.cfg.Name, obsTrackControl, float64(now), req.id, "lat_us", int64(lat/f.cfg.Core.FrequencyHz*1e6), "", "")
+			}
 		}
 	}
 	r.busyEUCycles += (b.restore + b.remaining) * float64(r.nm+r.nv)
@@ -428,6 +446,13 @@ func (f *fleet) suspend(r *replica, b *batch, rp sched.ResumePoint, now sim.Time
 	}
 	f.eng.Cancel(b.doneH)
 	t := b.ten
+	if f.obs != nil {
+		// The partial segment served so far becomes its own exec slice;
+		// the "preempt" instant marks the checkpoint boundary.
+		f.obs.trace.Span(obsBatchName[b.kind], "exec", r.ten.cfg.Name, obsReplicaTrack(r),
+			float64(b.started), float64(now), -1, "width", int64(obsBatchWidth(b)), "partial", 1, "tenant", t.cfg.Name)
+		f.obs.trace.Instant("preempt", "sched", r.ten.cfg.Name, obsReplicaTrack(r), float64(now), -1, "preempts", int64(b.preempts+1), "victim", t.cfg.Name)
+	}
 	t.servedServiceCycles += rp.Completed - (b.total - b.remaining)
 	r.busyEUCycles += float64(now-b.started) * float64(r.nm+r.nv)
 	b.remaining = rp.Remaining
@@ -462,5 +487,8 @@ func (f *fleet) resume(r *replica, b *batch, now sim.Time) {
 	b.restore = sw
 	t.resumes++
 	t.stolenCycles += sw
+	if f.obs != nil {
+		f.obs.trace.Instant("resume", "sched", r.ten.cfg.Name, obsReplicaTrack(r), float64(now), -1, "preempts", int64(b.preempts), "victim", t.cfg.Name)
+	}
 	f.startSegment(r, b, now)
 }

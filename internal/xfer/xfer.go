@@ -133,6 +133,31 @@ func (l *Link) Active() int { return len(l.active) }
 // BandwidthScale returns the current runtime multiplier (1 = healthy).
 func (l *Link) BandwidthScale() float64 { return l.scale }
 
+// Backlog returns the payload bytes still queued on the link across its
+// in-flight transfers, advanced to `now` — the instantaneous congestion
+// signal the observability sampler records. Advancing is the same lazy
+// bookkeeping every other accessor performs, so sampling never perturbs
+// completion times.
+func (l *Link) Backlog(now float64) float64 {
+	l.advance(now)
+	var b float64
+	for _, t := range l.active {
+		if t.remaining > 0 {
+			b += t.remaining
+		}
+	}
+	return b
+}
+
+// BusyCycles returns the cycles the link has spent with ≥1 transfer in
+// flight, advanced to `now` (the utilization integral Stats also
+// reports; exposed separately so per-tick samplers can diff it without
+// assembling a full Stats).
+func (l *Link) BusyCycles(now float64) float64 {
+	l.advance(now)
+	return l.busyArea
+}
+
 // rate is the effective bandwidth: nominal × runtime scale.
 func (l *Link) rate() float64 { return l.bwPerCycle * l.scale }
 
@@ -353,6 +378,15 @@ func (f *Fabric) SetBandwidthScale(scale float64) error {
 
 // Links returns how many pair links have been instantiated.
 func (f *Fabric) Links() int { return len(f.links) }
+
+// EachLink visits every instantiated link in creation order (an
+// event-driven, therefore deterministic order) — the iteration surface
+// per-link telemetry samples over.
+func (f *Fabric) EachLink(fn func(l *Link)) {
+	for _, l := range f.order {
+		fn(l)
+	}
+}
 
 // Stats folds every instantiated link's accounting up to `now`. Peak
 // concurrency is the max over links (per-link contention is what the
