@@ -111,6 +111,12 @@ func BenchmarkServeChaos(b *testing.B) { benchExperiment(b, "serve-chaos") }
 // benchmarks above are the regression gate for that).
 func BenchmarkServeChaosTraced(b *testing.B) { benchExperiment(b, "serve-chaos-traced") }
 
+// BenchmarkServeConsolidate measures the consolidation study: the
+// min-chips searches for the merged LLM+vision+recsys cluster and the
+// three single-tenant silos — mixed batcher policies (continuous LLM
+// plus dynamic batching) sharing slots on one fleet.
+func BenchmarkServeConsolidate(b *testing.B) { benchExperiment(b, "serve-consolidate") }
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSystolicArrayGEMM measures the functional matrix engine: one

@@ -52,6 +52,7 @@ var scenarios = map[string]string{
 	"disagg":       "serve-disagg",
 	"chaos":        "serve-chaos",
 	"chaos-traced": "serve-chaos-traced",
+	"consolidate":  "serve-consolidate",
 }
 
 func main() {
@@ -81,6 +82,8 @@ func main() {
 		fmt.Println("chaos         mid-trace chip crashes, a pod outage and link degradation on a")
 		fmt.Println("              disaggregated fleet; no-fault vs fault vs fault+recovery, same trace")
 		fmt.Println("chaos-traced  the chaos scenario with tracing and timelines always on")
+		fmt.Println("consolidate   LLM + vision + recsys tenants on one shared cluster vs per-tenant")
+		fmt.Println("              silos; min-chips search at equal SLO attainment")
 		return
 	}
 

@@ -102,7 +102,7 @@ func IDs() []string {
 		"fig24", "fig25", "fig26", "fig27",
 		"ablation-harvest", "ablation-preempt", "slo", "cluster",
 		"serve-steady", "serve-flash", "serve-mix", "serve-priority", "serve-llm",
-		"serve-disagg", "serve-chaos", "serve-chaos-traced",
+		"serve-disagg", "serve-chaos", "serve-chaos-traced", "serve-consolidate",
 	}
 }
 
@@ -161,6 +161,8 @@ func (r *Runner) Run(id string) (Result, error) {
 		return r.ServeChaos()
 	case "serve-chaos-traced":
 		return r.ServeChaosTraced()
+	case "serve-consolidate":
+		return r.ServeConsolidate()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

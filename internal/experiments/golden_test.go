@@ -10,53 +10,73 @@ import (
 	"neu10/internal/obs"
 )
 
-// TestGoldenServeReports pins the legacy output surface: with
-// observability off (the default), the serving scenarios' tables and
-// JSON reports must be byte-identical to the snapshots captured before
-// the observability subsystem existed (testdata/golden_serve_*). A
-// diff here means instrumentation perturbed the simulation or the
-// report encoding — exactly what the zero-overhead contract forbids.
+// goldenServe maps every serving scenario to its snapshot files. Table
+// snapshots cover the whole scenario surface; JSON is additionally
+// pinned for one single-leg and one multi-leg scenario (that locks the
+// encoding, without duplicating every number a second time). Regenerate
+// with NEU10_UPDATE_GOLDEN=1 go test ./internal/experiments/ -run Golden
+// — but only when an output change is intended and reviewed.
+var goldenServe = []struct {
+	id    string
+	table string
+	json  string
+}{
+	{"serve-steady", "golden_serve_steady.txt", "golden_serve_steady.json"},
+	{"serve-flash", "golden_serve_flash.txt", ""},
+	{"serve-mix", "golden_serve_mix.txt", ""},
+	{"serve-priority", "golden_serve_priority.txt", ""},
+	{"serve-llm", "golden_serve_llm.txt", "golden_serve_llm.json"},
+	{"serve-disagg", "golden_serve_disagg.txt", ""},
+	{"serve-chaos", "golden_serve_chaos.txt", ""},
+	{"serve-consolidate", "golden_serve_consolidate.txt", ""},
+}
+
+// TestGoldenServeReports pins the serving output surface end to end:
+// with observability off (the default), every scenario's tables — and
+// the pinned JSON reports — must be byte-identical to the committed
+// snapshots (testdata/golden_serve_*). A diff means a refactor or an
+// instrumentation change perturbed the simulation or the report
+// encoding; these snapshots are the safety net behind-the-scenes
+// restructuring (and the obs zero-overhead contract) is checked
+// against.
 func TestGoldenServeReports(t *testing.T) {
+	update := os.Getenv("NEU10_UPDATE_GOLDEN") != ""
 	r, err := NewRunner(DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden := func(name string) string {
+	check := func(name, got string) {
 		t.Helper()
-		data, err := os.ReadFile(filepath.Join("testdata", name))
+		path := filepath.Join("testdata", name)
+		if update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return string(data)
+		if want := string(data); got != want {
+			t.Errorf("%s diverged:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
 	}
-	for _, id := range []string{"serve-steady", "serve-llm", "serve-disagg"} {
-		res, err := r.Run(id)
+	for _, g := range goldenServe {
+		res, err := r.Run(g.id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		file := map[string]string{
-			"serve-steady": "golden_serve_steady.txt",
-			"serve-llm":    "golden_serve_llm.txt",
-			"serve-disagg": "golden_serve_disagg.txt",
-		}[id]
-		if got, want := res.Table(), golden(file); got != want {
-			t.Errorf("%s table diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", id, file, got, want)
-		}
-		if id == "serve-disagg" {
-			continue // no JSON golden for the sweep
+		check(g.table, res.Table())
+		if g.json == "" {
+			continue
 		}
 		sr := res.(*ServeResult)
 		data, err := json.MarshalIndent(sr.Reports, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}
-		jfile := map[string]string{
-			"serve-steady": "golden_serve_steady.json",
-			"serve-llm":    "golden_serve_llm.json",
-		}[id]
-		if got, want := string(data)+"\n", golden(jfile); got != want {
-			t.Errorf("%s JSON diverged from %s", id, jfile)
-		}
+		check(g.json, string(data)+"\n")
 	}
 }
 

@@ -33,11 +33,67 @@ import (
 // surfaces as prefill-side KV pressure and admission stalls, not as
 // silent overcommit.
 
+// disaggBatcher decorates the continuous policy with role awareness:
+// prefill-pool admission and (possibly chunked) prompt processing on
+// RolePrefill slots, decode delegated to the wrapped continuousLLM on
+// RoleDecode slots, and the KV migration between the two pools riding
+// on the fleet's migration machinery below.
+type disaggBatcher struct {
+	f     *fleet
+	t     *tenantState
+	inner *continuousLLM
+}
+
+// next: role-specialized slots see exactly one work kind — prompt
+// processing on the prefill pool, decode iterations over migrated
+// sequences on the decode pool.
+func (d *disaggBatcher) next(r *replica, q *slotQueue) (batchKind, sim.Time, bool) {
+	if r.role == RolePrefill {
+		if key, ok := d.prefillWork(r, q); ok {
+			return kindLLMPrefill, key, true
+		}
+		return 0, 0, false
+	}
+	for _, s := range q.running {
+		if s.prefilled && !s.migrating && s.produced < s.req.output {
+			return kindLLMDecode, s.req.at, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (d *disaggBatcher) launch(r *replica, q *slotQueue, kind batchKind, now sim.Time, restore float64) {
+	if kind == kindLLMPrefill {
+		d.launchPrefill(r, q, now, restore)
+		return
+	}
+	d.inner.launchDecode(r, q, now, restore)
+}
+
+func (d *disaggBatcher) finish(r *replica, b *batch, now sim.Time) *batch {
+	if b.kind == kindLLMPrefill {
+		d.finishPrefill(r, b, now)
+		return nil
+	}
+	return d.inner.finish(r, b, now)
+}
+
+// coalesces: like continuous batching, a disaggregated slot starts
+// work the moment it has any — chunked prefill and decode joins both
+// happen at invocation boundaries, never behind a batch-window timer.
+func (d *disaggBatcher) coalesces() bool                 { return false }
+func (d *disaggBatcher) passedOver(*replica, *slotQueue) {}
+
+// admitsArrival: arrivals of a disaggregated tenant route exclusively
+// to prefill slots; decode slots receive work only through KV
+// migration.
+func (d *disaggBatcher) admitsArrival(r *replica) bool { return r.role == RolePrefill }
+
 // prefillWork reports whether slot r (RolePrefill) has launchable
 // prefill work on queue q and, if so, the FIFO key of its oldest
 // contributor: an in-flight chunked prompt, or the queue head if it is
 // admittable (prompt reservation fits and the prefill width has room).
-func (f *fleet) prefillWork(r *replica, q *slotQueue) (sim.Time, bool) {
+func (d *disaggBatcher) prefillWork(r *replica, q *slotQueue) (sim.Time, bool) {
 	t := q.ten
 	var key sim.Time
 	found := false
@@ -59,16 +115,17 @@ func (f *fleet) prefillWork(r *replica, q *slotQueue) (sim.Time, bool) {
 	return key, found
 }
 
-// launchDisaggPrefill starts one prefill invocation on a RolePrefill
-// slot: admit queue-head requests (FIFO, prompt-only KV reservation, no
+// launchPrefill starts one prefill invocation on a RolePrefill slot:
+// admit queue-head requests (FIFO, prompt-only KV reservation, no
 // head-of-line bypass) while the prefill width has room, then advance
 // up to MaxBatch in-flight prompts by one chunk each (the whole
-// remaining prompt when chunking is off). bestWork only proposes this
+// remaining prompt when chunking is off). next only proposes this
 // kind when prefillWork holds, so the invocation always carries work.
-// The admission loop is the role-specialized sibling of llmAdmit
-// (llm.go) — bookkeeping changes there likely apply here too.
-func (f *fleet) launchDisaggPrefill(r *replica, q *slotQueue, now sim.Time, restore float64) {
-	t := q.ten
+// The admission loop is the role-specialized sibling of
+// continuousLLM.admit (llm.go) — bookkeeping changes there likely
+// apply here too.
+func (db *disaggBatcher) launchPrefill(r *replica, q *slotQueue, now sim.Time, restore float64) {
+	f, t := db.f, q.ten
 	d := t.cfg.LLM.Disagg
 	f.disarmTimer(r)
 
@@ -149,12 +206,12 @@ func (f *fleet) launchDisaggPrefill(r *replica, q *slotQueue, now sim.Time, rest
 	f.startSegment(r, b, now)
 }
 
-// finishDisaggPrefill retires one prefill invocation: every sequence
+// finishPrefill retires one prefill invocation: every sequence
 // advances by its chunk; fully prefilled prompts leave for the decode
 // pool through startMigration. No token is emitted here — the first
 // token is delivered when the KV lands on the decode replica.
-func (f *fleet) finishDisaggPrefill(r *replica, b *batch, now sim.Time) {
-	t := b.ten
+func (d *disaggBatcher) finishPrefill(r *replica, b *batch, now sim.Time) {
+	f, t := d.f, b.ten
 	t.llm.prefills++
 	for i, s := range b.seqs {
 		s.promptDone += b.chunks[i]

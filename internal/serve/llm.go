@@ -271,17 +271,99 @@ type llmSeq struct {
 	migrating bool
 }
 
-// llmAdmit moves admittable requests from the queue head into running
+// continuousLLM is the autoregressive batcher policy: one invocation
+// per iteration under continuous batching (the default), or the
+// two-leg static baseline when LLMConfig.Static is set. It owns the
+// prefill/decode arms the slot machinery used to switch on directly;
+// disaggBatcher (disagg.go) wraps it for role-split fleets.
+type continuousLLM struct {
+	f *fleet
+	t *tenantState
+}
+
+// next proposes this queue's launchable work. Continuous mode: a
+// prefill when the queue head's KV reservation fits and the running
+// set has room (prefill-prioritized joins), else one decode iteration
+// when prefilled sequences remain. Static mode: a fresh batch, only
+// when no batch of this queue is mid-generation and the head's
+// reservation fits.
+func (c *continuousLLM) next(r *replica, q *slotQueue) (batchKind, sim.Time, bool) {
+	t := q.ten
+	if t.cfg.LLM.Static {
+		if len(q.reqs) > 0 && len(q.running) == 0 &&
+			r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+			return kindLLMStaticPrefill, q.reqs[0].at, true
+		}
+		return 0, 0, false
+	}
+	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch &&
+		r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+		return kindLLMPrefill, q.reqs[0].at, true
+	}
+	for _, s := range q.running {
+		if s.prefilled && s.produced < s.req.output {
+			// FIFO key: the oldest decodable sequence's arrival.
+			return kindLLMDecode, s.req.at, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (c *continuousLLM) launch(r *replica, q *slotQueue, kind batchKind, now sim.Time, restore float64) {
+	if kind == kindLLMDecode {
+		c.launchDecode(r, q, now, restore)
+		return
+	}
+	c.launchPrefill(r, q, kind, now, restore)
+}
+
+func (c *continuousLLM) finish(r *replica, b *batch, now sim.Time) *batch {
+	switch b.kind {
+	case kindLLMPrefill:
+		c.finishPrefill(r, b, now)
+	case kindLLMDecode:
+		c.finishDecode(r, b, now)
+	case kindLLMStaticPrefill:
+		return c.finishStaticPrefill(r, b, now)
+	case kindLLMStaticDecode:
+		c.finishStaticDecode(r, b, now)
+	}
+	return nil
+}
+
+// coalesces: a continuous batcher never waits at the door — joins
+// happen at iteration boundaries — but the static baseline forms its
+// batch from the queue the way the dynamic batcher does.
+func (c *continuousLLM) coalesces() bool { return c.t.cfg.LLM.Static }
+
+// passedOver counts a KV-pressure stall for a static queue that could
+// not form a batch because its head's reservation does not fit and was
+// passed over by whatever launched instead — mirroring the continuous
+// path's accounting in admit/launchDecode (once per launch decision,
+// so the count stays deterministic).
+func (c *continuousLLM) passedOver(r *replica, q *slotQueue) {
+	if !c.t.cfg.LLM.Static {
+		return
+	}
+	if len(q.reqs) > 0 && len(q.running) == 0 &&
+		!r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+		c.t.llm.kvStalls++
+	}
+}
+
+func (c *continuousLLM) admitsArrival(*replica) bool { return true }
+
+// admit moves admittable requests from the queue head into running
 // sequences: FIFO, stopping at MaxBatch or at the first request whose
 // full KV reservation does not fit (no head-of-line bypass — admission
 // order stays deterministic and starvation-free). A stop forced by KV
 // pressure is counted as a stall. The disaggregated prefill pool runs
-// its own variant of this loop (launchDisaggPrefill in disagg.go:
-// prompt-only reservation, width counts only unfinished prefills,
-// queue-delay window sample) — bookkeeping changes here likely apply
-// there too.
-func (f *fleet) llmAdmit(r *replica, q *slotQueue, now sim.Time) []*llmSeq {
-	t := q.ten
+// its own variant of this loop (disaggBatcher.launchPrefill in
+// disagg.go: prompt-only reservation, width counts only unfinished
+// prefills, queue-delay window sample) — bookkeeping changes here
+// likely apply there too.
+func (c *continuousLLM) admit(r *replica, q *slotQueue, now sim.Time) []*llmSeq {
+	f, t := c.f, q.ten
 	var joined []*llmSeq
 	for len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch {
 		req := q.reqs[0]
@@ -312,16 +394,15 @@ func (f *fleet) llmAdmit(r *replica, q *slotQueue, now sim.Time) []*llmSeq {
 	return joined
 }
 
-// launchLLMPrefill starts a prefill invocation for the queue's
+// launchPrefill starts a prefill invocation for the queue's
 // admittable joiners — kind selects continuous (kindLLMPrefill, whose
 // batch retires at the prefill) or static (kindLLMStaticPrefill, whose
-// decode leg chains at the prefill's completion). bestWork only
-// proposes either when the head fits, so at least one sequence always
-// joins.
-func (f *fleet) launchLLMPrefill(r *replica, q *slotQueue, kind batchKind, now sim.Time, restore float64) {
-	t := q.ten
+// decode leg chains at the prefill's completion). next only proposes
+// either when the head fits, so at least one sequence always joins.
+func (c *continuousLLM) launchPrefill(r *replica, q *slotQueue, kind batchKind, now sim.Time, restore float64) {
+	f, t := c.f, q.ten
 	f.disarmTimer(r)
-	joined := f.llmAdmit(r, q, now)
+	joined := c.admit(r, q, now)
 	if len(joined) == 0 {
 		panic("serve: prefill launch admitted no sequence")
 	}
@@ -346,12 +427,12 @@ func (f *fleet) launchLLMPrefill(r *replica, q *slotQueue, kind batchKind, now s
 	f.startSegment(r, b, now)
 }
 
-// launchLLMDecode starts one decode iteration over the queue's
+// launchDecode starts one decode iteration over the queue's
 // prefilled, unfinished sequences. An iteration that could not also
 // grow the batch because the queue head's KV reservation does not fit
 // counts as a stall — the KV-pressure signal in the report.
-func (f *fleet) launchLLMDecode(r *replica, q *slotQueue, now sim.Time, restore float64) {
-	t := q.ten
+func (c *continuousLLM) launchDecode(r *replica, q *slotQueue, now sim.Time, restore float64) {
+	f, t := c.f, q.ten
 	f.disarmTimer(r)
 	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch &&
 		!r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
@@ -380,11 +461,11 @@ func (f *fleet) launchLLMDecode(r *replica, q *slotQueue, now sim.Time, restore 
 	f.startSegment(r, b, now)
 }
 
-// finishLLMPrefill retires a continuous-mode prefill: every joiner has
+// finishPrefill retires a continuous-mode prefill: every joiner has
 // its first token (TTFT), single-token requests complete outright, the
 // rest become decodable.
-func (f *fleet) finishLLMPrefill(r *replica, b *batch, now sim.Time) {
-	t := b.ten
+func (c *continuousLLM) finishPrefill(r *replica, b *batch, now sim.Time) {
+	f, t := c.f, b.ten
 	t.llm.prefills++
 	for _, s := range b.seqs {
 		f.emitFirstToken(t, s, now)
@@ -394,10 +475,10 @@ func (f *fleet) finishLLMPrefill(r *replica, b *batch, now sim.Time) {
 	}
 }
 
-// finishLLMDecode retires one decode iteration: every sequence gains a
+// finishDecode retires one decode iteration: every sequence gains a
 // token; finished ones exit and free their KV.
-func (f *fleet) finishLLMDecode(r *replica, b *batch, now sim.Time) {
-	t := b.ten
+func (c *continuousLLM) finishDecode(r *replica, b *batch, now sim.Time) {
+	f, t := c.f, b.ten
 	t.llm.decodeIters++
 	for _, s := range b.seqs {
 		s.produced++
@@ -409,14 +490,14 @@ func (f *fleet) finishLLMDecode(r *replica, b *batch, now sim.Time) {
 	}
 }
 
-// finishLLMStaticPrefill retires a static batch's prefill leg and
+// finishStaticPrefill retires a static batch's prefill leg and
 // returns the chained decode leg: one monolithic invocation covering
 // max(output−1) iterations at the batch's FULL launch width — finished
 // lanes are padding, the static-batching inefficiency. With no decode
 // work left (all outputs of length 1) it completes the batch and
 // returns nil.
-func (f *fleet) finishLLMStaticPrefill(r *replica, b *batch, now sim.Time) *batch {
-	t := b.ten
+func (c *continuousLLM) finishStaticPrefill(r *replica, b *batch, now sim.Time) *batch {
+	f, t := c.f, b.ten
 	t.llm.prefills++
 	maxRem, maxCtx := 0, 0
 	for _, s := range b.seqs {
@@ -450,11 +531,11 @@ func (f *fleet) finishLLMStaticPrefill(r *replica, b *batch, now sim.Time) *batc
 	return nb
 }
 
-// finishLLMStaticDecode retires a static batch's decode leg: every
+// finishStaticDecode retires a static batch's decode leg: every
 // request returns together (the synchronous static batcher), however
 // short its own output was.
-func (f *fleet) finishLLMStaticDecode(r *replica, b *batch, now sim.Time) {
-	t := b.ten
+func (c *continuousLLM) finishStaticDecode(r *replica, b *batch, now sim.Time) {
+	f, t := c.f, b.ten
 	maxRem := 0
 	for _, s := range b.seqs {
 		if rem := s.req.output - 1; rem > maxRem {

@@ -1,0 +1,531 @@
+package serve
+
+import (
+	"fmt"
+
+	"neu10/internal/model"
+	"neu10/internal/sim"
+)
+
+// Crash recovery: the machinery that absorbs the faults fault.go
+// injects. crashReplicas orchestrates one crash event end to end;
+// the phases below it (teardown, sequence resolution, re-queueing,
+// decode-pool evacuation) keep every conservation ledger exact.
+
+// crashReplicas executes one crash event over its full victim set. The
+// phases are strictly ordered so a pod outage can never re-route work
+// onto a sibling dying in the same event:
+//
+//  1. bookkeeping — time-to-recover anchors per affected tenant, then
+//     every victim is tombstoned (retired+draining) so routing, decode
+//     picking and stale events all skip it;
+//  2. migration triage — every in-flight KV transfer touching a dead
+//     chip aborts with conservation intact, parked migrations whose
+//     source died resolve per policy;
+//  3. teardown — victims are torn out of the fleet, harvesting their
+//     queued requests and running sequences;
+//  4. recovery spawns — emergency replacements (RecoveryConfig) come up
+//     BEFORE the harvest is re-queued, so recovered work can land on
+//     them;
+//  5. re-queue — harvested requests re-enter through the ordinary
+//     router and admission control (full queues shed: a crash under
+//     overload loses work, deterministically);
+//  6. rebalance — decode-pool evacuation, re-routing of orphaned
+//     migrations, and the parked-migration drain.
+func (f *fleet) crashReplicas(victims []*replica, now sim.Time) {
+	// Phase 1: anchors, then tombstones. preFaultActive must be read
+	// before any victim is marked draining.
+	var affected []*tenantState
+	seen := map[*tenantState]bool{}
+	for _, t := range f.tenants { // tenant-index order: deterministic
+		for _, r := range victims {
+			if r.ten == t && !seen[t] {
+				seen[t] = true
+				affected = append(affected, t)
+			}
+		}
+	}
+	for _, t := range affected {
+		if t.crashAt == 0 {
+			t.crashAt = float64(now)
+			t.preFaultActive = t.activeCount()
+		}
+	}
+	type respawn struct {
+		t    *tenantState
+		role Role
+		eus  int
+	}
+	var respawns []respawn
+	for _, r := range victims {
+		if r.retired {
+			continue // listed twice (overlapping chip sets); already dead
+		}
+		r.retired = true
+		r.draining = true
+		respawns = append(respawns, respawn{r.ten, r.role, r.eus})
+	}
+
+	// Phase 2: abort migrations touching a dead chip. The flight
+	// registry is per owning tenant; iterate owners in tenant-index
+	// order and flights in start order.
+	var out []harvested
+	type pokeSrc struct{ r *replica }
+	var pokes []pokeSrc
+	type remig struct {
+		src *replica
+		seq *llmSeq
+	}
+	var remigs []remig
+	for _, t := range f.tenants {
+		if t.llm == nil {
+			continue
+		}
+		kept := t.llm.migInflight[:0]
+		for _, fl := range t.llm.migInflight {
+			srcDead, dstDead := fl.src.retired, fl.dst.retired
+			if !srcDead && !dstDead {
+				kept = append(kept, fl)
+				continue
+			}
+			fl.xfr.Cancel()
+			if fl.evac {
+				t.llm.evacAborted++
+			} else {
+				t.llm.migAborted++
+			}
+			if !dstDead {
+				// The reservation charged to the target at transfer start
+				// rolls back exactly — the landing that would have consumed
+				// it can never come.
+				fl.dst.kv.free(fl.dblocks, float64(now))
+				fl.dst.inbound--
+			}
+			switch {
+			case srcDead:
+				// The payload's source pages died mid-copy: the sequence's
+				// KV is gone wherever the transfer was headed.
+				if f.obs != nil {
+					ph := "migrate"
+					if fl.evac {
+						ph = "evac"
+					}
+					f.obs.trace.End(ph, "req", t.cfg.Name, float64(now), fl.seq.req.id)
+				}
+				fl.src.queueFor(t).removeRunning(fl.seq)
+				f.crashSeqOutcome(t, fl.seq, &out, now)
+			case fl.evac:
+				// Target died under an evacuation: the sequence never left
+				// the source — unfreeze it and let the source keep decoding.
+				if f.obs != nil {
+					f.obs.trace.End("evac", "req", t.cfg.Name, float64(now), fl.seq.req.id)
+				}
+				fl.seq.migrating = false
+				pokes = append(pokes, pokeSrc{fl.src})
+			default:
+				// Target died under a prefill→decode handoff: the prompt KV
+				// is still whole on the source; re-route after teardown.
+				remigs = append(remigs, remig{fl.src, fl.seq})
+			}
+		}
+		for i := len(kept); i < len(t.llm.migInflight); i++ {
+			t.llm.migInflight[i] = nil
+		}
+		t.llm.migInflight = kept
+		// Parked migrations whose source died lost their prompt KV with
+		// the chip; resolve them per policy (FIFO order preserved). The
+		// sequence also leaves the victim's running set here — it is
+		// resolved NOW, and the teardown below must not harvest it again.
+		if len(t.llm.migQ) > 0 {
+			keptQ := t.llm.migQ[:0]
+			for _, m := range t.llm.migQ {
+				if m.from.retired {
+					if f.obs != nil {
+						f.obs.trace.End("migrate", "req", t.cfg.Name, float64(now), m.seq.req.id)
+					}
+					m.from.queueFor(t).removeRunning(m.seq)
+					f.crashSeqOutcome(t, m.seq, &out, now)
+					continue
+				}
+				keptQ = append(keptQ, m)
+			}
+			for i := len(keptQ); i < len(t.llm.migQ); i++ {
+				t.llm.migQ[i] = migPending{}
+			}
+			t.llm.migQ = keptQ
+		}
+	}
+
+	// Phase 3: teardown.
+	for _, r := range victims {
+		f.destroyReplica(r, now, &out)
+	}
+
+	// Phase 4: emergency spawns — replacement capacity comes up before
+	// the harvest re-queues, so recovered work can route onto it.
+	if rec := f.cfg.Recover; rec != nil && rec.EmergencySpawn {
+		for _, rs := range respawns {
+			if err := f.spawnReplica(rs.t, rs.eus, rs.role); err != nil {
+				rs.t.scaleFails++
+			} else {
+				rs.t.emergencySpawns++
+				if f.obs != nil {
+					f.obs.trace.Instant("emergency-spawn", "fault", rs.t.cfg.Name, obsTrackControl, float64(now), -1,
+						"eus", int64(rs.eus), "role", rs.role.String())
+				}
+			}
+		}
+	}
+
+	// Phase 5: re-queue the harvest in recovery order (victims oldest
+	// first, each victim's queues in tenant-index order, requests FIFO).
+	for _, h := range out {
+		f.requeue(h, now)
+	}
+
+	// Phase 6: rebalance and drain.
+	if rec := f.cfg.Recover; rec != nil && rec.Evacuate {
+		for _, t := range affected {
+			if t.disagg() != nil {
+				f.rebalanceDecode(t, now)
+			}
+		}
+	}
+	for _, rm := range remigs {
+		if !rm.src.retired {
+			f.startMigration(rm.src, rm.seq, now)
+		}
+	}
+	for _, t := range f.tenants {
+		if t.disagg() != nil {
+			f.drainMigQ(t, now)
+		}
+	}
+	for _, p := range pokes {
+		if p.r.cur == nil && !p.r.retired {
+			f.dispatch(p.r, now)
+		}
+	}
+}
+
+// destroyReplica tears one tombstoned victim out of the fleet: every
+// pending event it owns is canceled, batches in flight are un-issued
+// (the work-conservation ledger only ever counts delivered service),
+// queued requests and running sequences are harvested for re-queueing,
+// and the slot's accounting folds into its owner exactly as a graceful
+// retire would — only the KV contents are lost, never the books.
+func (f *fleet) destroyReplica(r *replica, now sim.Time, out *[]harvested) {
+	t := r.ten
+	t.crashes++
+	if f.obs != nil {
+		f.obs.trace.Instant("crash", "fault", t.cfg.Name, obsTrackControl, float64(now), -1,
+			"replica", int64(r.id), "role", r.role.String())
+	}
+	if r.timerSet {
+		f.eng.Cancel(r.timer)
+		r.timerSet = false
+	}
+	if r.preemptSet {
+		f.eng.Cancel(r.preemptH)
+		r.preemptSet = false
+	}
+	harvestBatch := func(b *batch) {
+		// Un-issue the undelivered remainder: issued−served stays exact
+		// (served was settled at the last checkpoint; the partial segment
+		// since then was never settled and is now never delivered).
+		b.ten.issuedServiceCycles -= b.remaining
+		if b.kind == kindInvoke {
+			for _, req := range b.reqs {
+				if f.obs != nil {
+					f.obs.trace.End("service", "req", b.ten.cfg.Name, float64(now), req.id)
+				}
+				*out = append(*out, harvested{b.ten, req})
+			}
+		}
+		// LLM batches advance sequences that live in the running sets
+		// harvested below — nothing request-shaped to recover here.
+		f.putBatch(b)
+	}
+	if b := r.cur; b != nil {
+		f.eng.Cancel(b.doneH)
+		// The chip was genuinely busy until the instant it died.
+		r.busyEUCycles += float64(now-b.started) * float64(r.nm+r.nv)
+		r.cur = nil
+		harvestBatch(b)
+	}
+	for _, b := range r.susp {
+		harvestBatch(b)
+	}
+	r.susp = r.susp[:0]
+	for i := range r.qs {
+		q := &r.qs[i]
+		qt := q.ten
+		for _, req := range q.reqs {
+			if f.obs != nil {
+				f.obs.trace.End("queue", "req", qt.cfg.Name, float64(now), req.id)
+			}
+			*out = append(*out, harvested{qt, req})
+		}
+		q.reqs = q.reqs[:0]
+		for _, s := range q.running {
+			f.crashSeqOutcome(qt, s, out, now)
+		}
+		for j := range q.running {
+			q.running[j] = nil
+		}
+		q.running = q.running[:0]
+	}
+	f.snapshot(float64(now))
+	f.allocatedEUs -= r.vnpu.Config.TotalEUs()
+	f.busySum += r.busyEUCycles
+	if r.kv != nil {
+		// Occupancy integrates up to the crash; the blocks themselves die
+		// with the chip (surviving replicas' conservation is what the
+		// property tests reconcile).
+		t.foldKV(r.kv, float64(now))
+	}
+	f.mapper.Unmap(r.vnpu)
+	for i, x := range t.replicas {
+		if x == r {
+			t.replicas = append(t.replicas[:i], t.replicas[i+1:]...)
+			break
+		}
+	}
+	t.replicaTL.Add(float64(now), float64(t.activeCount()))
+}
+
+// crashSeqOutcome resolves one sequence whose resident KV died with its
+// replica: re-queue (replaying any generated prefix by folding it into
+// the prompt) or fail, per the plan's CrashPolicy. The KV tokens lost —
+// everything resident at the crash — are itemized as recompute debt.
+func (f *fleet) crashSeqOutcome(t *tenantState, s *llmSeq, out *[]harvested, now sim.Time) {
+	if f.obs != nil {
+		// Close whichever lifecycle phase the crash interrupted: prefill
+		// when the prompt was still being processed (a disaggregated
+		// handoff's prefill phase already closed at prefDone, and its
+		// migrate phase is closed by the caller), decode when the sequence
+		// was mid-generation.
+		switch {
+		case !s.prefilled && s.prefDone == 0:
+			f.obs.trace.End("prefill", "req", t.cfg.Name, float64(now), s.req.id)
+		case s.prefilled && s.req.output > 1:
+			f.obs.trace.End("decode", "req", t.cfg.Name, float64(now), s.req.id)
+		}
+	}
+	lost := 0
+	if s.prefilled {
+		lost = s.ctx // prompt + produced so far
+	} else if s.promptDone > 0 {
+		lost = s.promptDone // chunked-prefill progress
+	}
+	if s.produced > 0 && f.cfg.Faults.Policy == CrashFail {
+		t.crashLost++
+		if f.obs != nil {
+			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), s.req.id,
+				"produced", int64(s.produced), "reason", "policy-fail")
+		}
+		return
+	}
+	req := s.req
+	req.replay = true
+	if s.produced > 0 {
+		req.prompt = s.req.prompt + s.produced
+		req.output = s.req.output - s.produced
+		req.hadTok = true
+		t.replays++
+	}
+	t.recomputeTokens += int64(lost)
+	if f.obs != nil {
+		f.obs.trace.Instant("crash-replay", "fault", t.cfg.Name, obsTrackControl, float64(now), req.id,
+			"lost_tokens", int64(lost), "", "")
+	}
+	*out = append(*out, harvested{t, req})
+}
+
+// requeue routes one harvested request back into the surviving fleet
+// through the ordinary router and admission control. No survivor with
+// queue room → the request is lost to the crash (counted, never
+// silently dropped); the router's total-crash behavior — nil only when
+// the tenant has no replicas at all — is exactly the PR-3 hardening.
+func (f *fleet) requeue(h harvested, now sim.Time) {
+	t := h.ten
+	r := f.route(t)
+	if r == nil {
+		t.crashLost++
+		if f.obs != nil {
+			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id,
+				"", 0, "reason", "no-replica")
+		}
+		return
+	}
+	q := r.queueFor(t)
+	if len(q.reqs) >= t.cfg.QueueCap {
+		t.crashLost++
+		if f.obs != nil {
+			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id,
+				"", 0, "reason", "queue-cap")
+		}
+		return
+	}
+	if f.obs != nil {
+		f.obs.trace.Instant("crash-requeue", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id, "", 0, "", "")
+		f.obs.trace.Begin("queue", "req", t.cfg.Name, float64(now), h.req.id)
+	}
+	q.reqs = append(q.reqs, h.req)
+	if len(q.reqs) > t.maxQueue {
+		t.maxQueue = len(q.reqs)
+	}
+	t.crashRequeued++
+	f.poke(r, t, now)
+}
+
+// rebalanceDecode evacuates mid-generation sequences from overloaded
+// decode slots toward underloaded ones (typically fresh emergency
+// spawns) after a crash: while the widest load gap is ≥ 2 sequences,
+// the cheapest movable sequence (smallest resident context — least
+// bytes on the wire) migrates over the interconnect. Sequences already
+// migrating count toward their TARGET's load, so each move closes the
+// gap by two and the loop terminates.
+func (f *fleet) rebalanceDecode(t *tenantState, now sim.Time) {
+	d := t.disagg()
+	if d == nil || f.fabric == nil {
+		return
+	}
+	load := func(r *replica) int {
+		n := r.inbound
+		for _, s := range r.queueFor(t).running {
+			if !s.migrating {
+				n++
+			}
+		}
+		return n
+	}
+	for {
+		var hi, lo *replica
+		for _, r := range t.replicas {
+			if r.role != RoleDecode || r.draining {
+				continue
+			}
+			l := load(r)
+			if hi == nil || l > load(hi) || (l == load(hi) && r.uid < hi.uid) {
+				hi = r
+			}
+			if lo == nil || l < load(lo) || (l == load(lo) && r.uid < lo.uid) {
+				lo = r
+			}
+		}
+		if hi == nil || lo == nil || hi == lo || load(hi)-load(lo) < 2 {
+			return
+		}
+		if load(lo) >= d.DecodeBatch {
+			return // the light slot has no width room either
+		}
+		// Cheapest movable sequence: not already migrating, not finished,
+		// and not inside the decode iteration currently in flight (its
+		// state must freeze for the copy). Ties break by arrival.
+		inCur := func(s *llmSeq) bool {
+			if hi.cur == nil {
+				return false
+			}
+			for _, x := range hi.cur.seqs {
+				if x == s {
+					return true
+				}
+			}
+			return false
+		}
+		var pick *llmSeq
+		for _, s := range hi.queueFor(t).running {
+			if s.migrating || !s.prefilled || s.produced >= s.req.output || inCur(s) {
+				continue
+			}
+			if pick == nil || s.ctx < pick.ctx || (s.ctx == pick.ctx && s.req.at < pick.req.at) {
+				pick = s
+			}
+		}
+		if pick == nil {
+			// Under continuous batching every resident sequence is usually
+			// inside the in-flight iteration, so a crash-instant rebalance
+			// finds the gap but nothing frozen to ship. Retry when the
+			// iteration drains (finish() checks the flag at every decode
+			// batch boundary, before the next batch collects).
+			for _, s := range hi.queueFor(t).running {
+				if !s.migrating && s.prefilled && s.produced < s.req.output && inCur(s) {
+					t.llm.rebalPending = true
+					break
+				}
+			}
+			return
+		}
+		if !lo.kv.fits(lo.kv.blocksFor(pick.req.prompt + pick.req.output)) {
+			return
+		}
+		f.beginEvacuation(hi, lo, pick, now)
+	}
+}
+
+// beginEvacuation ships one mid-generation sequence's resident KV from
+// src to dst. Same conservation discipline as the prefill→decode
+// handoff: the full reservation is charged to dst at start, the
+// sequence freezes (no decode advances it) while its pages are on the
+// wire, and src's blocks free exactly at landing.
+func (f *fleet) beginEvacuation(src, dst *replica, s *llmSeq, now sim.Time) {
+	t := src.ten
+	s.migrating = true
+	dblocks := dst.kv.blocksFor(s.req.prompt + s.req.output)
+	dst.kv.alloc(dblocks, float64(now))
+	dst.inbound++
+	bytes := model.LLMKVTransferBytes(s.ctx)
+	t.llm.evacStarted++
+	fl := &migFlight{seq: s, src: src, dst: dst, dblocks: dblocks, bytes: bytes, evac: true}
+	fl.xfr = f.fabric.Link(src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU).Start(bytes,
+		func(now sim.Time) { f.finishEvacuation(fl, now) })
+	t.llm.migInflight = append(t.llm.migInflight, fl)
+	if f.obs != nil {
+		f.obs.trace.Begin("evac", "req", t.cfg.Name, float64(now), s.req.id)
+		f.obs.trace.Instant("evac-start", "fault", t.cfg.Name, obsTrackControl, float64(now), s.req.id,
+			"bytes", bytes, "link", fmt.Sprintf("chip%d→chip%d", src.vnpu.Mapping.PNPU, dst.vnpu.Mapping.PNPU))
+	}
+}
+
+// finishEvacuation lands an evacuation: src's blocks free exactly now,
+// the dst reservation (charged at start) takes over, and the sequence
+// thaws into dst's running set mid-generation.
+func (f *fleet) finishEvacuation(fl *migFlight, now sim.Time) {
+	src, dst, s := fl.src, fl.dst, fl.seq
+	t := src.ten
+	t.llm.dropFlight(fl)
+	src.kv.free(s.blocks, float64(now))
+	src.queueFor(t).removeRunning(s)
+	s.blocks = fl.dblocks
+	s.migrating = false
+	dst.inbound--
+	dst.queueFor(t).running = append(dst.queueFor(t).running, s)
+	t.llm.evacLanded++
+	t.llm.evacBytes += fl.bytes
+	if f.obs != nil {
+		f.obs.trace.End("evac", "req", t.cfg.Name, float64(now), s.req.id)
+	}
+	// Freed source blocks may admit a parked migration; both ends have
+	// fresh scheduling state.
+	f.drainMigQ(t, now)
+	if src.cur == nil && !src.retired {
+		f.dispatch(src, now)
+	}
+	if dst.cur == nil && !dst.retired {
+		f.dispatch(dst, now)
+	}
+}
+
+// noteFaultDone feeds the fault-window attainment counters: requests
+// that ARRIVED inside the window (first fault → end of run) and were
+// served within the SLO. The ≤ comparison matches Latencies.CountBelow,
+// so window and whole-run attainment are directly comparable.
+func (f *fleet) noteFaultDone(t *tenantState, reqAt sim.Time, lat float64) {
+	if !f.faulted || float64(reqAt) < f.fwStart {
+		return
+	}
+	if lat <= t.sloCycles {
+		t.fwSloOK++
+	}
+}

@@ -432,3 +432,248 @@ func renderTable(sb *strings.Builder, header []string, rows [][]string) {
 		line(r)
 	}
 }
+
+// report assembles the final Report once the event queue has drained.
+func (f *fleet) report() *Report {
+	end := float64(f.eng.Now())
+	if end < f.durCycles {
+		end = f.durCycles
+	}
+	f.snapshot(end)
+	freq := f.cfg.Core.FrequencyHz
+	ms := func(cycles float64) float64 { return cycles / freq * 1e3 }
+
+	rep := &Report{
+		Scenario:    f.cfg.Scenario,
+		Seed:        f.cfg.Seed,
+		DurationSec: f.cfg.DurationSec,
+		Cores:       f.cfg.Cores,
+		Router:      f.cfg.Router.String(),
+		Placement:   f.cfg.Placement.String(),
+		Autoscale:   f.cfg.Autoscale,
+		Preempt:     f.cfg.Preempt,
+	}
+	type classAgg struct {
+		present            bool
+		arrivals, rejected int
+		completed, sloOK   int
+		preempted, resumes int
+		stolen             float64
+	}
+	var agg [numPriorities]classAgg
+	busy := f.busySum
+	// Fold every live replica's KV accountant into its owner BEFORE
+	// assembling any tenant report: an LLM tenant aggregates occupancy
+	// across its whole serving group (peer-owned shared slots hold its
+	// sequences too), so all owners must be up to date first.
+	for _, t := range f.tenants {
+		for _, r := range t.replicas {
+			if r.kv != nil {
+				t.foldKV(r.kv, end)
+			}
+		}
+	}
+	for _, t := range f.tenants {
+		for _, r := range t.replicas {
+			busy += r.busyEUCycles
+		}
+		sloOK := t.lat.CountBelow(t.sloCycles)
+		tr := TenantReport{
+			Name:            t.cfg.Name,
+			Model:           t.cfg.Model,
+			SLOMs:           t.cfg.SLOMs,
+			Arrivals:        t.arrivals,
+			Rejected:        t.rejected,
+			Completed:       t.completed,
+			P50Ms:           ms(t.lat.P50()),
+			P95Ms:           ms(t.lat.P95()),
+			P99Ms:           ms(t.lat.P99()),
+			MeanMs:          ms(t.lat.Mean()),
+			GoodputRPS:      float64(sloOK) / f.cfg.DurationSec,
+			Replicas:        t.activeCount(),
+			PeakReplicas:    t.peakReplicas,
+			EUsPerReplica:   t.curEUs,
+			ScaleUps:        t.scaleUps,
+			ScaleDowns:      t.scaleDowns,
+			Resizes:         t.resizes,
+			ScaleFails:      t.scaleFails,
+			MaxQueue:        t.maxQueue,
+			Preemptions:     t.preempted,
+			PreemptsIssued:  t.preemptsIssued,
+			Resumes:         t.resumes,
+			StolenMs:        ms(t.stolenCycles),
+			MaxBatchPreempt: t.maxPreempts,
+			ReplicaTimeline: t.replicaTL,
+		}
+		if t.llm != nil {
+			l := t.llm
+			batcher := "continuous"
+			if t.cfg.LLM.Static {
+				batcher = "static"
+			}
+			lr := &LLMTenantReport{
+				Batcher:       batcher,
+				Admitted:      l.admitted,
+				TTFTP50Ms:     ms(l.ttft.P50()),
+				TTFTP95Ms:     ms(l.ttft.P95()),
+				TTFTP99Ms:     ms(l.ttft.P99()),
+				TPOTP50Ms:     ms(l.tpot.P50()),
+				TPOTP95Ms:     ms(l.tpot.P95()),
+				TPOTP99Ms:     ms(l.tpot.P99()),
+				Prefills:      l.prefills,
+				DecodeIters:   l.decodeIters,
+				StaticBatches: l.staticBatches,
+				TokensOut:     l.tokensOut,
+				TokensPerSec:  float64(l.tokensOut) / f.cfg.DurationSec,
+				KVBlockTokens: t.cfg.LLM.BlockTokens,
+				KVStalls:      l.kvStalls,
+			}
+			if l.admitted > 0 {
+				lr.PromptTokensMean = float64(l.promptTokens) / float64(l.admitted)
+				lr.OutputTokensMean = float64(l.outputTokens) / float64(l.admitted)
+			}
+			if d := t.disagg(); d != nil {
+				lr.Batcher = "disaggregated"
+				lr.PrefillReplicas = t.activeRole(RolePrefill)
+				lr.PrefillPeak = t.prefPeak
+				lr.DecodeReplicas = t.activeRole(RoleDecode)
+				lr.DecodePeak = t.decPeak
+				lr.ChunkTokens = d.ChunkTokens
+				lr.Migrations = l.migrations
+				lr.MigrationMB = float64(l.migBytes) / (1 << 20)
+				lr.MigStalls = l.migStalls
+				// Mean over LANDED migrations: waits accrue at landing, so
+				// dividing by starts would bias the mean low if a report
+				// were ever taken with transfers still on the wire.
+				if l.migLanded > 0 {
+					lr.MigMeanMs = ms(l.migWaitCycles / float64(l.migLanded))
+				}
+			}
+			// KV occupancy spans the tenant's whole serving group: on
+			// shared slots its sequences allocate from peer-owned
+			// partitions too, and fold-at-retire credits the OWNER. Two
+			// LLM tenants in one group therefore both report their shared
+			// pool's occupancy.
+			var kvUsed, kvTotal float64
+			for _, p := range t.peers {
+				kvUsed += p.kvUsedArea
+				kvTotal += p.kvBlockArea
+				if p.kvPeakFrac > lr.KVOccPeak {
+					lr.KVOccPeak = p.kvPeakFrac
+				}
+			}
+			if kvTotal > 0 {
+				lr.KVOccMean = kvUsed / kvTotal
+			}
+			tr.LLM = lr
+		}
+		if f.prioEnabled {
+			tr.Priority = t.cfg.Priority.String()
+			tr.ShareGroup = t.cfg.ShareGroup
+			a := &agg[t.cfg.Priority]
+			a.present = true
+			a.arrivals += t.arrivals
+			a.rejected += t.rejected
+			a.completed += t.completed
+			a.sloOK += sloOK
+			a.preempted += t.preempted
+			a.resumes += t.resumes
+			a.stolen += t.stolenCycles
+		}
+		if t.arrivals > 0 {
+			// Rejected requests count against attainment: a shed request
+			// is a broken promise too.
+			tr.SLOAttainment = float64(sloOK) / float64(t.arrivals)
+		}
+		if f.faulted {
+			tr.Crashes = t.crashes
+			tr.CrashRequeued = t.crashRequeued
+			tr.CrashLost = t.crashLost
+			tr.Replays = t.replays
+			tr.RecomputeTokens = t.recomputeTokens
+			tr.EmergencySpawns = t.emergencySpawns
+			if t.llm != nil {
+				tr.Evacuations = t.llm.evacLanded
+				tr.EvacuationMB = float64(t.llm.evacBytes) / (1 << 20)
+			}
+			// Fault-window attainment/goodput: requests arriving from the
+			// first scheduled fault onward, same ≤-SLO rule as CountBelow.
+			if t.fwArrivals > 0 {
+				tr.FaultAttainment = float64(t.fwSloOK) / float64(t.fwArrivals)
+			}
+			if winSec := (end - f.fwStart) / freq; winSec > 0 {
+				tr.FaultGoodputRPS = float64(t.fwSloOK) / winSec
+			}
+			if t.crashAt > 0 {
+				// Time-to-recover: first crash → active count back at its
+				// pre-fault level. An unrecovered tenant reports the censored
+				// bound (end of run) with Recovered false.
+				tr.Recovered = t.recoveredAt > 0
+				rec := t.recoveredAt
+				if rec == 0 {
+					rec = end
+				}
+				tr.TTRMs = ms(rec - t.crashAt)
+			}
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	for p := numPriorities - 1; p >= 0; p-- { // highest class first
+		a := agg[p]
+		if !a.present {
+			continue
+		}
+		lat := &f.prioLat[p]
+		pr := PriorityReport{
+			Priority:    Priority(p).String(),
+			Arrivals:    a.arrivals,
+			Rejected:    a.rejected,
+			Completed:   a.completed,
+			P50Ms:       ms(lat.P50()),
+			P95Ms:       ms(lat.P95()),
+			P99Ms:       ms(lat.P99()),
+			GoodputRPS:  float64(a.sloOK) / f.cfg.DurationSec,
+			Preemptions: a.preempted,
+			Resumes:     a.resumes,
+			StolenMs:    ms(a.stolen),
+		}
+		if a.arrivals > 0 {
+			pr.SLOAttainment = float64(a.sloOK) / float64(a.arrivals)
+		}
+		rep.Priorities = append(rep.Priorities, pr)
+	}
+	var overhead float64
+	rep.Preemptions, rep.Resumes, overhead = f.switches.Snapshot()
+	rep.SwitchOverheadMs = ms(overhead)
+	if f.fabric != nil {
+		st := f.fabric.Stats(end)
+		rep.LinkGBps = f.cfg.LinkGBps
+		rep.Links = f.fabric.Links()
+		rep.LinkMovedMB = float64(st.BytesMoved) / (1 << 20)
+		rep.LinkPeakFlows = st.PeakActive
+		rep.LinkCanceled = st.Canceled
+		if n := f.fabric.Links(); n > 0 && end > 0 {
+			rep.LinkUtil = st.BusyCycles / (end * float64(n))
+		}
+	}
+	if f.faulted {
+		rep.FaultEvents = len(f.cfg.Faults.Events)
+		rep.FaultPolicy = f.cfg.Faults.Policy.String()
+		rep.FaultFromSec = f.fwStart / freq
+		if rc := f.cfg.Recover; rc != nil {
+			rep.WarmSpares = rc.WarmSpares
+			rep.EmergencySpawn = rc.EmergencySpawn
+			rep.Evacuate = rc.Evacuate
+		}
+	}
+	totalEUs := float64(f.cfg.Cores * (f.cfg.Core.MEs + f.cfg.Core.VEs))
+	if end > 0 {
+		rep.FleetEUUtil = busy / (end * totalEUs)
+		rep.AllocatedEUFrac = f.allocArea / (end * totalEUs)
+		rep.MeanStrandedEUs = f.strandArea / end
+	}
+	rep.MapAccepts = f.mapAccepts
+	rep.MapRejects = f.mapRejects
+	f.obsFinish(rep, end)
+	return rep
+}

@@ -27,822 +27,6 @@
 // bit-for-bit from Config.Seed.
 package serve
 
-import (
-	"fmt"
-	"math"
-
-	"neu10/internal/arch"
-	"neu10/internal/compiler"
-	"neu10/internal/core"
-	"neu10/internal/metrics"
-	"neu10/internal/model"
-	"neu10/internal/sim"
-	"neu10/internal/virt"
-	"neu10/internal/xfer"
-)
-
-// Role specializes a replica slot in a disaggregated LLM fleet. The
-// zero value keeps the colocated behavior: a mixed slot runs whatever
-// its tenant's batcher hands it.
-type Role int
-
-const (
-	// RoleMixed serves every work kind — the colocated default.
-	RoleMixed Role = iota
-	// RolePrefill only runs prompt processing; arrivals of a
-	// disaggregated tenant route exclusively here, and finished prompts
-	// migrate their KV to a decode slot over the interconnect.
-	RolePrefill
-	// RoleDecode only runs decode iterations over sequences whose KV a
-	// migration has landed; it never sees a prefill, so decode TPOT is
-	// isolated from prompt bursts by construction.
-	RoleDecode
-)
-
-func (r Role) String() string {
-	switch r {
-	case RoleMixed:
-		return "mixed"
-	case RolePrefill:
-		return "prefill"
-	case RoleDecode:
-		return "decode"
-	default:
-		return fmt.Sprintf("role(%d)", int(r))
-	}
-}
-
-// RouterPolicy selects how the SLO-aware router spreads a tenant's
-// admitted requests across its replicas.
-type RouterPolicy int
-
-const (
-	// LeastLoaded picks the replica with the fewest outstanding requests
-	// (queued + in service); ties break toward the older replica.
-	LeastLoaded RouterPolicy = iota
-	// JSQ (join-shortest-queue) considers only the wait queue, ignoring
-	// the batch currently in service.
-	JSQ
-	// PowerOfTwo samples two distinct replicas uniformly and joins the
-	// less loaded — the classic O(1) approximation of least-loaded.
-	PowerOfTwo
-)
-
-func (p RouterPolicy) String() string {
-	switch p {
-	case LeastLoaded:
-		return "least-loaded"
-	case JSQ:
-		return "jsq"
-	case PowerOfTwo:
-		return "power-of-two"
-	default:
-		return fmt.Sprintf("router(%d)", int(p))
-	}
-}
-
-// Priority is a request priority class. Every request carries its
-// tenant's priority; on temporal-shared replica slots (see
-// TenantConfig.ShareGroup) a higher-priority batch preempts an
-// in-flight lower-priority one at a µTOp-quantum boundary when
-// Config.Preempt is set.
-type Priority int
-
-const (
-	// Batch is the background class: throughput-oriented work that
-	// tolerates preemption (the zero value, so priority-unaware configs
-	// keep their old behavior).
-	Batch Priority = iota
-	// Interactive is the latency-sensitive class: its batches preempt
-	// Batch work on shared slots.
-	Interactive
-)
-
-// numPriorities sizes per-class accounting arrays.
-const numPriorities = int(Interactive) + 1
-
-func (p Priority) String() string {
-	switch p {
-	case Batch:
-		return "batch"
-	case Interactive:
-		return "interactive"
-	default:
-		return fmt.Sprintf("priority(%d)", int(p))
-	}
-}
-
-// ArrivalKind selects a tenant's open-loop arrival process. All three
-// are Poisson processes thinned from a deterministic rate envelope, so
-// the trace depends only on the seed.
-type ArrivalKind int
-
-const (
-	// Poisson is a homogeneous Poisson stream at the base rate.
-	Poisson ArrivalKind = iota
-	// Flash is Poisson with the rate multiplied by BurstFactor inside
-	// the [BurstStartFrac, BurstEndFrac) window of the run — a flash
-	// crowd.
-	Flash
-	// Diurnal modulates the rate sinusoidally: base·(1 + depth·sin(...)),
-	// the shape of a day/night traffic trace.
-	Diurnal
-)
-
-func (k ArrivalKind) String() string {
-	switch k {
-	case Poisson:
-		return "poisson"
-	case Flash:
-		return "flash"
-	case Diurnal:
-		return "diurnal"
-	default:
-		return fmt.Sprintf("arrival(%d)", int(k))
-	}
-}
-
-// TenantConfig describes one served tenant: its model, traffic, SLO and
-// scaling envelope.
-type TenantConfig struct {
-	Name  string
-	Model string // one of model.Names()
-
-	// Load is the offered load as a fraction of the initial fleet's
-	// max-batch service capacity; RatePerSec overrides it when > 0.
-	Load       float64
-	RatePerSec float64
-
-	Arrival       ArrivalKind
-	BurstFactor   float64 // Flash: rate multiplier during the burst window
-	BurstStart    float64 // Flash: window start, fraction of the run (default 1/3)
-	BurstEnd      float64 // Flash: window end, fraction of the run (default 2/3)
-	DiurnalDepth  float64 // Diurnal: modulation depth in [0, 1) (default 0.8)
-	DiurnalPeriod float64 // Diurnal: period as a fraction of the run (default 1)
-	DiurnalPhase  float64 // Diurnal: phase offset in radians
-
-	// SLOMs is the per-request latency objective in milliseconds; when 0
-	// it is derived as SLOFactor × the ideal full-batch service time on
-	// one replica (default factor 3).
-	SLOMs     float64
-	SLOFactor float64
-
-	MaxBatch      int     // dynamic batcher cap (default 8)
-	BatchWindowMs float64 // max coalescing wait; default SLOMs/10
-	QueueCap      int     // per-replica admission bound (default 64)
-
-	// EUs is the per-replica execution-unit budget handed to the §III-B
-	// allocator (default 4). The autoscaler may grow it in steps of 2 up
-	// to what fits one physical core, and shrink it back.
-	EUs             int
-	InitialReplicas int // default 1
-	MinReplicas     int // default 1
-	MaxReplicas     int // default InitialReplicas
-
-	// Priority is the class every request of this tenant carries
-	// (default Batch). It only matters on temporal-shared slots.
-	Priority Priority
-	// ShareGroup names a temporal-sharing pool: tenants with the same
-	// non-empty group pool ALL their replicas — any member's requests
-	// may be served by any slot in the pool, each slot keeping one wait
-	// queue per member. Empty (the default) keeps replicas private to
-	// their tenant, exactly the pre-priority behavior.
-	ShareGroup string
-
-	// LLM, when non-nil, makes the tenant autoregressive: requests draw
-	// a prompt/output shape, replicas carve a KV-cache partition out of
-	// their vNPU HBM, and the slot runs a continuous (or, for the
-	// baseline, static) batcher over generation iterations — see llm.go.
-	LLM *LLMConfig
-}
-
-func (tc *TenantConfig) defaults() {
-	if tc.SLOFactor == 0 {
-		tc.SLOFactor = 3
-	}
-	if tc.MaxBatch == 0 {
-		tc.MaxBatch = 8
-	}
-	if tc.QueueCap == 0 {
-		tc.QueueCap = 64
-	}
-	if tc.EUs == 0 {
-		tc.EUs = 4
-	}
-	if tc.InitialReplicas == 0 {
-		tc.InitialReplicas = 1
-	}
-	if tc.MinReplicas == 0 {
-		tc.MinReplicas = 1
-	}
-	if tc.MaxReplicas == 0 {
-		tc.MaxReplicas = tc.InitialReplicas
-	}
-	if tc.BurstFactor == 0 {
-		tc.BurstFactor = 1
-	}
-	if tc.BurstStart == 0 && tc.BurstEnd == 0 {
-		tc.BurstStart, tc.BurstEnd = 1.0/3, 2.0/3
-	}
-	if tc.DiurnalDepth == 0 {
-		tc.DiurnalDepth = 0.8
-	}
-	if tc.DiurnalPeriod == 0 {
-		tc.DiurnalPeriod = 1
-	}
-	if tc.LLM != nil {
-		tc.LLM.defaults()
-		if d := tc.LLM.Disagg; d != nil && d.DecodeBatch == 0 {
-			d.DecodeBatch = 2 * tc.MaxBatch
-		}
-	}
-}
-
-func (tc *TenantConfig) validate() error {
-	switch {
-	case tc.Name == "":
-		return fmt.Errorf("serve: tenant without a name")
-	case tc.Load <= 0 && tc.RatePerSec <= 0:
-		return fmt.Errorf("serve: tenant %s has no offered load", tc.Name)
-	case tc.BurstFactor < 1:
-		return fmt.Errorf("serve: tenant %s burst factor %v < 1", tc.Name, tc.BurstFactor)
-	case tc.Arrival == Flash && !(tc.BurstStart >= 0 && tc.BurstStart < tc.BurstEnd && tc.BurstEnd <= 1):
-		return fmt.Errorf("serve: tenant %s burst window [%v, %v) must satisfy 0 ≤ start < end ≤ 1",
-			tc.Name, tc.BurstStart, tc.BurstEnd)
-	case tc.DiurnalDepth < 0 || tc.DiurnalDepth >= 1:
-		return fmt.Errorf("serve: tenant %s diurnal depth %v out of [0,1)", tc.Name, tc.DiurnalDepth)
-	case tc.MinReplicas < 1:
-		return fmt.Errorf("serve: tenant %s needs ≥1 replica", tc.Name)
-	case tc.InitialReplicas < tc.MinReplicas || tc.MaxReplicas < tc.InitialReplicas:
-		return fmt.Errorf("serve: tenant %s replica bounds %d ≤ %d ≤ %d malformed",
-			tc.Name, tc.MinReplicas, tc.InitialReplicas, tc.MaxReplicas)
-	case tc.QueueCap < 1:
-		return fmt.Errorf("serve: tenant %s queue cap %d", tc.Name, tc.QueueCap)
-	case tc.MaxBatch < 1:
-		return fmt.Errorf("serve: tenant %s max batch %d", tc.Name, tc.MaxBatch)
-	case tc.EUs < 2:
-		return fmt.Errorf("serve: tenant %s EU budget %d < 2 (1 ME + 1 VE)", tc.Name, tc.EUs)
-	case tc.Priority < Batch || tc.Priority > Interactive:
-		return fmt.Errorf("serve: tenant %s priority %d unknown", tc.Name, tc.Priority)
-	}
-	if tc.LLM != nil {
-		if err := tc.LLM.validate(tc.Name); err != nil {
-			return err
-		}
-		// Disaggregated pools are private by construction: a prefill or
-		// decode slot serves exactly one tenant's one phase, which is the
-		// whole point — temporal sharing would reintroduce the
-		// interference disaggregation removes.
-		if tc.LLM.Disagg != nil && tc.ShareGroup != "" {
-			return fmt.Errorf("serve: tenant %s: disaggregation and share groups are mutually exclusive", tc.Name)
-		}
-	}
-	return nil
-}
-
-// Config parameterizes one serving run.
-type Config struct {
-	Scenario string // label carried into the report
-	Core     arch.CoreConfig
-	Cores    int // pNPU fleet size (single-core pNPUs, like internal/cluster)
-
-	Placement core.PlacementPolicy
-	Router    RouterPolicy
-
-	DurationSec float64
-	Seed        uint64
-
-	// Autoscale enables the control loop; when false the fleet stays at
-	// each tenant's InitialReplicas — the no-autoscale baseline.
-	Autoscale bool
-	// ScaleEverySec is the control interval (default 0.25s).
-	ScaleEverySec float64
-	// ScaleUpP99Frac: scale up when windowed p99 > frac × SLO (default 1).
-	ScaleUpP99Frac float64
-	// ScaleDownP99Frac: scale down when windowed p99 < frac × SLO and the
-	// window saw no rejections (default 0.4).
-	ScaleDownP99Frac float64
-
-	// Preempt enables priority-aware preemptive scheduling on
-	// temporal-shared slots: a waiting higher-priority batch preempts an
-	// in-flight lower-priority one at the next µTOp-quantum boundary,
-	// and the victim later resumes with exactly its remaining service
-	// cycles (sched.CheckpointAt models the checkpoint; each
-	// save/restore costs virt.SwitchCycles on the slot). When false,
-	// shared slots serve their queues FIFO by arrival — the no-priority
-	// baseline the serve-priority scenario compares against.
-	Preempt bool
-	// PreemptQuantumCycles is the µTOp-quantum granularity preemption
-	// checkpoints at (default 4096 cycles). Quanta longer than a batch's
-	// service time make that batch effectively non-preemptible.
-	PreemptQuantumCycles float64
-	// MaxPreemptsPerBatch denominates the aging-credit budget that
-	// bounds Batch wait (default 4): every batch tolerates up to
-	// MaxPreemptsPerBatch × PreemptQuantumCycles cycles of victimization
-	// delay (time spent suspended or bypassed by higher-priority work);
-	// once the accrued delay exhausts that credit the batch is immune to
-	// further preemption and bypass — the anti-starvation bound for
-	// Batch work under sustained Interactive load. (This replaces the
-	// original hard event cap: a batch victimized by many cheap
-	// interruptions now stays preemptible longer, one victimized by a
-	// single long one becomes immune sooner, and either way its total
-	// extra wait is bounded in cycles, not events.)
-	MaxPreemptsPerBatch int
-
-	// LinkGBps is the modeled chip-to-chip interconnect bandwidth per
-	// link in GB/s (default 64); LinkLatencyUs the per-transfer latency
-	// in microseconds (default 2). Only disaggregated tenants
-	// (LLMConfig.Disagg) ship KV migrations over the fabric; everything
-	// else ignores it. Concurrent migrations between the same chip pair
-	// share the link max-min fairly (internal/xfer).
-	LinkGBps      float64
-	LinkLatencyUs float64
-
-	// Faults schedules deterministic fault injection — replica/chip
-	// crashes, correlated pod outages, link degradation — on the sim
-	// clock; nil (the default) keeps the fleet fault-free. See fault.go.
-	Faults *FaultPlan
-	// Recover enables the recovery machinery a FaultPlan exercises (warm
-	// spares, emergency spawns, decode-pool evacuation); nil is the
-	// no-recovery baseline.
-	Recover *RecoveryConfig
-
-	// Obs enables deterministic tracing and time-resolved telemetry
-	// (see obs.go and docs/OBSERVABILITY.md); nil — the default — runs
-	// with zero observability overhead and byte-identical output to a
-	// build without the subsystem.
-	Obs *ObsConfig
-
-	Tenants []TenantConfig
-}
-
-func (c *Config) defaults() {
-	if c.ScaleEverySec == 0 {
-		c.ScaleEverySec = 0.25
-	}
-	if c.ScaleUpP99Frac == 0 {
-		c.ScaleUpP99Frac = 1
-	}
-	if c.ScaleDownP99Frac == 0 {
-		c.ScaleDownP99Frac = 0.4
-	}
-	if c.PreemptQuantumCycles == 0 {
-		c.PreemptQuantumCycles = 4096
-	}
-	if c.MaxPreemptsPerBatch == 0 {
-		c.MaxPreemptsPerBatch = 4
-	}
-	if c.LinkGBps == 0 {
-		c.LinkGBps = 64
-	}
-	if c.LinkLatencyUs == 0 {
-		c.LinkLatencyUs = 2
-	}
-	if c.Faults != nil {
-		c.Faults.defaults()
-	}
-	if c.Obs != nil {
-		// Clone before defaulting: one ObsConfig is typically shared
-		// across parallel scenario legs (experiments), and each run must
-		// own its copy.
-		o := *c.Obs
-		o.defaults()
-		c.Obs = &o
-	}
-}
-
-func (c *Config) validate() error {
-	if err := c.Core.Validate(); err != nil {
-		return err
-	}
-	switch {
-	case c.Cores < 1:
-		return fmt.Errorf("serve: fleet needs ≥1 pNPU, got %d", c.Cores)
-	case c.DurationSec <= 0:
-		return fmt.Errorf("serve: duration %v", c.DurationSec)
-	case len(c.Tenants) == 0:
-		return fmt.Errorf("serve: no tenants")
-	case c.PreemptQuantumCycles < 0:
-		return fmt.Errorf("serve: preemption quantum %v", c.PreemptQuantumCycles)
-	case c.MaxPreemptsPerBatch < 1:
-		return fmt.Errorf("serve: max preempts per batch %d", c.MaxPreemptsPerBatch)
-	case c.LinkGBps < 0:
-		return fmt.Errorf("serve: link bandwidth %v GB/s", c.LinkGBps)
-	case c.LinkLatencyUs < 0:
-		return fmt.Errorf("serve: link latency %v µs", c.LinkLatencyUs)
-	}
-	if c.Faults != nil {
-		if err := c.Faults.validate(c); err != nil {
-			return err
-		}
-	}
-	if c.Recover != nil {
-		if err := c.Recover.validate(); err != nil {
-			return err
-		}
-	}
-	if c.Obs != nil {
-		if err := c.Obs.validate(); err != nil {
-			return err
-		}
-	}
-	// Per-tenant validation happens in newFleet, against each tenant's
-	// defaulted private copy.
-	return nil
-}
-
-// ---- runtime state ----
-
-// request is one queued inference request: its arrival time plus, for
-// LLM tenants, the autoregressive shape drawn at arrival (zero for
-// single-shot tenants).
-type request struct {
-	at     sim.Time
-	prompt int
-	output int
-
-	// id is the tenant-scoped arrival ordinal (1-based), the key trace
-	// lifecycle events pair on. Replays keep their original id, so a
-	// crash-requeued request's whole story lands on one trace row.
-	id int64
-
-	// Crash-replay provenance (see fault.go): a replayed request keeps
-	// its ORIGINAL arrival time — the crash penalty lands on the SLO —
-	// with any generated prefix folded into prompt/output. hadTok marks
-	// a replay whose first token was already delivered before the crash,
-	// so the TTFT recorder is not fed twice.
-	replay bool
-	hadTok bool
-}
-
-// slotQueue is one tenant's wait queue on a replica slot. Private
-// replicas have exactly one (the owner's); temporal-shared slots carry
-// one per share-group member, in tenant-index order. For LLM tenants it
-// also holds the running set: admitted sequences mid-generation, whose
-// KV reservations live on this slot until they complete.
-type slotQueue struct {
-	ten     *tenantState
-	reqs    []request
-	running []*llmSeq
-}
-
-// batchKind distinguishes what one slot invocation does.
-type batchKind uint8
-
-const (
-	// kindInvoke is a whole-model batched inference (the single-shot path).
-	kindInvoke batchKind = iota
-	// kindLLMPrefill processes the prompts of newly admitted sequences
-	// (continuous batching's join step).
-	kindLLMPrefill
-	// kindLLMDecode is one decode iteration over the running set.
-	kindLLMDecode
-	// kindLLMStaticPrefill is a static batch's prefill leg; its decode
-	// leg chains at completion.
-	kindLLMStaticPrefill
-	// kindLLMStaticDecode is a static batch's monolithic decode-to-the-
-	// longest-output leg.
-	kindLLMStaticDecode
-)
-
-// batch is one batched invocation bound to a slot: in service, or
-// suspended mid-service by a preemption. total and remaining partition
-// its pure service cycles exactly (work conservation); restore is the
-// context-switch debt paid at the start of the next segment. Single-
-// shot invocations carry their requests in reqs; LLM invocations carry
-// the sequences they advance in seqs.
-type batch struct {
-	ten  *tenantState
-	kind batchKind
-	reqs []request
-	seqs []*llmSeq
-	// chunks, parallel to seqs, holds the prompt tokens each sequence
-	// advances in a disaggregated (possibly chunked) prefill invocation.
-	chunks []int
-
-	total     float64 // pure service cycles (CostDB, fixed at launch)
-	remaining float64 // service cycles still owed
-	restore   float64 // switch cycles to pay before service (re)starts
-
-	started  sim.Time   // start of the current segment
-	doneH    sim.Handle // scheduled completion of the current segment
-	preempts int        // preemptions + priority bypasses suffered (stats)
-
-	// Aging credit: victimWait accrues the cycles this batch has spent
-	// suspended (waiting covers the open interval since waitFrom). Once
-	// it exhausts the fleet's preemptBudget the batch is immune to
-	// further preemption and bypass — the wait-denominated
-	// anti-starvation bound (see Config.MaxPreemptsPerBatch).
-	victimWait float64
-	waiting    bool
-	waitFrom   sim.Time
-}
-
-// replica is one mapped vNPU slot. It is owned (spawned, drained,
-// retired) by one tenant's autoscaler, but when that tenant is in a
-// share group the slot serves every group member.
-type replica struct {
-	id  int // owner-tenant spawn ordinal (display)
-	uid int // fleet-unique spawn ordinal: global age for tie-breaks
-
-	ten    *tenantState
-	vnpu   *core.VNPU
-	nm, nv int
-	eus    int  // EU budget this replica was allocated at
-	role   Role // RoleMixed unless the owner is disaggregated
-
-	qs   []slotQueue // admitted, waiting; one queue per serving tenant
-	cur  *batch      // the batch currently in service
-	susp []*batch    // preempted batches awaiting resume (LIFO)
-
-	// kv is the KV-cache accountant of this slot's vNPU memory
-	// partition; non-nil iff an LLM tenant is served here.
-	kv *kvAccountant
-	// inbound counts KV migrations in flight TOWARD this decode slot:
-	// their reservations are already charged to kv, and a slot with
-	// inbound work is not idle (it must not retire under a transfer).
-	inbound int
-
-	timerSet   bool
-	timer      sim.Handle
-	timerAt    sim.Time // armed batch-window deadline
-	preemptSet bool
-	preemptH   sim.Handle
-	draining   bool
-	retired    bool
-
-	busyEUCycles float64 // Σ occupied-cycles × (nm+nv), incl. switch overhead
-}
-
-// queueFor returns t's wait queue on this slot (nil when t is not
-// served here).
-func (r *replica) queueFor(t *tenantState) *slotQueue {
-	for i := range r.qs {
-		if r.qs[i].ten == t {
-			return &r.qs[i]
-		}
-	}
-	return nil
-}
-
-// queued counts waiting requests across the slot's queues.
-func (r *replica) queued() int {
-	n := 0
-	for i := range r.qs {
-		n += len(r.qs[i].reqs)
-	}
-	return n
-}
-
-// inService counts requests bound to the slot: the running batch plus
-// every suspended one, plus every LLM sequence mid-generation (LLM
-// batches reference sequences already counted in their running sets, so
-// only single-shot batches add their requests here).
-func (r *replica) inService() int {
-	n := 0
-	if r.cur != nil && r.cur.kind == kindInvoke {
-		n += len(r.cur.reqs)
-	}
-	for _, b := range r.susp {
-		if b.kind == kindInvoke {
-			n += len(b.reqs)
-		}
-	}
-	for i := range r.qs {
-		n += len(r.qs[i].running)
-	}
-	return n
-}
-
-// backlog is the router's load signal: queued plus in-service requests.
-func (r *replica) backlog() int { return r.queued() + r.inService() }
-
-// idleEmpty reports whether the slot holds no work at all — the retire
-// condition for a draining slot. An in-flight migration counts as work
-// on both ends: the source still owns the sequence (and its prompt KV)
-// until the last byte lands, the target has the reservation charged.
-func (r *replica) idleEmpty() bool {
-	if r.cur != nil || len(r.susp) > 0 || r.queued() > 0 || r.inbound > 0 {
-		return false
-	}
-	for i := range r.qs {
-		if len(r.qs[i].running) > 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// arrivalTarget reports whether slot r accepts tenant t's new
-// arrivals: any slot for colocated tenants, only prefill slots for
-// disaggregated ones (decode slots receive work exclusively through KV
-// migration).
-func arrivalTarget(t *tenantState, r *replica) bool {
-	if t.disagg() != nil {
-		return r.role == RolePrefill
-	}
-	return true
-}
-
-// tenantState is the runtime of one tenant.
-type tenantState struct {
-	cfg TenantConfig
-	idx int
-
-	profile   compiler.Profile
-	footprint int64
-
-	curEUs       int     // current per-replica EU budget (autoscaler-adjusted)
-	sloCycles    float64 // per-request latency objective
-	batchWindow  float64 // coalescing wait, cycles
-	basePerCycle float64 // base arrival rate, requests per cycle
-	peakMult     float64 // max of the rate envelope (thinning bound)
-	capacityRPS  float64 // one initial replica's max-batch throughput
-
-	// Disaggregated pools autoscale against per-phase objectives derived
-	// from the same anchors as sloCycles: the prefill pool against its
-	// queue delay (prefillSLO = SLOFactor × mean-shape prefill cost) and
-	// the decode pool against TPOT (tpotSLO = SLOFactor × mean-context
-	// decode-iteration cost). Zero for non-disaggregated tenants.
-	prefillSLO float64
-	tpotSLO    float64
-
-	arrRNG   *sim.RNG // arrival gaps + thinning coin
-	routeRNG *sim.RNG // power-of-two sampling
-
-	// llm is the autoregressive runtime (request-shape RNG, TTFT/TPOT
-	// recorders, KV stall counters); nil for single-shot tenants.
-	llm *llmTenant
-
-	// peers are the share-group members this tenant pools slots with,
-	// in tenant-index order, always including the tenant itself. An
-	// ungrouped tenant's peers are just {itself}.
-	peers []*tenantState
-
-	replicas      []*replica // active + draining (retired ones removed)
-	nextReplicaID int
-
-	// metrics
-	lat            metrics.Latencies // all completed requests, cycles
-	windowLat      metrics.Latencies // since the last autoscale decision
-	arrivals       int
-	rejected       int
-	completed      int
-	windowRejected int
-	maxQueue       int
-	peakReplicas   int
-	prefPeak       int // peak prefill-pool size (disaggregated tenants)
-	decPeak        int // peak decode-pool size
-	scaleUps       int
-	scaleDowns     int
-	resizes        int
-	scaleFails     int
-	replicaTL      *metrics.TimeSeries
-
-	// preemption accounting
-	preempted      int     // this tenant's batches suspended mid-service
-	preemptsIssued int     // preemptions its batches triggered on others
-	resumes        int     // suspended batches resumed
-	stolenCycles   float64 // switch overhead charged against its batches
-	maxPreempts    int     // worst preempt+bypass count on a single batch
-	maxVictimWait  float64 // worst accrued victimization wait, cycles (credit ledger)
-
-	// work-conservation ledger (tests): service cycles priced at launch
-	// versus service cycles actually delivered across all segments.
-	issuedServiceCycles float64
-	servedServiceCycles float64
-
-	// KV occupancy folded from this tenant's replicas (retired ones at
-	// retire time, live ones at report time): ∫used dt, ∫total dt, and
-	// the worst instantaneous occupancy fraction any replica hit.
-	kvUsedArea  float64
-	kvBlockArea float64
-	kvPeakFrac  float64
-
-	// Fault/recovery accounting (see fault.go; all zero fault-free).
-	crashes         int   // replicas lost to fault events
-	crashRequeued   int   // harvested requests re-queued to survivors
-	crashLost       int   // harvested requests lost (policy or no room)
-	replays         int   // partially-generated sequences replayed
-	recomputeTokens int64 // Σ resident KV tokens lost to crashes
-	emergencySpawns int   // crash-triggered replacement spawns
-	crashAt         float64
-	preFaultActive  int     // active replicas at the first crash
-	recoveredAt     float64 // first instant active count regained preFaultActive
-	fwArrivals      int     // arrivals inside the fault window
-	fwSloOK         int     // ...of which finished within the SLO
-}
-
-// foldKV accrues one replica accountant's occupancy into the tenant's
-// report accumulators.
-func (t *tenantState) foldKV(a *kvAccountant, now float64) {
-	a.accrue(now)
-	t.kvUsedArea += a.usedArea
-	t.kvBlockArea += float64(a.totalBlocks) * (now - a.born)
-	if a.totalBlocks > 0 {
-		if fr := float64(a.peakBlocks) / float64(a.totalBlocks); fr > t.kvPeakFrac {
-			t.kvPeakFrac = fr
-		}
-	}
-}
-
-// rateMult evaluates the deterministic rate envelope at time t (cycles).
-func (t *tenantState) rateMult(at, durCycles float64) float64 {
-	switch t.cfg.Arrival {
-	case Flash:
-		frac := at / durCycles
-		if frac >= t.cfg.BurstStart && frac < t.cfg.BurstEnd {
-			return t.cfg.BurstFactor
-		}
-		return 1
-	case Diurnal:
-		period := t.cfg.DiurnalPeriod * durCycles
-		return 1 + t.cfg.DiurnalDepth*math.Sin(2*math.Pi*at/period+t.cfg.DiurnalPhase)
-	default:
-		return 1
-	}
-}
-
-func (t *tenantState) activeCount() int {
-	n := 0
-	for _, r := range t.replicas {
-		if !r.draining {
-			n++
-		}
-	}
-	return n
-}
-
-// disagg returns the tenant's disaggregation config (nil when the
-// tenant is colocated or not an LLM).
-func (t *tenantState) disagg() *DisaggConfig {
-	if t.cfg.LLM == nil {
-		return nil
-	}
-	return t.cfg.LLM.Disagg
-}
-
-// activeRole counts non-draining replicas of one role.
-func (t *tenantState) activeRole(role Role) int {
-	n := 0
-	for _, r := range t.replicas {
-		if !r.draining && r.role == role {
-			n++
-		}
-	}
-	return n
-}
-
-// fleet is the whole serving simulation.
-type fleet struct {
-	cfg    Config
-	eng    *sim.Engine
-	costs  *CostDB
-	mapper *core.Mapper
-	alloc  *core.Allocator
-	// fabric is the chip-to-chip interconnect KV migrations ship over;
-	// non-nil iff some tenant is disaggregated.
-	fabric *xfer.Fabric
-
-	tenants   []*tenantState
-	nextVNPU  int
-	nextUID   int
-	durCycles float64
-
-	// faulted gates every chaos-only report field and counter, so
-	// fault-free runs render byte-identically to before; fwStart is the
-	// fault window's opening edge (first scheduled event), in cycles.
-	faulted bool
-	fwStart float64
-
-	// prioEnabled: any share group, non-default priority, or Preempt —
-	// gates the per-priority report section so priority-unaware configs
-	// render exactly as before.
-	prioEnabled bool
-	// preemptBudget is the aging-credit allowance in cycles:
-	// MaxPreemptsPerBatch × PreemptQuantumCycles of victimization delay
-	// per batch.
-	preemptBudget float64
-	prioLat       [numPriorities]metrics.Latencies
-	switches      virt.SwitchLedger
-
-	// time-weighted fleet accounting (lazy snapshots, like internal/cluster)
-	lastSnap      float64
-	allocatedEUs  int
-	allocArea     float64
-	strandArea    float64
-	busySum       float64 // busyEUCycles of retired replicas
-	mapAccepts    int
-	mapRejects    int
-	routeScratch  []*replica
-	routeScratch2 []*replica
-	batchFree     []*batch // recycled batch instances (zero-alloc steady state)
-
-	// obs is the run's observability runtime; nil (the default) means
-	// every hook site is one nil check and nothing else (see obs.go).
-	obs *obsState
-}
-
 // Run executes one serving scenario. The optional CostDB carries
 // measured invocation costs across runs (scenario comparisons, repeated
 // seeds); pass nil to build a private one. Costs are pure functions of
@@ -864,644 +48,4 @@ func Run(cfg Config, db *CostDB) (*Report, error) {
 	}
 	f.eng.Run()
 	return f.report(), nil
-}
-
-// newFleet validates the config and builds the fully initialized fleet
-// — tenants, share groups, initial replicas, SLOs and rates — without
-// scheduling any traffic, so tests can drive autoscaler and routing
-// paths directly.
-func newFleet(cfg Config, db *CostDB) (*fleet, error) {
-	cfg.defaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if db == nil || db.Core() != cfg.Core {
-		db = NewCostDB(cfg.Core)
-	}
-	mapper, err := core.NewMapper(cfg.Cores, cfg.Core)
-	if err != nil {
-		return nil, err
-	}
-	mapper.Policy = cfg.Placement
-	alloc, err := core.NewAllocator(cfg.Core)
-	if err != nil {
-		return nil, err
-	}
-	f := &fleet{
-		cfg:           cfg,
-		eng:           sim.NewEngine(),
-		costs:         db,
-		mapper:        mapper,
-		alloc:         alloc,
-		durCycles:     cfg.DurationSec * cfg.Core.FrequencyHz,
-		preemptBudget: float64(cfg.MaxPreemptsPerBatch) * cfg.PreemptQuantumCycles,
-	}
-	if cfg.Faults != nil && len(cfg.Faults.Events) > 0 {
-		f.faulted = true
-		f.fwStart = math.Inf(1)
-		for _, e := range cfg.Faults.Events {
-			if at := e.AtFrac * f.durCycles; at < f.fwStart {
-				f.fwStart = at
-			}
-		}
-	}
-	if cfg.Obs.enabled() {
-		f.obs = newObsState(*cfg.Obs, cfg.Scenario, cfg.Core.FrequencyHz, len(cfg.Tenants))
-	}
-	cm := compiler.NewCostModel(cfg.Core)
-	// Phase 1: build every tenant, so share groups can be resolved
-	// before any slot (whose queues span the whole group) is spawned.
-	for i := range cfg.Tenants {
-		t := &tenantState{cfg: cfg.Tenants[i], idx: i}
-		t.cfg.defaults()
-		if err := t.cfg.validate(); err != nil {
-			return nil, err
-		}
-		g, err := model.Build(t.cfg.Model, PadBatch(t.cfg.MaxBatch))
-		if err != nil {
-			return nil, fmt.Errorf("serve: tenant %s: %w", t.cfg.Name, err)
-		}
-		t.profile = cm.ProfileGraph(g)
-		t.footprint = g.HBMFootprint
-		t.curEUs = t.cfg.EUs
-		t.arrRNG = sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
-		t.routeRNG = sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0xbf58476d1ce4e5b9)
-		t.replicaTL = metrics.NewTimeSeries(t.cfg.Name+"/replicas", 4096)
-		if t.cfg.LLM != nil {
-			t.llm = &llmTenant{rng: sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0x94d049bb133111eb)}
-		}
-		f.tenants = append(f.tenants, t)
-		if t.cfg.ShareGroup != "" || t.cfg.Priority != Batch {
-			f.prioEnabled = true
-		}
-	}
-	if cfg.Preempt {
-		f.prioEnabled = true
-	}
-	for _, t := range f.tenants {
-		for _, p := range f.tenants { // tenant-index order: deterministic
-			if p == t || (t.cfg.ShareGroup != "" && p.cfg.ShareGroup == t.cfg.ShareGroup) {
-				t.peers = append(t.peers, p)
-			}
-		}
-	}
-	// LLM peers in one share group draw from one shared KV partition per
-	// slot, so their block granularity and capacity override must agree
-	// — silently mixing them would misattribute every occupancy number.
-	for _, t := range f.tenants {
-		if t.llm == nil {
-			continue
-		}
-		for _, p := range t.peers {
-			if p.llm == nil || p == t {
-				continue
-			}
-			if p.cfg.LLM.BlockTokens != t.cfg.LLM.BlockTokens ||
-				p.cfg.LLM.KVCapTokens != t.cfg.LLM.KVCapTokens {
-				return nil, fmt.Errorf("serve: share group %q: tenants %s and %s disagree on KV settings (blocks %d/%d tokens, cap %d/%d)",
-					t.cfg.ShareGroup, t.cfg.Name, p.cfg.Name,
-					t.cfg.LLM.BlockTokens, p.cfg.LLM.BlockTokens,
-					t.cfg.LLM.KVCapTokens, p.cfg.LLM.KVCapTokens)
-			}
-		}
-	}
-	// The interconnect exists as soon as any tenant is disaggregated;
-	// per-pair links instantiate lazily on first migration.
-	for _, t := range f.tenants {
-		if t.disagg() != nil {
-			bwPerCycle := cfg.LinkGBps * 1e9 / cfg.Core.FrequencyHz
-			latency := cfg.LinkLatencyUs * 1e-6 * cfg.Core.FrequencyHz
-			fab, err := xfer.NewFabric(f.eng, bwPerCycle, latency)
-			if err != nil {
-				return nil, err
-			}
-			f.fabric = fab
-			break
-		}
-	}
-	// Phase 2: spawn initial replicas and derive SLOs and offered rates
-	// from the measured full-batch service time of one fresh replica.
-	for _, t := range f.tenants {
-		if d := t.disagg(); d != nil {
-			for k := 0; k < d.PrefillReplicas; k++ {
-				if err := f.spawnReplica(t, t.curEUs, RolePrefill); err != nil {
-					return nil, fmt.Errorf("serve: tenant %s initial prefill replica %d: %w", t.cfg.Name, k, err)
-				}
-			}
-			for k := 0; k < d.DecodeReplicas; k++ {
-				if err := f.spawnReplica(t, t.curEUs, RoleDecode); err != nil {
-					return nil, fmt.Errorf("serve: tenant %s initial decode replica %d: %w", t.cfg.Name, k, err)
-				}
-			}
-		} else {
-			for k := 0; k < t.cfg.InitialReplicas; k++ {
-				if err := f.spawnReplica(t, t.curEUs, RoleMixed); err != nil {
-					return nil, fmt.Errorf("serve: tenant %s initial replica %d: %w", t.cfg.Name, k, err)
-				}
-			}
-		}
-		// Warm spares: extra capacity standing by before the first fault
-		// (per pool for disaggregated tenants). Best-effort — a fleet too
-		// small for its spares records the misses and serves anyway.
-		for k := 0; k < f.warmSpares(); k++ {
-			roles := []Role{RoleMixed}
-			if t.disagg() != nil {
-				roles = []Role{RolePrefill, RoleDecode}
-			}
-			for _, role := range roles {
-				if err := f.spawnReplica(t, t.curEUs, role); err != nil {
-					t.scaleFails++
-				}
-			}
-		}
-		r0 := t.replicas[0]
-		var full float64
-		var err error
-		// sloAnchor is the per-request service-time anchor the derived
-		// SLO multiplies; it equals `full` (the compute anchor capacity
-		// is derived from) except for disaggregated tenants, whose
-		// requests additionally wait out a KV migration.
-		var sloAnchor float64
-		if t.llm != nil {
-			// An LLM request's ideal service is a full-batch generation of
-			// the MEAN shape: one prefill plus output−1 decode iterations,
-			// all at MaxBatch occupancy — the SLO/capacity anchor playing
-			// the role the whole-model full-batch time plays below.
-			tr := t.cfg.LLM.Trace
-			pre, perr := db.LLMCycles(PhasePrefill, t.cfg.MaxBatch, tr.MeanPrompt(), r0.nm, r0.nv)
-			if perr != nil {
-				return nil, perr
-			}
-			dec, derr := db.LLMCycles(PhaseDecode, t.cfg.MaxBatch, tr.MeanPrompt()+tr.OutputMean, r0.nm, r0.nv)
-			if derr != nil {
-				return nil, derr
-			}
-			full = pre + float64(tr.OutputMean-1)*dec
-			sloAnchor = full
-			if t.disagg() != nil {
-				// The mean KV migration (bandwidth + latency) prices into
-				// the LATENCY anchor only: a pipelined handoff delays each
-				// request without consuming compute, so throughput — and
-				// therefore the Load→rate conversion, which must match the
-				// colocated baseline at equal Load — excludes it. The
-				// per-pool autoscalers get per-phase objectives from the
-				// same measurements.
-				sloAnchor += float64(model.LLMKVTransferBytes(tr.MeanPrompt()))/(cfg.LinkGBps*1e9/cfg.Core.FrequencyHz) +
-					cfg.LinkLatencyUs*1e-6*cfg.Core.FrequencyHz
-				t.prefillSLO = t.cfg.SLOFactor * pre
-				t.tpotSLO = t.cfg.SLOFactor * dec
-			}
-		} else {
-			full, err = db.ServiceCycles(t.cfg.Model, t.cfg.MaxBatch, r0.nm, r0.nv)
-			if err != nil {
-				return nil, err
-			}
-			sloAnchor = full
-		}
-		if t.cfg.SLOMs > 0 {
-			t.sloCycles = t.cfg.SLOMs / 1e3 * cfg.Core.FrequencyHz
-		} else {
-			t.sloCycles = t.cfg.SLOFactor * sloAnchor
-			t.cfg.SLOMs = t.sloCycles / cfg.Core.FrequencyHz * 1e3
-		}
-		if t.cfg.BatchWindowMs > 0 {
-			t.batchWindow = t.cfg.BatchWindowMs / 1e3 * cfg.Core.FrequencyHz
-		} else {
-			// Never burn more than a tenth of the latency budget waiting
-			// for batchmates.
-			t.batchWindow = t.sloCycles / 10
-		}
-		t.capacityRPS = float64(t.cfg.MaxBatch) / (full / cfg.Core.FrequencyHz)
-		rps := t.cfg.RatePerSec
-		if rps <= 0 {
-			chips := t.cfg.InitialReplicas
-			if d := t.disagg(); d != nil {
-				// Load is offered against the whole disaggregated footprint,
-				// so colocated-vs-disagg comparisons at matched chip counts
-				// and equal Load see the same offered rate.
-				chips = d.PrefillReplicas + d.DecodeReplicas
-			}
-			rps = t.cfg.Load * float64(chips) * t.capacityRPS
-		}
-		t.basePerCycle = rps / cfg.Core.FrequencyHz
-		t.peakMult = 1
-		if t.cfg.Arrival == Flash {
-			t.peakMult = t.cfg.BurstFactor
-		} else if t.cfg.Arrival == Diurnal {
-			t.peakMult = 1 + t.cfg.DiurnalDepth
-		}
-	}
-	return f, nil
-}
-
-// scheduleArrival queues the next candidate arrival of the tenant's
-// thinned Poisson stream. Candidates are drawn at the peak rate; each is
-// accepted with probability rate(t)/peak, which realizes the exact
-// non-homogeneous process deterministically from the tenant's RNG.
-func (f *fleet) scheduleArrival(t *tenantState) {
-	gap := t.arrRNG.Exp(1 / (t.basePerCycle * t.peakMult))
-	at := float64(f.eng.Now()) + gap
-	if at > f.durCycles {
-		return // traffic ends with the scenario; in-flight work drains
-	}
-	f.eng.At(sim.Time(at), func(now sim.Time) {
-		if t.arrRNG.Float64()*t.peakMult <= t.rateMult(float64(now), f.durCycles) {
-			f.arrive(t, now)
-		}
-		f.scheduleArrival(t)
-	})
-}
-
-// arrive routes one request and applies admission control: a request
-// bound for a slot where the tenant's queue is at QueueCap is rejected
-// (shed at the front door) rather than queued into certain SLO
-// violation. A tenant with no replica at all — not even a draining one
-// — also sheds (admission-reject); route documents when that happens.
-func (f *fleet) arrive(t *tenantState, now sim.Time) {
-	t.arrivals++
-	if f.faulted && float64(now) >= f.fwStart {
-		t.fwArrivals++
-	}
-	req := request{at: now, id: int64(t.arrivals)}
-	if t.llm != nil {
-		// Shape draws happen before admission, so every configuration
-		// compared on a seed (continuous vs static, any router) sees the
-		// identical request trace.
-		shape := t.cfg.LLM.Trace.Draw(t.llm.rng)
-		req.prompt, req.output = shape.Prompt, shape.Output
-	}
-	r := f.route(t)
-	if r == nil {
-		t.rejected++
-		if f.cfg.Autoscale {
-			t.windowRejected++
-		}
-		if f.obs != nil {
-			f.obs.trace.Instant("reject", "req", t.cfg.Name, obsTrackControl, float64(now), req.id, "", 0, "reason", "no-replica")
-		}
-		return
-	}
-	q := r.queueFor(t)
-	if len(q.reqs) >= t.cfg.QueueCap {
-		t.rejected++
-		if f.cfg.Autoscale {
-			t.windowRejected++
-		}
-		if f.obs != nil {
-			f.obs.trace.Instant("reject", "req", t.cfg.Name, obsTrackControl, float64(now), req.id, "", 0, "reason", "queue-cap")
-		}
-		return
-	}
-	if f.obs != nil {
-		f.obs.trace.Begin("queue", "req", t.cfg.Name, float64(now), req.id)
-	}
-	q.reqs = append(q.reqs, req)
-	if len(q.reqs) > t.maxQueue {
-		t.maxQueue = len(q.reqs)
-	}
-	f.poke(r, t, now)
-}
-
-// route picks the target slot among the serving group's non-draining
-// replicas (the tenant's own, plus every share-group peer's). All ties
-// break toward the older slot (smaller fleet-wide uid), keeping the
-// decision deterministic.
-//
-// When every slot in the group is draining — make-before-break resize
-// churn and preemptive drains reach exactly this state — the request
-// falls back deterministically to the least-loaded *draining* slot: a
-// draining slot still serves its queue to completion, so queueing
-// there beats shedding. (Before this guard the function indexed
-// cands[0] on an empty slice, and the PowerOfTwo path called
-// routeRNG.Intn(0); a fully draining tenant panicked the router.)
-// Only a tenant with no replicas at all returns nil, and arrive then
-// sheds the request.
-func (f *fleet) route(t *tenantState) *replica {
-	cands := f.routeScratch[:0]
-	for _, p := range t.peers {
-		for _, r := range p.replicas {
-			if !r.draining && arrivalTarget(t, r) {
-				cands = append(cands, r)
-			}
-		}
-	}
-	f.routeScratch = cands
-	if len(cands) == 0 {
-		// Prefer a draining slot where t's queue still has room (the
-		// same open-queue filter the non-draining path applies below) so
-		// the fallback never sheds while a sibling could still queue.
-		var pick, open *replica
-		better := func(r, cur *replica) bool {
-			return cur == nil || r.backlog() < cur.backlog() ||
-				(r.backlog() == cur.backlog() && r.uid < cur.uid)
-		}
-		for _, p := range t.peers {
-			for _, r := range p.replicas {
-				if !arrivalTarget(t, r) {
-					continue
-				}
-				if better(r, pick) {
-					pick = r
-				}
-				if len(r.queueFor(t).reqs) < t.cfg.QueueCap && better(r, open) {
-					open = r
-				}
-			}
-		}
-		if open != nil {
-			return open
-		}
-		return pick
-	}
-	// On a shared pool the load signal (whole-slot backlog) can disagree
-	// with the tenant's own queue depth — a slot can look light because
-	// the PEER's queue is empty while t's queue there is already at
-	// QueueCap. Never route into a full per-tenant queue while a sibling
-	// slot still has room; when every queue is full, fall through to the
-	// plain candidates and let admission shed as before.
-	if len(t.peers) > 1 {
-		open := f.routeScratch2[:0]
-		for _, r := range cands {
-			if len(r.queueFor(t).reqs) < t.cfg.QueueCap {
-				open = append(open, r)
-			}
-		}
-		f.routeScratch2 = open
-		if len(open) > 0 {
-			cands = open
-		}
-	}
-	if len(cands) == 1 {
-		return cands[0]
-	}
-	load := func(r *replica) int {
-		if f.cfg.Router == JSQ {
-			return r.queued()
-		}
-		return r.backlog()
-	}
-	if f.cfg.Router == PowerOfTwo {
-		i := t.routeRNG.Intn(len(cands))
-		j := t.routeRNG.Intn(len(cands) - 1)
-		if j >= i {
-			j++
-		}
-		a, b := cands[i], cands[j]
-		if load(b) < load(a) || (load(b) == load(a) && b.uid < a.uid) {
-			return b
-		}
-		return a
-	}
-	best := cands[0]
-	for _, r := range cands[1:] {
-		if load(r) < load(best) || (load(r) == load(best) && r.uid < best.uid) {
-			best = r
-		}
-	}
-	return best
-}
-
-// report assembles the final Report once the event queue has drained.
-func (f *fleet) report() *Report {
-	end := float64(f.eng.Now())
-	if end < f.durCycles {
-		end = f.durCycles
-	}
-	f.snapshot(end)
-	freq := f.cfg.Core.FrequencyHz
-	ms := func(cycles float64) float64 { return cycles / freq * 1e3 }
-
-	rep := &Report{
-		Scenario:    f.cfg.Scenario,
-		Seed:        f.cfg.Seed,
-		DurationSec: f.cfg.DurationSec,
-		Cores:       f.cfg.Cores,
-		Router:      f.cfg.Router.String(),
-		Placement:   f.cfg.Placement.String(),
-		Autoscale:   f.cfg.Autoscale,
-		Preempt:     f.cfg.Preempt,
-	}
-	type classAgg struct {
-		present            bool
-		arrivals, rejected int
-		completed, sloOK   int
-		preempted, resumes int
-		stolen             float64
-	}
-	var agg [numPriorities]classAgg
-	busy := f.busySum
-	// Fold every live replica's KV accountant into its owner BEFORE
-	// assembling any tenant report: an LLM tenant aggregates occupancy
-	// across its whole serving group (peer-owned shared slots hold its
-	// sequences too), so all owners must be up to date first.
-	for _, t := range f.tenants {
-		for _, r := range t.replicas {
-			if r.kv != nil {
-				t.foldKV(r.kv, end)
-			}
-		}
-	}
-	for _, t := range f.tenants {
-		for _, r := range t.replicas {
-			busy += r.busyEUCycles
-		}
-		sloOK := t.lat.CountBelow(t.sloCycles)
-		tr := TenantReport{
-			Name:            t.cfg.Name,
-			Model:           t.cfg.Model,
-			SLOMs:           t.cfg.SLOMs,
-			Arrivals:        t.arrivals,
-			Rejected:        t.rejected,
-			Completed:       t.completed,
-			P50Ms:           ms(t.lat.P50()),
-			P95Ms:           ms(t.lat.P95()),
-			P99Ms:           ms(t.lat.P99()),
-			MeanMs:          ms(t.lat.Mean()),
-			GoodputRPS:      float64(sloOK) / f.cfg.DurationSec,
-			Replicas:        t.activeCount(),
-			PeakReplicas:    t.peakReplicas,
-			EUsPerReplica:   t.curEUs,
-			ScaleUps:        t.scaleUps,
-			ScaleDowns:      t.scaleDowns,
-			Resizes:         t.resizes,
-			ScaleFails:      t.scaleFails,
-			MaxQueue:        t.maxQueue,
-			Preemptions:     t.preempted,
-			PreemptsIssued:  t.preemptsIssued,
-			Resumes:         t.resumes,
-			StolenMs:        ms(t.stolenCycles),
-			MaxBatchPreempt: t.maxPreempts,
-			ReplicaTimeline: t.replicaTL,
-		}
-		if t.llm != nil {
-			l := t.llm
-			batcher := "continuous"
-			if t.cfg.LLM.Static {
-				batcher = "static"
-			}
-			lr := &LLMTenantReport{
-				Batcher:       batcher,
-				Admitted:      l.admitted,
-				TTFTP50Ms:     ms(l.ttft.P50()),
-				TTFTP95Ms:     ms(l.ttft.P95()),
-				TTFTP99Ms:     ms(l.ttft.P99()),
-				TPOTP50Ms:     ms(l.tpot.P50()),
-				TPOTP95Ms:     ms(l.tpot.P95()),
-				TPOTP99Ms:     ms(l.tpot.P99()),
-				Prefills:      l.prefills,
-				DecodeIters:   l.decodeIters,
-				StaticBatches: l.staticBatches,
-				TokensOut:     l.tokensOut,
-				TokensPerSec:  float64(l.tokensOut) / f.cfg.DurationSec,
-				KVBlockTokens: t.cfg.LLM.BlockTokens,
-				KVStalls:      l.kvStalls,
-			}
-			if l.admitted > 0 {
-				lr.PromptTokensMean = float64(l.promptTokens) / float64(l.admitted)
-				lr.OutputTokensMean = float64(l.outputTokens) / float64(l.admitted)
-			}
-			if d := t.disagg(); d != nil {
-				lr.Batcher = "disaggregated"
-				lr.PrefillReplicas = t.activeRole(RolePrefill)
-				lr.PrefillPeak = t.prefPeak
-				lr.DecodeReplicas = t.activeRole(RoleDecode)
-				lr.DecodePeak = t.decPeak
-				lr.ChunkTokens = d.ChunkTokens
-				lr.Migrations = l.migrations
-				lr.MigrationMB = float64(l.migBytes) / (1 << 20)
-				lr.MigStalls = l.migStalls
-				// Mean over LANDED migrations: waits accrue at landing, so
-				// dividing by starts would bias the mean low if a report
-				// were ever taken with transfers still on the wire.
-				if l.migLanded > 0 {
-					lr.MigMeanMs = ms(l.migWaitCycles / float64(l.migLanded))
-				}
-			}
-			// KV occupancy spans the tenant's whole serving group: on
-			// shared slots its sequences allocate from peer-owned
-			// partitions too, and fold-at-retire credits the OWNER. Two
-			// LLM tenants in one group therefore both report their shared
-			// pool's occupancy.
-			var kvUsed, kvTotal float64
-			for _, p := range t.peers {
-				kvUsed += p.kvUsedArea
-				kvTotal += p.kvBlockArea
-				if p.kvPeakFrac > lr.KVOccPeak {
-					lr.KVOccPeak = p.kvPeakFrac
-				}
-			}
-			if kvTotal > 0 {
-				lr.KVOccMean = kvUsed / kvTotal
-			}
-			tr.LLM = lr
-		}
-		if f.prioEnabled {
-			tr.Priority = t.cfg.Priority.String()
-			tr.ShareGroup = t.cfg.ShareGroup
-			a := &agg[t.cfg.Priority]
-			a.present = true
-			a.arrivals += t.arrivals
-			a.rejected += t.rejected
-			a.completed += t.completed
-			a.sloOK += sloOK
-			a.preempted += t.preempted
-			a.resumes += t.resumes
-			a.stolen += t.stolenCycles
-		}
-		if t.arrivals > 0 {
-			// Rejected requests count against attainment: a shed request
-			// is a broken promise too.
-			tr.SLOAttainment = float64(sloOK) / float64(t.arrivals)
-		}
-		if f.faulted {
-			tr.Crashes = t.crashes
-			tr.CrashRequeued = t.crashRequeued
-			tr.CrashLost = t.crashLost
-			tr.Replays = t.replays
-			tr.RecomputeTokens = t.recomputeTokens
-			tr.EmergencySpawns = t.emergencySpawns
-			if t.llm != nil {
-				tr.Evacuations = t.llm.evacLanded
-				tr.EvacuationMB = float64(t.llm.evacBytes) / (1 << 20)
-			}
-			// Fault-window attainment/goodput: requests arriving from the
-			// first scheduled fault onward, same ≤-SLO rule as CountBelow.
-			if t.fwArrivals > 0 {
-				tr.FaultAttainment = float64(t.fwSloOK) / float64(t.fwArrivals)
-			}
-			if winSec := (end - f.fwStart) / freq; winSec > 0 {
-				tr.FaultGoodputRPS = float64(t.fwSloOK) / winSec
-			}
-			if t.crashAt > 0 {
-				// Time-to-recover: first crash → active count back at its
-				// pre-fault level. An unrecovered tenant reports the censored
-				// bound (end of run) with Recovered false.
-				tr.Recovered = t.recoveredAt > 0
-				rec := t.recoveredAt
-				if rec == 0 {
-					rec = end
-				}
-				tr.TTRMs = ms(rec - t.crashAt)
-			}
-		}
-		rep.Tenants = append(rep.Tenants, tr)
-	}
-	for p := numPriorities - 1; p >= 0; p-- { // highest class first
-		a := agg[p]
-		if !a.present {
-			continue
-		}
-		lat := &f.prioLat[p]
-		pr := PriorityReport{
-			Priority:    Priority(p).String(),
-			Arrivals:    a.arrivals,
-			Rejected:    a.rejected,
-			Completed:   a.completed,
-			P50Ms:       ms(lat.P50()),
-			P95Ms:       ms(lat.P95()),
-			P99Ms:       ms(lat.P99()),
-			GoodputRPS:  float64(a.sloOK) / f.cfg.DurationSec,
-			Preemptions: a.preempted,
-			Resumes:     a.resumes,
-			StolenMs:    ms(a.stolen),
-		}
-		if a.arrivals > 0 {
-			pr.SLOAttainment = float64(a.sloOK) / float64(a.arrivals)
-		}
-		rep.Priorities = append(rep.Priorities, pr)
-	}
-	var overhead float64
-	rep.Preemptions, rep.Resumes, overhead = f.switches.Snapshot()
-	rep.SwitchOverheadMs = ms(overhead)
-	if f.fabric != nil {
-		st := f.fabric.Stats(end)
-		rep.LinkGBps = f.cfg.LinkGBps
-		rep.Links = f.fabric.Links()
-		rep.LinkMovedMB = float64(st.BytesMoved) / (1 << 20)
-		rep.LinkPeakFlows = st.PeakActive
-		rep.LinkCanceled = st.Canceled
-		if n := f.fabric.Links(); n > 0 && end > 0 {
-			rep.LinkUtil = st.BusyCycles / (end * float64(n))
-		}
-	}
-	if f.faulted {
-		rep.FaultEvents = len(f.cfg.Faults.Events)
-		rep.FaultPolicy = f.cfg.Faults.Policy.String()
-		rep.FaultFromSec = f.fwStart / freq
-		if rc := f.cfg.Recover; rc != nil {
-			rep.WarmSpares = rc.WarmSpares
-			rep.EmergencySpawn = rc.EmergencySpawn
-			rep.Evacuate = rc.Evacuate
-		}
-	}
-	totalEUs := float64(f.cfg.Cores * (f.cfg.Core.MEs + f.cfg.Core.VEs))
-	if end > 0 {
-		rep.FleetEUUtil = busy / (end * totalEUs)
-		rep.AllocatedEUFrac = f.allocArea / (end * totalEUs)
-		rep.MeanStrandedEUs = f.strandArea / end
-	}
-	rep.MapAccepts = f.mapAccepts
-	rep.MapRejects = f.mapRejects
-	f.obsFinish(rep, end)
-	return rep
 }

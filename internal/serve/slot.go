@@ -1,8 +1,6 @@
 package serve
 
 import (
-	"fmt"
-
 	"neu10/internal/sched"
 	"neu10/internal/sim"
 )
@@ -75,118 +73,53 @@ func (f *fleet) disarmTimer(r *replica) {
 	}
 }
 
-// bestWork returns the work the slot would start next and what kind it
-// is: the highest-priority candidate under Preempt, else FIFO by each
-// candidate's oldest waiting request. Ties break by arrival time, then
-// by tenant index (queue order), so the choice is deterministic.
-//
-// Candidates per queue:
-//   - single-shot tenant: launch a batch from a non-empty queue;
-//   - LLM continuous: a prefill when the queue head's KV reservation
-//     fits and the running set has room (prefill-prioritized joins),
-//     else one decode iteration when prefilled sequences remain;
-//   - LLM static: a fresh static batch, only when no batch of this
-//     queue is mid-generation and the head's reservation fits.
+// bestWork is the slot's SINGLE DECISION POINT: every queue's batcher
+// proposes its launchable work (batcher.next), and the slot picks the
+// highest-priority proposal under Preempt, else FIFO by each
+// proposal's oldest waiting request. Ties break by arrival time, then
+// by tenant index (queue order), so the choice is deterministic. Each
+// wakeup (arrival poke, timer, completion, resume) derives the
+// decision at most once and threads it straight into launch — see
+// BenchmarkBestWork/BenchmarkDispatchChain for the hot-path cost.
 func (f *fleet) bestWork(r *replica) (*slotQueue, batchKind) {
 	var pick *slotQueue
 	var kind batchKind
 	var pickKey sim.Time
-	consider := func(q *slotQueue, k batchKind, key sim.Time) {
-		if pick == nil {
-			pick, kind, pickKey = q, k, key
-			return
-		}
-		if f.cfg.Preempt {
-			if q.ten.cfg.Priority > pick.ten.cfg.Priority {
-				pick, kind, pickKey = q, k, key
-				return
-			}
-			if q.ten.cfg.Priority < pick.ten.cfg.Priority {
-				return
-			}
-		}
-		if key < pickKey {
-			pick, kind, pickKey = q, k, key
-		}
-	}
 	for i := range r.qs {
 		q := &r.qs[i]
-		t := q.ten
-		switch {
-		case t.llm == nil:
-			if len(q.reqs) > 0 {
-				consider(q, kindInvoke, q.reqs[0].at)
-			}
-		case t.disagg() != nil:
-			// Role-specialized slots see exactly one work kind: prompt
-			// processing on the prefill pool, decode iterations over
-			// migrated sequences on the decode pool.
-			if r.role == RolePrefill {
-				if key, ok := f.prefillWork(r, q); ok {
-					consider(q, kindLLMPrefill, key)
+		k, key, ok := q.ten.batcher.next(r, q)
+		if !ok {
+			continue
+		}
+		if pick != nil {
+			if f.cfg.Preempt {
+				if q.ten.cfg.Priority < pick.ten.cfg.Priority {
+					continue
 				}
+				if q.ten.cfg.Priority == pick.ten.cfg.Priority && key >= pickKey {
+					continue
+				}
+			} else if key >= pickKey {
 				continue
-			}
-			for _, s := range q.running {
-				if s.prefilled && !s.migrating && s.produced < s.req.output {
-					consider(q, kindLLMDecode, s.req.at)
-					break
-				}
-			}
-		case t.cfg.LLM.Static:
-			if len(q.reqs) > 0 && len(q.running) == 0 &&
-				r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
-				consider(q, kindLLMStaticPrefill, q.reqs[0].at)
-			}
-		default:
-			if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch &&
-				r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
-				consider(q, kindLLMPrefill, q.reqs[0].at)
-				continue
-			}
-			for _, s := range q.running {
-				if s.prefilled && s.produced < s.req.output {
-					// FIFO key: the oldest decodable sequence's arrival.
-					consider(q, kindLLMDecode, s.req.at)
-					break
-				}
 			}
 		}
+		pick, kind, pickKey = q, k, key
 	}
 	return pick, kind
 }
 
 // launch starts the given kind of work from queue q on slot r, with
 // `restore` switch cycles to pay first (a just-preempted victim's
-// checkpoint save, or zero).
+// checkpoint save, or zero). Every other queue's batcher is told it
+// was passed over — the hook static LLM queues use to count
+// KV-pressure stalls.
 func (f *fleet) launch(r *replica, q *slotQueue, kind batchKind, now sim.Time, restore float64) {
-	// A static LLM queue that cannot form a batch because its head's KV
-	// reservation does not fit is passed over by whatever launches
-	// instead; count that as a stall, mirroring the continuous path's
-	// accounting in llmAdmit/launchLLMDecode (once per launch decision,
-	// so the count stays deterministic).
 	for i := range r.qs {
-		sq := &r.qs[i]
-		if sq == q || sq.ten.llm == nil || !sq.ten.cfg.LLM.Static {
-			continue
-		}
-		if len(sq.reqs) > 0 && len(sq.running) == 0 &&
-			!r.kv.fits(r.kv.blocksFor(sq.reqs[0].prompt+sq.reqs[0].output)) {
-			sq.ten.llm.kvStalls++
+		if sq := &r.qs[i]; sq != q {
+			sq.ten.batcher.passedOver(r, sq)
 		}
 	}
-	switch kind {
-	case kindLLMPrefill, kindLLMStaticPrefill:
-		if q.ten.disagg() != nil {
-			f.launchDisaggPrefill(r, q, now, restore)
-			return
-		}
-		f.launchLLMPrefill(r, q, kind, now, restore)
-	case kindLLMDecode:
-		f.launchLLMDecode(r, q, now, restore)
-	default:
-		f.launchFrom(r, q, now, restore)
-	}
+	q.ten.batcher.launch(r, q, kind, now, restore)
 }
 
 // poke reacts to a new arrival of tenant t on slot r: it may preempt
@@ -205,19 +138,20 @@ func (f *fleet) poke(r *replica, t *tenantState, now sim.Time) {
 		f.maybePreempt(r, now)
 		return
 	}
-	// A continuous LLM batcher never coalesces at the door: joins happen
-	// at iteration boundaries, so an idle slot starts work immediately —
-	// but only continuous-LLM work. On a shared slot the best work can
-	// be a PEER's queue still coalescing under an armed batch-window
-	// timer; launching it early here would defeat the peer's batching,
-	// so anything else keeps its own trigger (timer, completion, or a
-	// suspended batch's resume through the regular dispatch path).
-	if t.llm != nil && !t.cfg.LLM.Static {
+	// A non-coalescing batcher (continuous LLM, disagg) never waits at
+	// the door: joins happen at iteration boundaries, so an idle slot
+	// starts work immediately — but only non-coalescing work. On a
+	// shared slot the best work can be a PEER's queue still coalescing
+	// under an armed batch-window timer; launching it early here would
+	// defeat the peer's batching, so anything else keeps its own trigger
+	// (timer, completion, or a suspended batch's resume through the
+	// regular dispatch path).
+	if !t.batcher.coalesces() {
 		if len(r.susp) > 0 {
 			f.dispatch(r, now)
 			return
 		}
-		if q, kind := f.bestWork(r); q != nil && (kind == kindLLMPrefill || kind == kindLLMDecode) {
+		if q, kind := f.bestWork(r); q != nil && !q.ten.batcher.coalesces() {
 			f.launch(r, q, kind, now, 0)
 		}
 		return
@@ -283,38 +217,6 @@ func (f *fleet) dispatch(r *replica, now sim.Time) {
 	}
 }
 
-// launchFrom takes up to MaxBatch requests off queue q and starts the
-// batch on slot r, with `restore` switch cycles to pay first (the
-// checkpoint save of a just-preempted victim, or zero).
-func (f *fleet) launchFrom(r *replica, q *slotQueue, now sim.Time, restore float64) {
-	t := q.ten
-	f.disarmTimer(r)
-	n := len(q.reqs)
-	if n > t.cfg.MaxBatch {
-		n = t.cfg.MaxBatch
-	}
-	b := f.takeBatch()
-	b.ten, b.restore = t, restore
-	b.reqs = append(b.reqs[:0], q.reqs[:n]...)
-	rest := copy(q.reqs, q.reqs[n:])
-	q.reqs = q.reqs[:rest]
-	if f.obs != nil {
-		for i := range b.reqs {
-			f.obs.trace.End("queue", "req", t.cfg.Name, float64(now), b.reqs[i].id)
-			f.obs.trace.Begin("service", "req", t.cfg.Name, float64(now), b.reqs[i].id)
-		}
-	}
-	cycles, err := f.costs.ServiceCycles(t.cfg.Model, n, r.nm, r.nv)
-	if err != nil {
-		// Every group member's model was pre-measured at spawn for this
-		// slot shape; a miss here is a bug.
-		panic(fmt.Sprintf("serve: costing launched batch: %v", err))
-	}
-	b.total, b.remaining = cycles, cycles
-	t.issuedServiceCycles += cycles
-	f.startSegment(r, b, now)
-}
-
 // startSegment puts batch b in service on slot r and schedules the
 // segment's completion: restore debt first, then the remaining service.
 func (f *fleet) startSegment(r *replica, b *batch, now sim.Time) {
@@ -324,52 +226,19 @@ func (f *fleet) startSegment(r *replica, b *batch, now sim.Time) {
 	b.doneH = f.eng.After(sim.Time(seg)+1, func(now sim.Time) { f.finish(r, b, now) })
 }
 
-// finish retires a completed invocation — per-request latencies for
-// single-shot batches, generation bookkeeping for LLM kinds (llm.go) —
-// settles the work-conservation ledger, then refills the slot. A static
-// LLM prefill chains straight into its decode leg, keeping the slot
-// occupied for the whole generation (static batching's defining trait).
+// finish retires a completed invocation through its tenant's batcher —
+// per-request latencies for single-shot batches, generation
+// bookkeeping for LLM kinds (llm.go) — settles the work-conservation
+// ledger, then refills the slot. A batcher may return a chained batch
+// to keep the slot occupied (the static LLM prefill chains its decode
+// leg, static batching's defining trait).
 func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 	t := b.ten
 	if f.obs != nil {
 		f.obs.trace.Span(obsBatchName[b.kind], "exec", r.ten.cfg.Name, obsReplicaTrack(r),
 			float64(b.started), float64(now), -1, "width", int64(obsBatchWidth(b)), "preempts", int64(b.preempts), "tenant", t.cfg.Name)
 	}
-	var chain *batch
-	switch b.kind {
-	case kindLLMPrefill:
-		if t.disagg() != nil {
-			f.finishDisaggPrefill(r, b, now)
-			break
-		}
-		f.finishLLMPrefill(r, b, now)
-	case kindLLMDecode:
-		f.finishLLMDecode(r, b, now)
-	case kindLLMStaticPrefill:
-		chain = f.finishLLMStaticPrefill(r, b, now)
-	case kindLLMStaticDecode:
-		f.finishLLMStaticDecode(r, b, now)
-	default:
-		for _, req := range b.reqs {
-			lat := float64(now - req.at)
-			t.lat.Add(lat)
-			f.noteFaultDone(t, req.at, lat)
-			if f.cfg.Autoscale {
-				// The observation window only exists for the autoscaler; a
-				// fixed fleet would just duplicate every sample unread.
-				t.windowLat.Add(lat)
-			}
-			if f.prioEnabled {
-				f.prioLat[t.cfg.Priority].Add(lat)
-			}
-			t.completed++
-			if f.obs != nil {
-				f.obsCompletion(t, lat)
-				f.obs.trace.End("service", "req", t.cfg.Name, float64(now), req.id)
-				f.obs.trace.Instant("complete", "req", t.cfg.Name, obsTrackControl, float64(now), req.id, "lat_us", int64(lat/f.cfg.Core.FrequencyHz*1e6), "", "")
-			}
-		}
-	}
+	chain := t.batcher.finish(r, b, now)
 	r.busyEUCycles += (b.restore + b.remaining) * float64(r.nm+r.nv)
 	t.servedServiceCycles += b.remaining
 	r.cur = nil

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// ServingMix describes a consolidated serving trace: one aggregate
+// offered rate split across a cluster's model families by share. It is
+// the workload half of a consolidation study — per-tenant RatePerSec
+// values that stay mutually consistent when the total or the shares
+// move, so "the same traffic, merged vs siloed" is true by
+// construction.
+type ServingMix struct {
+	// TotalRPS is the cluster's aggregate offered rate in requests per
+	// second.
+	TotalRPS float64
+	// Shares splits TotalRPS by family; fractions must sum to 1.
+	Shares []MixShare
+}
+
+// MixShare is one family's slice of the aggregate rate.
+type MixShare struct {
+	Name string
+	Frac float64
+}
+
+// Validate checks the mix is well-formed: a positive total, uniquely
+// named positive shares, fractions summing to 1.
+func (m *ServingMix) Validate() error {
+	if !(m.TotalRPS > 0) {
+		return fmt.Errorf("workload: serving mix total %v rps", m.TotalRPS)
+	}
+	if len(m.Shares) == 0 {
+		return fmt.Errorf("workload: serving mix has no shares")
+	}
+	sum := 0.0
+	seen := map[string]bool{}
+	for _, s := range m.Shares {
+		if s.Name == "" {
+			return fmt.Errorf("workload: serving mix share without a name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("workload: serving mix share %q listed twice", s.Name)
+		}
+		seen[s.Name] = true
+		if !(s.Frac > 0) {
+			return fmt.Errorf("workload: serving mix share %q fraction %v", s.Name, s.Frac)
+		}
+		sum += s.Frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("workload: serving mix fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// RateFor returns one family's offered rate in requests per second
+// (zero for a name the mix does not carry).
+func (m *ServingMix) RateFor(name string) float64 {
+	for _, s := range m.Shares {
+		if s.Name == name {
+			return m.TotalRPS * s.Frac
+		}
+	}
+	return 0
+}

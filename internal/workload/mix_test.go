@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServingMixRates(t *testing.T) {
+	m := ServingMix{TotalRPS: 200, Shares: []MixShare{
+		{Name: "chat", Frac: 0.05},
+		{Name: "vision", Frac: 0.35},
+		{Name: "rank", Frac: 0.60},
+	}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, s := range m.Shares {
+		total += m.RateFor(s.Name)
+	}
+	if diff := total - m.TotalRPS; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("per-family rates sum to %v, want %v", total, m.TotalRPS)
+	}
+	if got := m.RateFor("rank"); got != 120 {
+		t.Errorf("rank rate %v, want 120", got)
+	}
+	if got := m.RateFor("absent"); got != 0 {
+		t.Errorf("unknown family rate %v, want 0", got)
+	}
+}
+
+func TestServingMixValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mix  ServingMix
+		want string
+	}{
+		{"zero total", ServingMix{Shares: []MixShare{{Name: "a", Frac: 1}}}, "total"},
+		{"no shares", ServingMix{TotalRPS: 10}, "no shares"},
+		{"unnamed", ServingMix{TotalRPS: 10, Shares: []MixShare{{Frac: 1}}}, "without a name"},
+		{"duplicate", ServingMix{TotalRPS: 10, Shares: []MixShare{
+			{Name: "a", Frac: 0.5}, {Name: "a", Frac: 0.5}}}, "twice"},
+		{"nonpositive", ServingMix{TotalRPS: 10, Shares: []MixShare{
+			{Name: "a", Frac: 1}, {Name: "b", Frac: 0}}}, "fraction"},
+		{"sum", ServingMix{TotalRPS: 10, Shares: []MixShare{
+			{Name: "a", Frac: 0.5}, {Name: "b", Frac: 0.4}}}, "sum"},
+	}
+	for _, c := range cases {
+		err := c.mix.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
