@@ -117,6 +117,13 @@ func BenchmarkServeChaosTraced(b *testing.B) { benchExperiment(b, "serve-chaos-t
 // plus dynamic batching) sharing slots on one fleet.
 func BenchmarkServeConsolidate(b *testing.B) { benchExperiment(b, "serve-consolidate") }
 
+// BenchmarkServePaged measures the KV-backend comparison scenario:
+// three runs on the identical multi-turn session trace (full
+// reservation, paged with evict-recompute, paged with evict-swap) —
+// the hot path through block-on-demand granting, radix prefix-cache
+// matching/sealing, youngest-first eviction and the host swap link.
+func BenchmarkServePaged(b *testing.B) { benchExperiment(b, "serve-paged") }
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSystolicArrayGEMM measures the functional matrix engine: one

@@ -9,6 +9,7 @@
 //	neu10-serve -scenario llm                  # continuous vs static batching
 //	neu10-serve -scenario disagg               # disaggregated prefill/decode vs colocated
 //	neu10-serve -scenario chaos                # chip crashes, pod outage, link degradation
+//	neu10-serve -scenario paged                # paged KV + prefix cache vs full reservation
 //	neu10-serve -scenario mix-shift -json
 //	neu10-serve -scenario chaos -trace trace.json -timelines tl.csv
 //	neu10-serve -scenario chaos -gantt 8       # per-request lifecycle summary
@@ -53,6 +54,7 @@ var scenarios = map[string]string{
 	"chaos":        "serve-chaos",
 	"chaos-traced": "serve-chaos-traced",
 	"consolidate":  "serve-consolidate",
+	"paged":        "serve-paged",
 }
 
 func main() {
@@ -84,6 +86,8 @@ func main() {
 		fmt.Println("chaos-traced  the chaos scenario with tracing and timelines always on")
 		fmt.Println("consolidate   LLM + vision + recsys tenants on one shared cluster vs per-tenant")
 		fmt.Println("              silos; min-chips search at equal SLO attainment")
+		fmt.Println("paged         multi-turn session traffic on a tight KV partition; full-reservation")
+		fmt.Println("              vs paged KV with prefix caching, evict-recompute vs evict-swap, same trace")
 		return
 	}
 

@@ -29,6 +29,10 @@ var goldenServe = []struct {
 	{"serve-disagg", "golden_serve_disagg.txt", ""},
 	{"serve-chaos", "golden_serve_chaos.txt", ""},
 	{"serve-consolidate", "golden_serve_consolidate.txt", ""},
+	// JSON pinned too: serve-paged is where the extended KVStats fields
+	// (kv_policy, kv_peak_seqs, eviction and prefix-cache counters)
+	// first marshal, so this snapshot locks their encoding.
+	{"serve-paged", "golden_serve_paged.txt", "golden_serve_paged.json"},
 }
 
 // TestGoldenServeReports pins the serving output surface end to end:

@@ -21,7 +21,7 @@ func TestServeParallelDeterminism(t *testing.T) {
 		}
 		return r
 	}
-	ids := []string{"serve-flash", "serve-steady", "serve-priority", "serve-llm", "serve-disagg"}
+	ids := []string{"serve-flash", "serve-steady", "serve-priority", "serve-llm", "serve-disagg", "serve-paged"}
 	seqRes, err := mk(1).RunMany(ids)
 	if err != nil {
 		t.Fatal(err)
@@ -252,6 +252,69 @@ func TestServeDisaggCrossover(t *testing.T) {
 	for _, want := range []string{"disagg tenant", "interconnect:", "colocated"} {
 		if !strings.Contains(res.Table(), want) {
 			t.Errorf("serve-disagg table missing %q", want)
+		}
+	}
+}
+
+// TestServePagedBeatsReservation asserts the serve-paged scenario's
+// headline claim: on the identical multi-turn session trace, BOTH paged
+// legs (evict-recompute and evict-swap) admit strictly more concurrent
+// sequences and deliver strictly higher goodput than full reservation,
+// the prefix cache visibly serves session re-prefills, and each
+// eviction policy pays its own distinct price (replayed tokens vs
+// swapped megabytes).
+func TestServePagedBeatsReservation(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.ServePaged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("serve-paged result has %d reports, want reserve+recompute+swap", len(res.Reports))
+	}
+	resv, rec, swp := res.Reports[0].Tenants[0], res.Reports[1].Tenants[0], res.Reports[2].Tenants[0]
+	if resv.LLM.KVPolicy != "reserve" || rec.LLM.KVPolicy != "paged" || swp.LLM.KVPolicy != "paged" {
+		t.Fatalf("report order wrong: policies %q, %q, %q", resv.LLM.KVPolicy, rec.LLM.KVPolicy, swp.LLM.KVPolicy)
+	}
+	for i, pg := range res.Reports[1:] {
+		tr := pg.Tenants[0]
+		if tr.Arrivals != resv.Arrivals || tr.LLM.TokensOut != resv.LLM.TokensOut {
+			t.Errorf("leg %d: trace diverges from reserve (%d/%d arrivals, %d/%d tokens) — seed plumbing broken",
+				i, tr.Arrivals, resv.Arrivals, tr.LLM.TokensOut, resv.LLM.TokensOut)
+		}
+		if tr.LLM.PeakSeqs <= resv.LLM.PeakSeqs {
+			t.Errorf("leg %d: peak seqs %d not above reserve's %d", i, tr.LLM.PeakSeqs, resv.LLM.PeakSeqs)
+		}
+		if tr.GoodputRPS <= resv.GoodputRPS {
+			t.Errorf("leg %d: goodput %.2f not above reserve's %.2f", i, tr.GoodputRPS, resv.GoodputRPS)
+		}
+		if tr.LLM.PrefixHits == 0 || tr.LLM.PrefixHitTokens == 0 {
+			t.Errorf("leg %d: prefix cache never served a session re-prefill (%d hits, %d tokens)",
+				i, tr.LLM.PrefixHits, tr.LLM.PrefixHitTokens)
+		}
+		if tr.LLM.PrefixHitRate <= 0 || tr.LLM.PrefixHitRate > 1 {
+			t.Errorf("leg %d: prefix hit rate %.3f not in (0, 1]", i, tr.LLM.PrefixHitRate)
+		}
+	}
+	if rec.LLM.EvictRecompute == 0 || rec.LLM.RecomputeTokens == 0 || rec.LLM.EvictSwap != 0 {
+		t.Errorf("recompute leg evictions malformed: %d recompute (%d tokens), %d swap",
+			rec.LLM.EvictRecompute, rec.LLM.RecomputeTokens, rec.LLM.EvictSwap)
+	}
+	if swp.LLM.EvictSwap == 0 || swp.LLM.SwapOutMB == 0 || swp.LLM.EvictRecompute != 0 {
+		t.Errorf("swap leg evictions malformed: %d swap (%.1f MB out), %d recompute",
+			swp.LLM.EvictSwap, swp.LLM.SwapOutMB, swp.LLM.EvictRecompute)
+	}
+	if swp.LLM.SwapOutMB != swp.LLM.SwapInMB {
+		t.Errorf("swap traffic asymmetric: %.2f MB out, %.2f MB in — a sequence never returned",
+			swp.LLM.SwapOutMB, swp.LLM.SwapInMB)
+	}
+	if resv.LLM.Evictions != 0 || resv.LLM.PrefixLookups != 0 {
+		t.Errorf("reserve leg reports paged machinery: %d evictions, %d lookups",
+			resv.LLM.Evictions, resv.LLM.PrefixLookups)
+	}
+	for _, want := range []string{"kv tenant", "paged KV:", "recompute", "swap"} {
+		if !strings.Contains(res.Table(), want) {
+			t.Errorf("serve-paged table missing %q", want)
 		}
 	}
 }

@@ -304,7 +304,7 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 	// owner's own model is small: its partition grows to the LLM weights
 	// plus at least one maximal request's KV per LLM peer — the floor
 	// below which a queue head could block forever.
-	var kv *kvAccountant
+	var kv kvBackend
 	{
 		var weights, minKV int64
 		blockTokens, capOverride, anyLLM := 0, 0, false
@@ -345,7 +345,7 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 			if capOverride > 0 {
 				capBytes = int64(capOverride) * model.LLMKVBytesPerToken()
 			}
-			kv = newKVAccountant(capBytes, model.LLMKVBytesPerToken(), blockTokens, float64(f.eng.Now()))
+			kv = f.newKVBackend(t, capBytes, blockTokens)
 			for _, p := range t.peers {
 				if p.llm == nil {
 					continue
@@ -354,9 +354,14 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 				if role == RolePrefill && f.cfg.Faults == nil {
 					worstTok = p.cfg.LLM.Trace.MaxPrompt()
 				}
-				if worst := kv.blocksFor(worstTok); worst > kv.totalBlocks {
+				// The floor holds under EITHER backend: with full
+				// reservation it keeps the queue head admissible; with
+				// paging it guarantees one maximal sequence can always be
+				// made resident by evicting everything else — the
+				// eviction-progress guarantee.
+				if worst := kv.blocksFor(worstTok); worst > kv.total() {
 					return fmt.Errorf("serve: tenant %s: %s replica KV capacity of %d blocks cannot hold one maximal request of %s (%d blocks)",
-						t.cfg.Name, role, kv.totalBlocks, p.cfg.Name, worst)
+						t.cfg.Name, role, kv.total(), p.cfg.Name, worst)
 				}
 			}
 		}
@@ -395,6 +400,11 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 	r := &replica{id: t.nextReplicaID, uid: f.nextUID, ten: t, vnpu: v, nm: a.MEs, nv: a.VEs, eus: eus, role: role, kv: kv}
 	f.nextUID++
 	t.nextReplicaID++
+	if p, ok := kv.(*pagedKV); ok {
+		// The paged backend needs its slot for swap scheduling (link
+		// naming, wake-ups); the ledger itself never looks back.
+		p.bind(r)
+	}
 	for _, p := range t.peers {
 		r.qs = append(r.qs, slotQueue{ten: p})
 	}

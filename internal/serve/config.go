@@ -262,6 +262,12 @@ func (tc *TenantConfig) validate() error {
 		if tc.LLM.Disagg != nil && tc.ShareGroup != "" {
 			return fmt.Errorf("serve: tenant %s: disaggregation and share groups are mutually exclusive", tc.Name)
 		}
+		// The paged backend's evictor must own every resident sequence's
+		// lifecycle; a share-group peer's suspended batch could hold live
+		// references to sequences the evictor wants to reclaim.
+		if tc.LLM.KVPolicy == KVPaged && tc.ShareGroup != "" {
+			return fmt.Errorf("serve: tenant %s: paged KV and share groups are mutually exclusive", tc.Name)
+		}
 	}
 	return nil
 }
@@ -410,6 +416,16 @@ func (c *Config) validate() error {
 	if c.Obs != nil {
 		if err := c.Obs.validate(); err != nil {
 			return err
+		}
+	}
+	// Quantum-boundary preemption suspends batches that keep live
+	// sequence references across the suspension; the paged evictor
+	// reclaims sequences it believes idle, so the two must not mix.
+	if c.Preempt {
+		for i := range c.Tenants {
+			if llm := c.Tenants[i].LLM; llm != nil && llm.KVPolicy == KVPaged {
+				return fmt.Errorf("serve: tenant %s: paged KV and preemptive sharing are mutually exclusive", c.Tenants[i].Name)
+			}
 		}
 	}
 	// Per-tenant validation happens in newFleet, against each tenant's

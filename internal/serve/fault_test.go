@@ -112,9 +112,9 @@ func TestCrashConservation(t *testing.T) {
 				t.Errorf("policy %s seed %d: %d transfers in flight after drain", policy, seed, len(l.migInflight))
 			}
 			for _, r := range ten.replicas {
-				if r.kv.usedBlocks != 0 {
+				if r.kv.used() != 0 {
 					t.Errorf("policy %s seed %d: %s replica %d holds %d KV blocks after drain",
-						policy, seed, r.role, r.id, r.kv.usedBlocks)
+						policy, seed, r.role, r.id, r.kv.used())
 				}
 				if r.inbound != 0 {
 					t.Errorf("policy %s seed %d: replica %d reports %d inbound after drain",
@@ -271,9 +271,9 @@ func TestEvacuationRebalances(t *testing.T) {
 		t.Error("landed evacuations moved no bytes")
 	}
 	for _, r := range ten.replicas {
-		if r.kv.usedBlocks != 0 || r.inbound != 0 {
+		if r.kv.used() != 0 || r.inbound != 0 {
 			t.Errorf("%s replica %d: %d KV blocks, %d inbound after drain",
-				r.role, r.id, r.kv.usedBlocks, r.inbound)
+				r.role, r.id, r.kv.used(), r.inbound)
 		}
 	}
 }

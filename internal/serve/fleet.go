@@ -10,6 +10,7 @@ import (
 	"neu10/internal/model"
 	"neu10/internal/sim"
 	"neu10/internal/virt"
+	"neu10/internal/workload"
 	"neu10/internal/xfer"
 )
 
@@ -126,6 +127,10 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 		t.replicaTL = metrics.NewTimeSeries(t.cfg.Name+"/replicas", 4096)
 		if t.cfg.LLM != nil {
 			t.llm = &llmTenant{rng: sim.NewRNG(cfg.Seed ^ (uint64(i)+1)*0x94d049bb133111eb)}
+			if t.cfg.LLM.Trace.Sessions > 0 {
+				t.llm.sess = workload.NewSessionState(t.cfg.LLM.Trace)
+			}
+			t.kvPaged = t.cfg.LLM.KVPolicy == KVPaged
 		}
 		t.batcher = newBatcher(f, t)
 		f.tenants = append(f.tenants, t)
@@ -155,11 +160,13 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 				continue
 			}
 			if p.cfg.LLM.BlockTokens != t.cfg.LLM.BlockTokens ||
-				p.cfg.LLM.KVCapTokens != t.cfg.LLM.KVCapTokens {
-				return nil, fmt.Errorf("serve: share group %q: tenants %s and %s disagree on KV settings (blocks %d/%d tokens, cap %d/%d)",
+				p.cfg.LLM.KVCapTokens != t.cfg.LLM.KVCapTokens ||
+				p.cfg.LLM.KVPolicy != t.cfg.LLM.KVPolicy {
+				return nil, fmt.Errorf("serve: share group %q: tenants %s and %s disagree on KV settings (blocks %d/%d tokens, cap %d/%d, policy %q/%q)",
 					t.cfg.ShareGroup, t.cfg.Name, p.cfg.Name,
 					t.cfg.LLM.BlockTokens, p.cfg.LLM.BlockTokens,
-					t.cfg.LLM.KVCapTokens, p.cfg.LLM.KVCapTokens)
+					t.cfg.LLM.KVCapTokens, p.cfg.LLM.KVCapTokens,
+					t.cfg.LLM.KVPolicy, p.cfg.LLM.KVPolicy)
 			}
 		}
 	}

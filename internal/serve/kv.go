@@ -1,16 +1,152 @@
 package serve
 
-import "fmt"
+import (
+	"fmt"
 
-// kvAccountant models the KV-cache partition of one replica's vNPU HBM
-// (§III memory partitioning): the capacity left in MemSizePerCore after
-// the LLM's resident weights, handed out in fixed-size blocks of
+	"neu10/internal/model"
+)
+
+// KV-cache accounting for one replica slot's vNPU HBM partition (§III
+// memory partitioning): the capacity left in MemSizePerCore after the
+// LLM's resident weights, handed out in fixed-size blocks of
 // blockTokens tokens — paged-attention-style block granularity, which
-// bounds fragmentation to under one block per sequence. A sequence
-// reserves its full prompt+output footprint at admission, so a running
-// generation can never overcommit mid-flight; its blocks free when it
-// completes. The accountant also integrates occupancy over time for the
-// report's KV-utilization numbers.
+// bounds fragmentation to under one block per sequence.
+//
+// Two backends implement the accounting behind the kvBackend interface,
+// selected per tenant via LLMConfig.KVPolicy:
+//
+//   - "reserve" (the default, kvAccountant below): a sequence reserves
+//     its FULL prompt+output footprint at admission, so a running
+//     generation can never overcommit mid-flight; its blocks free when
+//     it completes. Safe, simple, and exactly the pre-interface
+//     behavior — every legacy scenario runs on it byte-identically.
+//   - "paged" (pagedKV, kv_paged.go): blocks allocate as decode
+//     actually produces tokens, cold sequences evict under pressure
+//     (recompute or swap, priced), and a radix-trie prefix cache lets
+//     session traffic reuse resident blocks across requests.
+
+// kvBackend abstracts a replica's KV accounting so admission,
+// autoscaling, crash recovery and disagg migration work against the
+// policy, not the struct. The raw block ledger (blocksFor/fits/alloc/
+// free/accrue) keeps the original accountant's method names: the
+// migration and evacuation paths charge explicit reservations through
+// it and read identically under either backend.
+type kvBackend interface {
+	// blocksFor returns the block footprint of `tokens` tokens (0 for
+	// tokens ≤ 0).
+	blocksFor(tokens int) int
+	// fits reports whether `blocks` more blocks can be allocated now.
+	fits(blocks int) bool
+	// alloc charges blocks; the caller must have checked fits
+	// (admission is the only gate, so overcommit is a scheduler bug).
+	alloc(blocks int, now float64)
+	// free returns blocks to the pool.
+	free(blocks int, now float64)
+	// accrue advances the occupancy integral to now.
+	accrue(now float64)
+
+	// Ledger accessors for obs sampling, occupancy folding and the
+	// spawn-time capacity floor.
+	used() int
+	total() int
+	peak() int
+	bornAt() float64
+	area() float64
+
+	// canAdmit reports, side-effect-free, whether the backend would
+	// admit this request now — the scheduling predicate next() and the
+	// stall accounting read.
+	canAdmit(req request) bool
+	// admit charges a fresh sequence's admission footprint and fills in
+	// its backend bookkeeping (s.blocks, and for the paged backend its
+	// prefix-cache pin). The caller constructs s with req and ctx set;
+	// false admits nothing and charges nothing.
+	admit(s *llmSeq, now float64) bool
+	// release retires a completed sequence, returning its blocks (the
+	// paged backend first seals reusable prefix blocks into its cache).
+	release(s *llmSeq, now float64)
+	// needsBlock reports whether the sequence's next decoded token
+	// falls outside its allocated blocks (always false under full
+	// reservation).
+	needsBlock(s *llmSeq) bool
+	// extendSeq grants the sequence one more block for the token the
+	// next decode iteration will produce (no-op under full reservation;
+	// the caller must have ensured room, evicting if necessary).
+	extendSeq(s *llmSeq, now float64)
+	// teardown drops backend-internal machinery when the replica dies
+	// mid-run (cancels in-flight swap transfers); the block ledger
+	// itself is folded by the caller.
+	teardown(now float64)
+
+	// addStats folds the backend's policy-specific counters into a
+	// tenant aggregate. Called exactly once per replica lifetime (at
+	// retire, crash teardown, or the final report), so additive fields
+	// accumulate exactly.
+	addStats(st *KVStats)
+}
+
+// KVStats is the stable KV accounting block every consumer — report
+// tables, JSON, and internal/obs timelines — reads uniformly. The
+// first four fields are the legacy KV section of LLMTenantReport and
+// are always populated for LLM tenants; the extended fields are
+// populated only when the tenant sets LLMConfig.KVPolicy explicitly,
+// so legacy reports marshal byte-identically.
+type KVStats struct {
+	// KVBlockTokens is the block granularity in tokens.
+	KVBlockTokens int `json:"kv_block_tokens"`
+	// KVOccMean / KVOccPeak are the time-averaged and worst
+	// instantaneous occupancy fractions across the tenant's replicas.
+	KVOccMean float64 `json:"kv_occupancy_mean"`
+	KVOccPeak float64 `json:"kv_occupancy_peak"`
+	// KVStalls counts batch-growth attempts blocked by KV exhaustion.
+	KVStalls int `json:"kv_stalls"`
+
+	// KVPolicy is the backend name ("reserve" or "paged"); empty means
+	// the tenant ran on the implicit reserve default and none of the
+	// fields below are populated.
+	KVPolicy string `json:"kv_policy,omitempty"`
+	// PeakSeqs is the peak number of concurrently resident sequences
+	// across the tenant's fleet — the admitted-concurrency headline the
+	// paged backend exists to raise.
+	PeakSeqs int `json:"kv_peak_seqs,omitempty"`
+
+	// Eviction traffic (paged backend only): total evictions split by
+	// policy, the tokens whose KV must be re-prefilled after a
+	// recompute eviction, and the swap payloads moved to/from host
+	// memory over the modeled link.
+	Evictions       int     `json:"kv_evictions,omitempty"`
+	EvictRecompute  int     `json:"kv_evict_recompute,omitempty"`
+	EvictSwap       int     `json:"kv_evict_swap,omitempty"`
+	RecomputeTokens int64   `json:"kv_recompute_tokens,omitempty"`
+	SwapOutMB       float64 `json:"kv_swap_out_mb,omitempty"`
+	SwapInMB        float64 `json:"kv_swap_in_mb,omitempty"`
+
+	// Radix prefix cache: lookup/hit counts over admissions, the KV
+	// tokens served from cache instead of prefilled, the cache blocks
+	// reclaimed under pressure, and hits/lookups.
+	PrefixLookups   int     `json:"kv_prefix_lookups,omitempty"`
+	PrefixHits      int     `json:"kv_prefix_hits,omitempty"`
+	PrefixHitTokens int64   `json:"kv_prefix_hit_tokens,omitempty"`
+	CacheEvictions  int     `json:"kv_cache_evict_blocks,omitempty"`
+	PrefixHitRate   float64 `json:"kv_prefix_hit_rate,omitempty"`
+}
+
+// newKVBackend constructs the KV backend a fresh replica slot runs on,
+// per the serving group's KVPolicy (newFleet validates that LLM peers
+// in one share group agree, so the first explicit policy found is the
+// group's policy; empty means the implicit reserve default).
+func (f *fleet) newKVBackend(t *tenantState, capBytes int64, blockTokens int) kvBackend {
+	acct := newKVAccountant(capBytes, model.LLMKVBytesPerToken(), blockTokens, float64(f.eng.Now()))
+	for _, p := range t.peers {
+		if p.llm != nil && p.cfg.LLM.KVPolicy == KVPaged {
+			return newPagedKV(f, p, acct)
+		}
+	}
+	return acct
+}
+
+// kvAccountant is the full-reservation backend. It also integrates
+// occupancy over time for the report's KV-utilization numbers.
 type kvAccountant struct {
 	blockTokens int
 	totalBlocks int
@@ -20,6 +156,11 @@ type kvAccountant struct {
 	born     float64 // creation time, cycles (origin of the block·time area)
 	lastAt   float64
 	usedArea float64 // ∫ usedBlocks dt since born
+
+	// Resident-sequence count through admit/release (the concurrency the
+	// paged backend is compared against); crash-discarded sequences skip
+	// release, but the peak is already correct when the replica folds.
+	curSeqs, peakSeqs int
 }
 
 // newKVAccountant carves capBytes into blocks of blockTokens tokens at
@@ -70,5 +211,52 @@ func (a *kvAccountant) accrue(now float64) {
 	if now > a.lastAt {
 		a.usedArea += float64(a.usedBlocks) * (now - a.lastAt)
 		a.lastAt = now
+	}
+}
+
+func (a *kvAccountant) used() int       { return a.usedBlocks }
+func (a *kvAccountant) total() int      { return a.totalBlocks }
+func (a *kvAccountant) peak() int       { return a.peakBlocks }
+func (a *kvAccountant) bornAt() float64 { return a.born }
+func (a *kvAccountant) area() float64   { return a.usedArea }
+
+// canAdmit: the full prompt+output reservation must fit.
+func (a *kvAccountant) canAdmit(req request) bool {
+	return a.fits(a.blocksFor(req.prompt + req.output))
+}
+
+// admit charges the full reservation, exactly the pre-interface
+// admission triple (blocksFor → fits → alloc).
+func (a *kvAccountant) admit(s *llmSeq, now float64) bool {
+	blocks := a.blocksFor(s.req.prompt + s.req.output)
+	if !a.fits(blocks) {
+		return false
+	}
+	a.alloc(blocks, now)
+	s.blocks = blocks
+	a.curSeqs++
+	if a.curSeqs > a.peakSeqs {
+		a.peakSeqs = a.curSeqs
+	}
+	return true
+}
+
+// release frees a completed sequence's whole reservation.
+func (a *kvAccountant) release(s *llmSeq, now float64) {
+	a.free(s.blocks, now)
+	a.curSeqs--
+}
+
+// The reservation already covers every output token, so decode never
+// needs growth and both hooks are no-ops.
+func (a *kvAccountant) needsBlock(*llmSeq) bool    { return false }
+func (a *kvAccountant) extendSeq(*llmSeq, float64) {}
+func (a *kvAccountant) teardown(float64)           {}
+
+// addStats folds the peak resident-sequence count (the only
+// policy-specific stat the reserve backend keeps).
+func (a *kvAccountant) addStats(st *KVStats) {
+	if a.peakSeqs > st.PeakSeqs {
+		st.PeakSeqs = a.peakSeqs
 	}
 }

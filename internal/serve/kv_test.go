@@ -60,6 +60,28 @@ func TestKVAccountantOccupancyIntegral(t *testing.T) {
 	}
 }
 
+// TestFoldKVFinalizesAccrual is the regression test for the fold-time
+// accrual (tenant.go foldKV): folding a backend whose ledger saw no
+// traffic since its last event must still integrate the occupancy tail
+// up to the fold instant. Without foldKV's leading accrue, a replica
+// holding blocks quietly from its last alloc to retirement would
+// under-report its whole tail of occupancy.
+func TestFoldKVFinalizesAccrual(t *testing.T) {
+	a := newKVAccountant(16*16, 1, 16, 0) // 16 blocks, born at t=0
+	a.alloc(4, 0)                         // 4 blocks held, no further ledger traffic
+	ten := &tenantState{}
+	ten.foldKV(a, 100)
+	if want := 4.0 * 100; ten.kvUsedArea != want {
+		t.Errorf("folded occupancy area %v, want %v — the fold did not finalize the accrual", ten.kvUsedArea, want)
+	}
+	if want := 16.0 * 100; ten.kvBlockArea != want {
+		t.Errorf("folded capacity area %v, want %v", ten.kvBlockArea, want)
+	}
+	if want := 4.0 / 16.0; ten.kvPeakFrac != want {
+		t.Errorf("folded peak fraction %v, want %v", ten.kvPeakFrac, want)
+	}
+}
+
 // TestKVAccountantGuards: the accountant panics on overcommit and
 // over-free — both are scheduler bugs, never load conditions.
 func TestKVAccountantGuards(t *testing.T) {

@@ -53,6 +53,30 @@ type LLMConfig struct {
 	// applies to both pools' replicas.
 	KVCapTokens int
 
+	// KVPolicy selects the KV accounting backend (kv.go): KVReserve —
+	// full prompt+output reservation at admission, the pre-paging
+	// behavior — or KVPaged — block-on-demand allocation with eviction
+	// under pressure and a radix-trie prefix cache (kv_paged.go).
+	// Empty runs the reserve backend implicitly AND leaves the report's
+	// extended KV fields unpopulated, so legacy scenarios are
+	// byte-identical; set it explicitly to surface the policy
+	// comparison fields. KVPaged requires the continuous colocated
+	// batcher (no Static, Disagg, ShareGroup, or fleet Preempt:
+	// suspended batches hold live sequence references the evictor
+	// must never invalidate).
+	KVPolicy string
+	// KVEvict selects how the paged backend reclaims a victim's
+	// blocks: KVEvictRecompute drops them and replays the lost tokens
+	// through a chunked re-prefill (priced via CostDB.LLMChunkCycles),
+	// KVEvictSwap ships them to host memory over a modeled link and
+	// back (priced via internal/xfer at SwapGBps). Default recompute;
+	// only meaningful with KVPaged.
+	KVEvict string
+	// SwapGBps is the modeled NPU↔host swap bandwidth in GB/s for
+	// KVEvictSwap (default 32 — PCIe-class, deliberately slower than
+	// the chip-to-chip fabric).
+	SwapGBps float64
+
 	// Disagg, when non-nil, splits the tenant's fleet into
 	// role-specialized pools: arrivals prefill on RolePrefill replicas,
 	// finished prompts migrate their KV over the modeled interconnect
@@ -137,10 +161,27 @@ func (d *DisaggConfig) validate(tenant string) error {
 	return nil
 }
 
+// KV backend policy and eviction names (LLMConfig.KVPolicy/KVEvict).
+const (
+	KVReserve = "reserve"
+	KVPaged   = "paged"
+
+	KVEvictRecompute = "recompute"
+	KVEvictSwap      = "swap"
+)
+
 func (lc *LLMConfig) defaults() {
 	lc.Trace.Defaults()
 	if lc.BlockTokens == 0 {
 		lc.BlockTokens = 16
+	}
+	if lc.KVPolicy == KVPaged {
+		if lc.KVEvict == "" {
+			lc.KVEvict = KVEvictRecompute
+		}
+		if lc.SwapGBps == 0 {
+			lc.SwapGBps = 32
+		}
 	}
 	if lc.Disagg != nil {
 		lc.Disagg.defaults()
@@ -157,6 +198,29 @@ func (lc *LLMConfig) validate(tenant string) error {
 	if lc.KVCapTokens < 0 {
 		return fmt.Errorf("serve: tenant %s KV capacity override %d", tenant, lc.KVCapTokens)
 	}
+	switch lc.KVPolicy {
+	case "", KVReserve, KVPaged:
+	default:
+		return fmt.Errorf("serve: tenant %s KV policy %q (want %q or %q)", tenant, lc.KVPolicy, KVReserve, KVPaged)
+	}
+	if lc.KVPolicy == KVPaged {
+		if lc.Static {
+			return fmt.Errorf("serve: tenant %s: paged KV requires the continuous batcher", tenant)
+		}
+		if lc.Disagg != nil {
+			return fmt.Errorf("serve: tenant %s: paged KV and disaggregation are mutually exclusive", tenant)
+		}
+		switch lc.KVEvict {
+		case KVEvictRecompute, KVEvictSwap:
+		default:
+			return fmt.Errorf("serve: tenant %s KV eviction %q (want %q or %q)", tenant, lc.KVEvict, KVEvictRecompute, KVEvictSwap)
+		}
+	} else if lc.KVEvict != "" {
+		return fmt.Errorf("serve: tenant %s: KV eviction policy requires the paged backend", tenant)
+	}
+	if lc.SwapGBps < 0 {
+		return fmt.Errorf("serve: tenant %s swap bandwidth %v GB/s", tenant, lc.SwapGBps)
+	}
 	if lc.Disagg != nil {
 		if lc.Static {
 			return fmt.Errorf("serve: tenant %s: disaggregation requires the continuous batcher", tenant)
@@ -169,6 +233,9 @@ func (lc *LLMConfig) validate(tenant string) error {
 // llmTenant is the runtime LLM state of one tenant.
 type llmTenant struct {
 	rng *sim.RNG // request-shape draws (one stream, consumed at arrival)
+	// sess holds the live conversation chains of a session trace
+	// (Trace.Sessions > 0); nil for independent-request traces.
+	sess *workload.SessionState
 
 	ttft metrics.Latencies // time to first token (prefill finish − arrival)
 	tpot metrics.Latencies // per-token latency: (completion − TTFT)/(output−1)
@@ -269,6 +336,19 @@ type llmSeq struct {
 	// KV (fault.go): no decode iteration includes it until the pages
 	// land, so its state is immutable on the wire.
 	migrating bool
+
+	// Paged-backend state (kv_paged.go; zero under the reserve backend).
+	// hit is the prefix-cache tokens served from pinned shared blocks —
+	// `blocks` then covers only the private remainder, and block demand
+	// is measured against blocks×BlockTokens+hit. cref pins the matched
+	// radix chain from admission to release. A swapped sequence stays in
+	// its running set but owns no device blocks: swapped freezes it,
+	// swapReady marks its KV landed in host memory (eligible to swap
+	// back in when blocks free up).
+	hit       int
+	cref      *radixNode
+	swapped   bool
+	swapReady bool
 }
 
 // continuousLLM is the autoregressive batcher policy: one invocation
@@ -290,15 +370,22 @@ type continuousLLM struct {
 func (c *continuousLLM) next(r *replica, q *slotQueue) (batchKind, sim.Time, bool) {
 	t := q.ten
 	if t.cfg.LLM.Static {
-		if len(q.reqs) > 0 && len(q.running) == 0 &&
-			r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+		if len(q.reqs) > 0 && len(q.running) == 0 && r.kv.canAdmit(q.reqs[0]) {
 			return kindLLMStaticPrefill, q.reqs[0].at, true
 		}
 		return 0, 0, false
 	}
-	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch &&
-		r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch && r.kv.canAdmit(q.reqs[0]) {
 		return kindLLMPrefill, q.reqs[0].at, true
+	}
+	if t.kvPaged {
+		// Block-on-demand decode readiness is stricter than "any
+		// decodable sequence": the iteration must be able to grant or
+		// free the blocks it needs (paged.go).
+		if at, ok := pagedDecodeReady(r, q); ok {
+			return kindLLMDecode, at, true
+		}
+		return 0, 0, false
 	}
 	for _, s := range q.running {
 		if s.prefilled && s.produced < s.req.output {
@@ -345,8 +432,7 @@ func (c *continuousLLM) passedOver(r *replica, q *slotQueue) {
 	if !c.t.cfg.LLM.Static {
 		return
 	}
-	if len(q.reqs) > 0 && len(q.running) == 0 &&
-		!r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+	if len(q.reqs) > 0 && len(q.running) == 0 && !r.kv.canAdmit(q.reqs[0]) {
 		c.t.llm.kvStalls++
 	}
 }
@@ -367,12 +453,10 @@ func (c *continuousLLM) admit(r *replica, q *slotQueue, now sim.Time) []*llmSeq 
 	var joined []*llmSeq
 	for len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch {
 		req := q.reqs[0]
-		blocks := r.kv.blocksFor(req.prompt + req.output)
-		if !r.kv.fits(blocks) {
+		s := &llmSeq{req: req, ctx: req.prompt}
+		if !r.kv.admit(s, float64(now)) {
 			break
 		}
-		r.kv.alloc(blocks, float64(now))
-		s := &llmSeq{req: req, blocks: blocks, ctx: req.prompt}
 		q.running = append(q.running, s)
 		joined = append(joined, s)
 		n := copy(q.reqs, q.reqs[1:])
@@ -415,7 +499,26 @@ func (c *continuousLLM) launchPrefill(r *replica, q *slotQueue, kind batchKind, 
 			maxPrompt = s.req.prompt
 		}
 	}
-	cycles, err := f.costs.LLMCycles(PhasePrefill, len(joined), maxPrompt, r.nm, r.nv)
+	var cycles float64
+	var err error
+	if t.kvPaged {
+		// Prefix-cache hits shrink the prefill to the unmatched suffix —
+		// a chunk whose attention still spans the cached context behind
+		// it, exactly what LLMChunkCycles measures. With no hit in the
+		// batch this is a plain full-prompt chunk at context 0.
+		maxChunk, maxBehind := 0, 0
+		for _, s := range joined {
+			if c := s.req.prompt - s.hit; c > maxChunk {
+				maxChunk = c
+			}
+			if s.hit > maxBehind {
+				maxBehind = s.hit
+			}
+		}
+		cycles, err = f.costs.LLMChunkCycles(len(joined), maxChunk, maxBehind, r.nm, r.nv)
+	} else {
+		cycles, err = f.costs.LLMCycles(PhasePrefill, len(joined), maxPrompt, r.nm, r.nv)
+	}
 	if err != nil {
 		panic(fmt.Sprintf("serve: costing prefill batch: %v", err))
 	}
@@ -434,9 +537,12 @@ func (c *continuousLLM) launchPrefill(r *replica, q *slotQueue, kind batchKind, 
 func (c *continuousLLM) launchDecode(r *replica, q *slotQueue, now sim.Time, restore float64) {
 	f, t := c.f, q.ten
 	f.disarmTimer(r)
-	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch &&
-		!r.kv.fits(r.kv.blocksFor(q.reqs[0].prompt+q.reqs[0].output)) {
+	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch && !r.kv.canAdmit(q.reqs[0]) {
 		t.llm.kvStalls++
+	}
+	if t.kvPaged {
+		c.launchPagedDecode(r, q, now, restore)
+		return
 	}
 	b := f.takeBatch()
 	b.ten, b.restore, b.kind = t, restore, kindLLMDecode
@@ -593,7 +699,7 @@ func (q *slotQueue) removeRunning(s *llmSeq) {
 // the sequence removed from its running set.
 func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time) {
 	r.queueFor(t).removeRunning(s)
-	r.kv.free(s.blocks, float64(now))
+	r.kv.release(s, float64(now))
 	lat := float64(now - s.req.at)
 	t.lat.Add(lat)
 	f.noteFaultDone(t, s.req.at, lat)
@@ -621,6 +727,9 @@ func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time)
 	if t.disagg() != nil {
 		// The freed decode blocks may admit a parked migration.
 		f.drainMigQ(t, now)
+	} else if t.kvPaged {
+		// The freed blocks may let a swapped-out sequence return.
+		f.drainSwaps(r, now)
 	}
 }
 
@@ -643,6 +752,11 @@ func (f *fleet) preMeasureLLM(t *tenantState, nm, nv int) error {
 			pMax = c
 		}
 	}
+	paged := t.cfg.LLM.KVPolicy == KVPaged
+	if paged {
+		// Prefix hits shrink prefill chunks down to a single token.
+		pMin = 1
+	}
 	bDec := PadBatch(t.cfg.MaxBatch)
 	if d := t.disagg(); d != nil && PadBatch(d.DecodeBatch) > bDec {
 		// Decode slots batch wider than the prefill width.
@@ -657,6 +771,17 @@ func (f *fleet) preMeasureLLM(t *tenantState, nm, nv int) error {
 				// Context sits at chunk-boundary multiples; its padded
 				// buckets run from the chunk bucket to the prompt bound.
 				for c := PadBatch(chunk); c <= PadBatch(tr.MaxPrompt()); c <<= 1 {
+					if _, err := f.costs.LLMChunkCycles(b, p, c, nm, nv); err != nil {
+						return err
+					}
+				}
+			}
+			if paged {
+				// Cached context behind a hit suffix sits at block
+				// multiples; its padded buckets run from the block bucket
+				// to the prompt bound. (A cold miss is ctx 0 — the plain
+				// prefill entry above.)
+				for c := PadBatch(t.cfg.LLM.BlockTokens); c <= PadBatch(tr.MaxPrompt()); c <<= 1 {
 					if _, err := f.costs.LLMChunkCycles(b, p, c, nm, nv); err != nil {
 						return err
 					}

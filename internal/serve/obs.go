@@ -198,9 +198,16 @@ func (f *fleet) obsSample(now float64) {
 		// retired replica's occupancy is folded into the tenant
 		// aggregate at retire time, same as the report).
 		for _, r := range t.replicas {
-			if r.kv != nil && r.kv.totalBlocks > 0 {
+			if r.kv != nil && r.kv.total() > 0 {
 				o.tl.Add(fmt.Sprintf("%s/kv_frac/r%d", name, r.id), now,
-					float64(r.kv.usedBlocks)/float64(r.kv.totalBlocks))
+					float64(r.kv.used())/float64(r.kv.total()))
+			}
+			// Paged-backend internals (absent for reserve tenants, so
+			// legacy timeline sets are unchanged): reclaimable cold cache
+			// blocks and the swapped-out sequence backlog.
+			if p, ok := r.kv.(*pagedKV); ok {
+				o.tl.Add(fmt.Sprintf("%s/kv_cold/r%d", name, r.id), now, float64(p.cold))
+				o.tl.Add(fmt.Sprintf("%s/kv_swap_q/r%d", name, r.id), now, float64(len(p.swapQ)))
 			}
 		}
 		// Cumulative attainment (and its numerator/denominator, which

@@ -279,9 +279,11 @@ func (f *fleet) destroyReplica(r *replica, now sim.Time, out *[]harvested) {
 	f.allocatedEUs -= r.vnpu.Config.TotalEUs()
 	f.busySum += r.busyEUCycles
 	if r.kv != nil {
-		// Occupancy integrates up to the crash; the blocks themselves die
-		// with the chip (surviving replicas' conservation is what the
-		// property tests reconcile).
+		// Backend machinery dies with the chip first (in-flight swap
+		// transfers cancel), then occupancy integrates up to the crash;
+		// the blocks themselves die with the chip (surviving replicas'
+		// conservation is what the property tests reconcile).
+		r.kv.teardown(float64(now))
 		t.foldKV(r.kv, float64(now))
 	}
 	f.mapper.Unmap(r.vnpu)

@@ -104,14 +104,12 @@ type LLMTenantReport struct {
 	TokensOut     int     `json:"tokens_out"`
 	TokensPerSec  float64 `json:"tokens_per_sec"`
 
-	// KV-cache accounting: block granularity, time-averaged and peak
-	// occupancy fractions across the tenant's replicas, and how often an
-	// iteration could not grow its batch because the queue head's
-	// reservation did not fit.
-	KVBlockTokens int     `json:"kv_block_tokens"`
-	KVOccMean     float64 `json:"kv_occupancy_mean"`
-	KVOccPeak     float64 `json:"kv_occupancy_peak"`
-	KVStalls      int     `json:"kv_stalls"`
+	// KV-cache accounting (serve.KVStats, kv.go): block granularity,
+	// time-averaged and peak occupancy fractions across the tenant's
+	// replicas, and admission stalls — plus, for tenants with an
+	// explicit KVPolicy, the backend-comparison fields (peak concurrent
+	// sequences, eviction and prefix-cache traffic).
+	KVStats
 
 	// Disaggregation (zero for colocated tenants): per-role fleet sizes,
 	// chunked-prefill granularity, KV-migration traffic and the mean
@@ -243,6 +241,9 @@ func (rep *Report) Table() string {
 	if llm := rep.llmTable(); llm != "" {
 		sb.WriteString(llm)
 	}
+	if paged := rep.pagedTable(); paged != "" {
+		sb.WriteString(paged)
+	}
 	if disagg := rep.disaggTable(); disagg != "" {
 		sb.WriteString(disagg)
 	}
@@ -307,6 +308,37 @@ func (rep *Report) llmTable() string {
 	}
 	var sb strings.Builder
 	header := []string{"llm tenant", "batcher", "ttft-p50(ms)", "ttft-p99(ms)", "tpot-p50(ms)", "tpot-p99(ms)", "tok/s", "prefills", "decode-iters", "kv-occ(peak)", "kv-stalls"}
+	renderTable(&sb, header, rows)
+	return sb.String()
+}
+
+// pagedTable renders the KV-backend comparison section: one row per
+// LLM tenant with an EXPLICIT KVPolicy (reserve rows included, so a
+// reserve-vs-paged scenario reads as adjacent rows), empty otherwise —
+// legacy reports render byte-identically to before.
+func (rep *Report) pagedTable() string {
+	var rows [][]string
+	for _, t := range rep.Tenants {
+		l := t.LLM
+		if l == nil || l.KVPolicy == "" {
+			continue
+		}
+		rows = append(rows, []string{
+			t.Name, l.KVPolicy,
+			fmt.Sprint(l.PeakSeqs),
+			fmt.Sprintf("%d/%d", l.EvictRecompute, l.EvictSwap),
+			fmt.Sprint(l.RecomputeTokens),
+			fmt.Sprintf("%.1f/%.1f", l.SwapOutMB, l.SwapInMB),
+			fmt.Sprintf("%d/%d", l.PrefixHits, l.PrefixLookups),
+			fmt.Sprint(l.PrefixHitTokens),
+			fmt.Sprint(l.CacheEvictions),
+		})
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	header := []string{"kv tenant", "policy", "peak-seqs", "evict(rc/sw)", "recompute-tok", "swap-MB(out/in)", "prefix-hits", "hit-tok", "cache-evict"}
 	renderTable(&sb, header, rows)
 	return sb.String()
 }
@@ -525,8 +557,10 @@ func (f *fleet) report() *Report {
 				StaticBatches: l.staticBatches,
 				TokensOut:     l.tokensOut,
 				TokensPerSec:  float64(l.tokensOut) / f.cfg.DurationSec,
-				KVBlockTokens: t.cfg.LLM.BlockTokens,
-				KVStalls:      l.kvStalls,
+				KVStats: KVStats{
+					KVBlockTokens: t.cfg.LLM.BlockTokens,
+					KVStalls:      l.kvStalls,
+				},
 			}
 			if l.admitted > 0 {
 				lr.PromptTokensMean = float64(l.promptTokens) / float64(l.admitted)
@@ -564,6 +598,27 @@ func (f *fleet) report() *Report {
 			}
 			if kvTotal > 0 {
 				lr.KVOccMean = kvUsed / kvTotal
+			}
+			// Policy-comparison fields, only for tenants that chose a KV
+			// backend explicitly (kv.go: legacy reports marshal
+			// byte-identically). The counters were folded into kvAgg once
+			// per replica lifetime by foldKV.
+			if pol := t.cfg.LLM.KVPolicy; pol != "" {
+				lr.KVPolicy = pol
+				lr.PeakSeqs = t.kvAgg.PeakSeqs
+				lr.Evictions = t.kvAgg.Evictions
+				lr.EvictRecompute = t.kvAgg.EvictRecompute
+				lr.EvictSwap = t.kvAgg.EvictSwap
+				lr.RecomputeTokens = t.kvAgg.RecomputeTokens
+				lr.SwapOutMB = t.kvAgg.SwapOutMB
+				lr.SwapInMB = t.kvAgg.SwapInMB
+				lr.PrefixLookups = t.kvAgg.PrefixLookups
+				lr.PrefixHits = t.kvAgg.PrefixHits
+				lr.PrefixHitTokens = t.kvAgg.PrefixHitTokens
+				lr.CacheEvictions = t.kvAgg.CacheEvictions
+				if lr.PrefixLookups > 0 {
+					lr.PrefixHitRate = float64(lr.PrefixHits) / float64(lr.PrefixLookups)
+				}
 			}
 			tr.LLM = lr
 		}

@@ -36,9 +36,16 @@ func (f *fleet) arrive(t *tenantState, now sim.Time) {
 	if t.llm != nil {
 		// Shape draws happen before admission, so every configuration
 		// compared on a seed (continuous vs static, any router) sees the
-		// identical request trace.
-		shape := t.cfg.LLM.Trace.Draw(t.llm.rng)
-		req.prompt, req.output = shape.Prompt, shape.Output
+		// identical request trace. Session traces likewise evolve their
+		// chains here, independent of serving outcomes.
+		if t.llm.sess != nil {
+			shape := t.cfg.LLM.Trace.DrawSession(t.llm.rng, t.llm.sess)
+			req.prompt, req.output = shape.Prompt, shape.Output
+			req.prefix, req.sealKey = shape.Prefix, shape.SealKey
+		} else {
+			shape := t.cfg.LLM.Trace.Draw(t.llm.rng)
+			req.prompt, req.output = shape.Prompt, shape.Output
+		}
 	}
 	r := f.route(t)
 	if r == nil {

@@ -7,6 +7,7 @@ import (
 	"neu10/internal/core"
 	"neu10/internal/metrics"
 	"neu10/internal/sim"
+	"neu10/internal/workload"
 )
 
 // ---- runtime state ----
@@ -23,6 +24,13 @@ type request struct {
 	// lifecycle events pair on. Replays keep their original id, so a
 	// crash-requeued request's whole story lands on one trace row.
 	id int64
+
+	// Session-trace prefix chain (workload.DrawSession): the sealed
+	// segments this prompt starts with, and the key the request's own
+	// tokens seal under at completion. The paged backend's radix cache
+	// matches and pins on these; the reserve backend ignores them.
+	prefix  []workload.PrefixSeg
+	sealKey uint64
 
 	// Crash-replay provenance (see fault.go): a replayed request keeps
 	// its ORIGINAL arrival time — the crash penalty lands on the SLO —
@@ -113,9 +121,10 @@ type replica struct {
 	cur  *batch      // the batch currently in service
 	susp []*batch    // preempted batches awaiting resume (LIFO)
 
-	// kv is the KV-cache accountant of this slot's vNPU memory
-	// partition; non-nil iff an LLM tenant is served here.
-	kv *kvAccountant
+	// kv is the KV-cache backend of this slot's vNPU memory partition
+	// (full-reservation accountant or paged, per LLMConfig.KVPolicy);
+	// non-nil iff an LLM tenant is served here.
+	kv kvBackend
 	// inbound counts KV migrations in flight TOWARD this decode slot:
 	// their reservations are already charged to kv, and a slot with
 	// inbound work is not idle (it must not retire under a transfer).
@@ -225,6 +234,10 @@ type tenantState struct {
 	// llm is the autoregressive runtime (request-shape RNG, TTFT/TPOT
 	// recorders, KV stall counters); nil for single-shot tenants.
 	llm *llmTenant
+	// kvPaged mirrors cfg.LLM.KVPolicy == KVPaged (bound in newFleet):
+	// the batcher's hot-path switch between full-reservation scheduling
+	// and the paged decode path (paged.go).
+	kvPaged bool
 
 	// peers are the share-group members this tenant pools slots with,
 	// in tenant-index order, always including the tenant itself. An
@@ -270,6 +283,10 @@ type tenantState struct {
 	kvUsedArea  float64
 	kvBlockArea float64
 	kvPeakFrac  float64
+	// kvAgg accumulates the policy-specific backend counters (eviction
+	// and prefix-cache traffic) folded alongside the occupancy areas;
+	// reported only when the tenant sets an explicit KVPolicy.
+	kvAgg KVStats
 
 	// Fault/recovery accounting (see fault.go; all zero fault-free).
 	crashes         int   // replicas lost to fault events
@@ -285,17 +302,24 @@ type tenantState struct {
 	fwSloOK         int     // ...of which finished within the SLO
 }
 
-// foldKV accrues one replica accountant's occupancy into the tenant's
-// report accumulators.
-func (t *tenantState) foldKV(a *kvAccountant, now float64) {
+// foldKV accrues one replica backend's occupancy into the tenant's
+// report accumulators. The leading accrue finalizes the occupancy
+// integral up to the fold instant, so every discard path — graceful
+// retire, crash teardown, end-of-run report — reports an exact mean
+// even when the backend saw no ledger traffic since its last event.
+// Called exactly once per replica lifetime (the replica leaves
+// t.replicas on retire/destroy), which is what makes the additive
+// addStats fold exact.
+func (t *tenantState) foldKV(a kvBackend, now float64) {
 	a.accrue(now)
-	t.kvUsedArea += a.usedArea
-	t.kvBlockArea += float64(a.totalBlocks) * (now - a.born)
-	if a.totalBlocks > 0 {
-		if fr := float64(a.peakBlocks) / float64(a.totalBlocks); fr > t.kvPeakFrac {
+	t.kvUsedArea += a.area()
+	t.kvBlockArea += float64(a.total()) * (now - a.bornAt())
+	if a.total() > 0 {
+		if fr := float64(a.peak()) / float64(a.total()); fr > t.kvPeakFrac {
 			t.kvPeakFrac = fr
 		}
 	}
+	a.addStats(&t.kvAgg)
 }
 
 // rateMult evaluates the deterministic rate envelope at time t (cycles).

@@ -13,12 +13,34 @@ import (
 // the two phases separately through its CostDB; this file supplies the
 // request-shape model the scenarios draw traces from.
 
+// PrefixSeg is one segment of a request's KV-prefix chain: an opaque
+// content key plus the segment's length in tokens. A session's requests
+// share a growing chain of segments (system prompt, then one segment
+// per completed turn); a prefix-caching KV backend can match the chain
+// segment-by-segment against what it still holds and skip re-prefilling
+// the hit. The simulator has no token content, so equal keys stand in
+// for equal token spans.
+type PrefixSeg struct {
+	Key    uint64
+	Tokens int
+}
+
 // LLMRequest is one autoregressive inference request: Prompt tokens to
 // prefill, Output tokens to generate (the first is emitted by the
-// prefill itself).
+// prefill itself). Session traces additionally carry the request's
+// prefix chain and the key under which its own prompt+output span is
+// sealed into the cache at completion.
 type LLMRequest struct {
 	Prompt int
 	Output int
+
+	// Prefix is the chain of previously-sealed segments this prompt
+	// starts with (nil for independent requests). The segment token
+	// counts sum to at most Prompt; the remainder is the new turn.
+	Prefix []PrefixSeg
+	// SealKey names the segment covering this request's new tokens
+	// (turn + generated output); 0 means the request seals nothing.
+	SealKey uint64
 }
 
 // Tokens returns the request's full KV-cache residency in tokens — the
@@ -45,6 +67,27 @@ type LLMTrace struct {
 	// compared configurations.
 	PromptLongFrac                               float64
 	PromptLongMin, PromptLongMean, PromptLongMax int
+
+	// Sessions, when > 0, turns the trace into multi-turn conversations
+	// drawn via DrawSession: each arrival picks one of this many
+	// concurrent sessions uniformly, its prompt is the session's whole
+	// chain so far plus a fresh turn (drawn from the prompt distribution
+	// above), and its completion seals the new tokens onto the chain.
+	// Turn shapes still come from the base distributions, so the draw
+	// count per request stays fixed and the trace is identical across
+	// compared configurations regardless of serving outcomes.
+	Sessions int
+	// SharedPrefixTokens seeds every session with a common system-prompt
+	// segment of this many tokens (the cross-session shareable prefix).
+	// 0 means sessions share nothing.
+	SharedPrefixTokens int
+	// MaxSessionTokens caps a session chain: a turn that would push
+	// chain+turn+output past it resets the session to the shared prefix
+	// first (the conversation ends; a fresh one starts). This is the
+	// largest KV residency any session request can reach, so it is the
+	// MaxTokens() bound for session traces. Defaults to
+	// SharedPrefixTokens + 4×(PromptMax+OutputMax).
+	MaxSessionTokens int
 }
 
 // Defaults fills zero fields with a chat-like shape: prompts 32–1024
@@ -67,6 +110,9 @@ func (tr *LLMTrace) Defaults() {
 	}
 	if tr.OutputMax == 0 {
 		tr.OutputMax = 64
+	}
+	if tr.Sessions > 0 && tr.MaxSessionTokens == 0 {
+		tr.MaxSessionTokens = tr.SharedPrefixTokens + 4*(tr.maxTurn()+tr.OutputMax)
 	}
 }
 
@@ -94,32 +140,64 @@ func (tr LLMTrace) Validate() error {
 			return err
 		}
 	}
-	return check("output", tr.OutputMin, tr.OutputMean, tr.OutputMax)
-}
-
-// MaxTokens returns the largest KV reservation any drawn request can
-// need — the floor a replica's KV capacity must clear, or its queue
-// head could block forever.
-func (tr LLMTrace) MaxTokens() int {
-	p := tr.PromptMax
-	if tr.PromptLongFrac > 0 && tr.PromptLongMax > p {
-		p = tr.PromptLongMax
+	if err := check("output", tr.OutputMin, tr.OutputMean, tr.OutputMax); err != nil {
+		return err
 	}
-	return p + tr.OutputMax
+	if tr.Sessions < 0 {
+		return fmt.Errorf("workload: %d sessions", tr.Sessions)
+	}
+	if tr.Sessions > 0 {
+		if tr.SharedPrefixTokens < 0 {
+			return fmt.Errorf("workload: shared prefix of %d tokens", tr.SharedPrefixTokens)
+		}
+		// A freshly-reset session must be able to host any turn+output.
+		if floor := tr.SharedPrefixTokens + tr.maxTurn() + tr.OutputMax; tr.MaxSessionTokens < floor {
+			return fmt.Errorf("workload: session cap %d tokens < shared prefix + worst turn + worst output = %d",
+				tr.MaxSessionTokens, floor)
+		}
+	} else if tr.SharedPrefixTokens != 0 || tr.MaxSessionTokens != 0 {
+		return fmt.Errorf("workload: session prefix/cap set without Sessions")
+	}
+	return nil
 }
 
-// MaxPrompt returns the largest prompt any drawn request can carry —
-// the floor a prefill-pool replica's KV capacity must clear.
-func (tr LLMTrace) MaxPrompt() int {
+// maxTurn returns the largest single draw of the prompt distribution —
+// the whole prompt for independent traces, one turn for session traces.
+func (tr LLMTrace) maxTurn() int {
 	if tr.PromptLongFrac > 0 && tr.PromptLongMax > tr.PromptMax {
 		return tr.PromptLongMax
 	}
 	return tr.PromptMax
 }
 
-// MeanPrompt returns the mixture's expected prompt length (the SLO and
-// migration-cost anchor for bimodal traces).
+// MaxTokens returns the largest KV reservation any drawn request can
+// need — the floor a replica's KV capacity must clear, or its queue
+// head could block forever. For session traces that is the session
+// cap: a request's prompt is its whole chain plus the turn.
+func (tr LLMTrace) MaxTokens() int {
+	if tr.Sessions > 0 {
+		return tr.MaxSessionTokens
+	}
+	return tr.maxTurn() + tr.OutputMax
+}
+
+// MaxPrompt returns the largest prompt any drawn request can carry —
+// the floor a prefill-pool replica's KV capacity must clear.
+func (tr LLMTrace) MaxPrompt() int {
+	if tr.Sessions > 0 {
+		return tr.MaxSessionTokens - tr.OutputMin
+	}
+	return tr.maxTurn()
+}
+
+// MeanPrompt returns the expected prompt length (the SLO and
+// migration-cost anchor). Session chains grow from the shared prefix
+// toward the cap and reset, so their prompts are anchored at the
+// midpoint of that range.
 func (tr LLMTrace) MeanPrompt() int {
+	if tr.Sessions > 0 {
+		return (tr.SharedPrefixTokens + tr.MaxSessionTokens) / 2
+	}
 	if tr.PromptLongFrac <= 0 {
 		return tr.PromptMean
 	}
@@ -142,6 +220,72 @@ func (tr LLMTrace) Draw(rng *sim.RNG) LLMRequest {
 		Prompt: prompt,
 		Output: drawLen(rng, tr.OutputMin, tr.OutputMean, tr.OutputMax),
 	}
+}
+
+// SessionState is the mutable side of a session trace: the live
+// conversation chains DrawSession grows. It belongs to the trace
+// consumer (one per tenant RNG stream), not to the LLMTrace config.
+type SessionState struct {
+	chains  []sessionChain
+	nextKey uint64
+}
+
+type sessionChain struct {
+	segs   []PrefixSeg
+	tokens int
+}
+
+// NewSessionState builds the initial chains for a session trace: every
+// session starts at the shared system-prompt segment (key 1), or empty
+// when the trace shares nothing.
+func NewSessionState(tr LLMTrace) *SessionState {
+	st := &SessionState{nextKey: 2}
+	st.chains = make([]sessionChain, tr.Sessions)
+	for i := range st.chains {
+		if tr.SharedPrefixTokens > 0 {
+			st.chains[i] = sessionChain{
+				segs:   []PrefixSeg{{Key: 1, Tokens: tr.SharedPrefixTokens}},
+				tokens: tr.SharedPrefixTokens,
+			}
+		}
+	}
+	return st
+}
+
+// DrawSession samples one multi-turn request: a uniform session pick,
+// then a turn/output shape from the base distributions. The request's
+// prompt is the session's whole chain plus the turn; its Prefix is the
+// chain as sealed so far and its SealKey names the new segment, which
+// is appended to the chain immediately — optimistically, whether or not
+// the request is ultimately admitted — so the chain evolution (and with
+// it the whole trace) depends only on the RNG stream, never on serving
+// outcomes. A rejected turn simply leaves a segment no backend ever
+// seals, which later requests miss on. Draw consumption is fixed: one
+// session pick plus Draw's fixed count.
+func (tr LLMTrace) DrawSession(rng *sim.RNG, st *SessionState) LLMRequest {
+	i := rng.Intn(len(st.chains))
+	shape := tr.Draw(rng)
+	ch := &st.chains[i]
+	if ch.tokens+shape.Prompt+shape.Output > tr.MaxSessionTokens {
+		// Context window exhausted: the conversation ends and a fresh one
+		// (sharing only the system prompt) takes its slot. Fresh slices —
+		// outstanding requests still reference the old chain.
+		*ch = sessionChain{}
+		if tr.SharedPrefixTokens > 0 {
+			ch.segs = []PrefixSeg{{Key: 1, Tokens: tr.SharedPrefixTokens}}
+			ch.tokens = tr.SharedPrefixTokens
+		}
+	}
+	req := LLMRequest{
+		Prompt:  ch.tokens + shape.Prompt,
+		Output:  shape.Output,
+		Prefix:  ch.segs[:len(ch.segs):len(ch.segs)],
+		SealKey: st.nextKey,
+	}
+	st.nextKey++
+	ch.segs = append(ch.segs, PrefixSeg{Key: req.SealKey, Tokens: shape.Prompt + shape.Output})
+	ch.tokens += shape.Prompt + shape.Output
+	return req
 }
 
 // drawLen samples min + Exp(mean−min) rounded, clamped to max. The RNG

@@ -56,7 +56,7 @@ func TestLLMTraceDrawDeterministic(t *testing.T) {
 	}
 	a, b := sim.NewRNG(7), sim.NewRNG(7)
 	for i := 0; i < 1000; i++ {
-		if ra, rb := tr.Draw(a), tr.Draw(b); ra != rb {
+		if ra, rb := tr.Draw(a), tr.Draw(b); ra.Prompt != rb.Prompt || ra.Output != rb.Output {
 			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
 		}
 	}
@@ -106,7 +106,7 @@ func TestLLMTraceBimodal(t *testing.T) {
 	// Fixed consumption with the mixture enabled: both streams align.
 	a, b := sim.NewRNG(9), sim.NewRNG(9)
 	for i := 0; i < 500; i++ {
-		if ra, rb := tr.Draw(a), tr.Draw(b); ra != rb {
+		if ra, rb := tr.Draw(a), tr.Draw(b); ra.Prompt != rb.Prompt || ra.Output != rb.Output {
 			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
 		}
 	}
