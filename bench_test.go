@@ -124,6 +124,13 @@ func BenchmarkServeConsolidate(b *testing.B) { benchExperiment(b, "serve-consoli
 // matching/sealing, youngest-first eviction and the host swap link.
 func BenchmarkServePaged(b *testing.B) { benchExperiment(b, "serve-paged") }
 
+// BenchmarkServeAttrib measures the latency-attribution scenario: three
+// ledger-on runs (full reservation, paged, disaggregated) on one
+// session trace — the whole cost of exact per-request segment
+// accounting and the fleet cycle ledger on top of serving (the
+// ledger-off benchmarks above are the zero-overhead regression gate).
+func BenchmarkServeAttrib(b *testing.B) { benchExperiment(b, "serve-attrib") }
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSystolicArrayGEMM measures the functional matrix engine: one

@@ -10,9 +10,11 @@
 //	neu10-serve -scenario disagg               # disaggregated prefill/decode vs colocated
 //	neu10-serve -scenario chaos                # chip crashes, pod outage, link degradation
 //	neu10-serve -scenario paged                # paged KV + prefix cache vs full reservation
+//	neu10-serve -scenario attrib               # exact latency attribution, three backends
 //	neu10-serve -scenario mix-shift -json
 //	neu10-serve -scenario chaos -trace trace.json -timelines tl.csv
 //	neu10-serve -scenario chaos -gantt 8       # per-request lifecycle summary
+//	neu10-serve -scenario llm -attrib -attrib-csv ledger.csv
 //	neu10-serve -list
 //
 // Scenarios are the canned serve.Config setups in internal/experiments;
@@ -24,9 +26,13 @@
 // time series (queue depth, KV occupancy, pool sizes, link utilization,
 // attainment) as CSV, or as JSON when the path ends in .json. -gantt N
 // prints a per-request phase summary for the first N requests per
-// tenant. Any of these switches observability on; the simulation
-// itself — every table and JSON report — is byte-identical with it on
-// or off.
+// tenant. -attrib records the exact latency-attribution ledger — every
+// request's lifetime split into exclusive segments summing cycle-exactly
+// to its end-to-end latency, every replica-cycle attributed to a fleet
+// bucket — adding blame tables to the output; -attrib-csv exports the
+// raw ledger. Any of these switches observability on; the simulation
+// itself — every pre-existing table and JSON field — is byte-identical
+// with it on or off.
 package main
 
 import (
@@ -55,6 +61,7 @@ var scenarios = map[string]string{
 	"chaos-traced": "serve-chaos-traced",
 	"consolidate":  "serve-consolidate",
 	"paged":        "serve-paged",
+	"attrib":       "serve-attrib",
 }
 
 func main() {
@@ -68,6 +75,8 @@ func main() {
 		ganttN     = flag.Int("gantt", 0, "print a per-request lifecycle summary for the first N requests per tenant")
 		tlOut      = flag.String("timelines", "", "write sampled time series to this file (CSV, or JSON when the path ends in .json)")
 		sampleMs   = flag.Float64("sample-ms", 0, "timeline sampling period in sim milliseconds (0 = default 10)")
+		attrib     = flag.Bool("attrib", false, "record exact latency attribution and the fleet cycle ledger (per-tenant blame tables in the output)")
+		attribCSV  = flag.String("attrib-csv", "", "write per-request segment and per-replica bucket attribution as CSV to this file (implies -attrib)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -88,6 +97,8 @@ func main() {
 		fmt.Println("              silos; min-chips search at equal SLO attainment")
 		fmt.Println("paged         multi-turn session traffic on a tight KV partition; full-reservation")
 		fmt.Println("              vs paged KV with prefix caching, evict-recompute vs evict-swap, same trace")
+		fmt.Println("attrib        exact latency attribution on one session trace served three ways")
+		fmt.Println("              (reserve vs paged vs disagg); blame tables and the fleet cycle ledger")
 		return
 	}
 
@@ -114,11 +125,12 @@ func main() {
 	opts := experiments.DefaultOptions()
 	opts.Workers = *workers
 	opts.ServeSeed = *seed
-	if *traceOut != "" || *ganttN > 0 || *tlOut != "" {
+	if *traceOut != "" || *ganttN > 0 || *tlOut != "" || *attrib || *attribCSV != "" {
 		opts.ServeObs = &serve.ObsConfig{
 			Trace:         *traceOut != "" || *ganttN > 0,
 			Timelines:     *tlOut != "",
 			SampleEveryMs: *sampleMs,
+			Attrib:        *attrib || *attribCSV != "",
 		}
 	}
 	runner, err := experiments.NewRunner(opts)
@@ -131,7 +143,7 @@ func main() {
 	}
 
 	sr, isServe := res.(*experiments.ServeResult)
-	if (*jsonOut || *traceOut != "" || *ganttN > 0 || *tlOut != "") && !isServe {
+	if (*jsonOut || *traceOut != "" || *ganttN > 0 || *tlOut != "" || *attribCSV != "") && !isServe {
 		fatal(fmt.Errorf("%s is not a serving scenario", id))
 	}
 
@@ -163,6 +175,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "neu10-serve: timelines written to %s\n", *tlOut)
+	}
+	if *attribCSV != "" {
+		if err := writeAttrib(*attribCSV, sr.Reports); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "neu10-serve: attribution ledger written to %s\n", *attribCSV)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -232,6 +250,30 @@ func writeTimelines(path string, reports []*serve.Report) error {
 	if werr != nil {
 		f.Close()
 		return werr
+	}
+	return f.Close()
+}
+
+// writeAttrib dumps every leg's attribution ledger — one row per
+// nonzero request segment and per nonzero replica cycle bucket — as one
+// long-format CSV under a single header.
+func writeAttrib(path string, reports []*serve.Report) error {
+	var ledgers []*obs.Ledger
+	for _, rep := range reports {
+		if rep.Ledger != nil {
+			ledgers = append(ledgers, rep.Ledger)
+		}
+	}
+	if len(ledgers) == 0 {
+		return fmt.Errorf("no attribution collected (scenario ran with the ledger off)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteLedgerCSVAll(f, ledgers); err != nil {
+		f.Close()
+		return err
 	}
 	return f.Close()
 }

@@ -103,7 +103,7 @@ func IDs() []string {
 		"ablation-harvest", "ablation-preempt", "slo", "cluster",
 		"serve-steady", "serve-flash", "serve-mix", "serve-priority", "serve-llm",
 		"serve-disagg", "serve-chaos", "serve-chaos-traced", "serve-consolidate",
-		"serve-paged",
+		"serve-paged", "serve-attrib",
 	}
 }
 
@@ -166,6 +166,8 @@ func (r *Runner) Run(id string) (Result, error) {
 		return r.ServeConsolidate()
 	case "serve-paged":
 		return r.ServePaged()
+	case "serve-attrib":
+		return r.ServeAttrib()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

@@ -33,6 +33,10 @@ var goldenServe = []struct {
 	// (kv_policy, kv_peak_seqs, eviction and prefix-cache counters)
 	// first marshal, so this snapshot locks their encoding.
 	{"serve-paged", "golden_serve_paged.txt", "golden_serve_paged.json"},
+	// JSON pinned too: serve-attrib is where the attribution fields
+	// (attrib cohorts/worst drilldowns, cycle_ledger) first marshal, so
+	// this snapshot locks their encoding.
+	{"serve-attrib", "golden_serve_attrib.txt", "golden_serve_attrib.json"},
 }
 
 // TestGoldenServeReports pins the serving output surface end to end:
@@ -163,5 +167,47 @@ func TestTracedExportsWorkerInvariant(t *testing.T) {
 	}
 	if seqTl != parTl {
 		t.Error("timeline CSV differs between worker counts")
+	}
+}
+
+// TestAttribExportsWorkerInvariant is the attribution determinism gate:
+// serve-attrib's tables and merged ledger CSV must be byte-identical
+// between a sequential and an oversubscribed parallel runner, and every
+// leg's ledger must come back conservation-clean.
+func TestAttribExportsWorkerInvariant(t *testing.T) {
+	export := func(workers int) (string, string) {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		r, err := NewRunner(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run("serve-attrib")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ledgers []*obs.Ledger
+		for _, rep := range res.(*ServeResult).Reports {
+			if rep.Ledger == nil {
+				t.Fatalf("%s carries no ledger", rep.Scenario)
+			}
+			if v, open := rep.Ledger.Violations(), rep.Ledger.Open(); v != 0 || open != 0 {
+				t.Fatalf("%s: %d violations, %d open requests", rep.Scenario, v, open)
+			}
+			ledgers = append(ledgers, rep.Ledger)
+		}
+		var csv bytes.Buffer
+		if err := obs.WriteLedgerCSVAll(&csv, ledgers); err != nil {
+			t.Fatal(err)
+		}
+		return res.Table(), csv.String()
+	}
+	seqTab, seqCSV := export(1)
+	parTab, parCSV := export(4)
+	if seqTab != parTab {
+		t.Error("serve-attrib table differs between worker counts")
+	}
+	if seqCSV != parCSV {
+		t.Error("merged attribution CSV differs between worker counts")
 	}
 }

@@ -30,6 +30,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -193,15 +194,41 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 // WriteChromeAll merges several runs' traces into one Chrome JSON file:
 // each tracer's processes are namespaced by its Label and assigned
 // disjoint pids, in slice order. Nil tracers are skipped.
+//
+// Records stream to w one at a time — peak memory is one marshaled
+// record, not a second copy of the whole trace. The bytes are the same
+// as encoding the full slice in one Encoder.Encode: compact JSON
+// inside a traceEvents envelope, trailing newline, and the legacy
+// `{"traceEvents":null}` form when nothing at all is emitted.
 func WriteChromeAll(w io.Writer, traces []*Tracer) error {
-	var out []any
+	bw := bufio.NewWriter(w)
+	var werr error
+	n := 0
+	emit := func(v any) {
+		if werr != nil {
+			return
+		}
+		var data []byte
+		if data, werr = json.Marshal(v); werr != nil {
+			return
+		}
+		if n == 0 {
+			_, werr = bw.WriteString(`{"traceEvents":[`)
+		} else {
+			werr = bw.WriteByte(',')
+		}
+		if werr == nil {
+			n++
+			_, werr = bw.Write(data)
+		}
+	}
 	pids := map[string]int{} // prefixed proc -> pid, first-seen order
 	pid := func(proc string) int {
 		p, ok := pids[proc]
 		if !ok {
 			p = len(pids) + 1
 			pids[proc] = p
-			out = append(out, chromeMeta{Name: "process_name", Ph: "M", Pid: p,
+			emit(chromeMeta{Name: "process_name", Ph: "M", Pid: p,
 				Args: map[string]any{"name": proc}})
 		}
 		return p
@@ -216,7 +243,7 @@ func WriteChromeAll(w io.Writer, traces []*Tracer) error {
 		}
 		toUs := 1e6 / t.freqHz
 		for _, k := range t.order { // declared track names, declaration order
-			out = append(out, chromeMeta{Name: "thread_name", Ph: "M",
+			emit(chromeMeta{Name: "thread_name", Ph: "M",
 				Pid: pid(prefix + k.proc), Tid: int(k.track),
 				Args: map[string]any{"name": t.names[k]}})
 		}
@@ -250,11 +277,24 @@ func WriteChromeAll(w io.Writer, traces []*Tracer) error {
 				}
 				ce.Args = args
 			}
-			out = append(out, ce)
+			emit(ce)
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{"traceEvents": out})
+	if werr != nil {
+		return werr
+	}
+	if n == 0 {
+		// An empty merge encoded a nil slice before; keep those bytes.
+		if _, err := bw.WriteString(`{"traceEvents":null}`); err != nil {
+			return err
+		}
+	} else if _, err := bw.WriteString(`]}`); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // ---- Gantt summary ----
@@ -334,6 +374,9 @@ func (t *Tracer) Gantt(maxReqs int) string {
 			fmt.Fprintf(&b, "  %s %.2fms", p.name, (p.end-p.start)/msPer)
 		}
 		fmt.Fprintf(&b, "  | total %.2fms\n", (tEnd-t0)/msPer)
+	}
+	if hidden := len(byReq) - len(order); hidden > 0 {
+		fmt.Fprintf(&b, "  (+%d more requests)\n", hidden)
 	}
 	return b.String()
 }

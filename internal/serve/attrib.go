@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"neu10/internal/obs"
+	"neu10/internal/sim"
+)
+
+// Attribution hooks and report assembly for the latency ledger
+// (obs.Ledger, enabled by ObsConfig.Attrib). The hooks ride the same
+// call sites the tracer uses, under the same contract: f.led == nil is
+// the disabled state (every helper bails on one pointer test, and the
+// Ledger's own methods are nil-receiver-safe for direct calls), and an
+// enabled ledger observes the simulation without ever perturbing it.
+//
+// The segment-flow protocol the hooks implement:
+//
+//	arrive ─► SegQueue ─► [SegKVStall] ─► SegService → done   (single-shot)
+//	                   └► SegPrefill/SegReplay/SegCrashReplay ─►
+//	                      SegDecodeGap ⇄ SegDecode ─► done     (LLM)
+//
+// with excursions for chunked prefill (SegChunkGap), migration
+// (SegMigrate), paged eviction (back to SegQueue, or the swap
+// pipeline SegSwapOut → SegSwapQ → SegSwapIn), preemption
+// (SegPreempt, via suspend/resume), and crash recovery
+// (SegCrashRequeue → SegCrashReplay). Every transition closes the
+// open interval into the outgoing segment, so the decomposition sums
+// exactly to completion − arrival regardless of which excursions a
+// request took — the invariant obs.Ledger.ReqDone checks.
+
+// ledBusyBucket maps a batch kind to the fleet-cycle bucket its
+// compute occupies.
+func ledBusyBucket(k batchKind) obs.Bucket {
+	switch k {
+	case kindInvoke:
+		return obs.BucketService
+	case kindLLMPrefill, kindLLMStaticPrefill:
+		return obs.BucketPrefill
+	default:
+		return obs.BucketDecode
+	}
+}
+
+// ledSeqs transitions every sequence of a batch into seg.
+func (f *fleet) ledSeqs(t *tenantState, seqs []*llmSeq, seg obs.Segment, now sim.Time) {
+	if f.led == nil {
+		return
+	}
+	for _, s := range seqs {
+		f.led.ReqSeg(t.cfg.Name, s.req.id, seg, float64(now))
+	}
+}
+
+// ledPrefillSeqs transitions sequences into their prompt-compute
+// segment: crash replays and eviction replays re-earn their lost
+// tokens under their own labels, so "prefill" stays first-pass work.
+func (f *fleet) ledPrefillSeqs(t *tenantState, seqs []*llmSeq, now sim.Time) {
+	if f.led == nil {
+		return
+	}
+	for _, s := range seqs {
+		seg := obs.SegPrefill
+		if s.req.crashed {
+			seg = obs.SegCrashReplay
+		} else if s.req.replay {
+			seg = obs.SegReplay
+		}
+		f.led.ReqSeg(t.cfg.Name, s.req.id, seg, float64(now))
+	}
+}
+
+// ledStall marks the queue head KV-stalled: admissible but for blocks.
+func (f *fleet) ledStall(t *tenantState, req request, now sim.Time) {
+	if f.led == nil {
+		return
+	}
+	f.led.ReqSeg(t.cfg.Name, req.id, obs.SegKVStall, float64(now))
+}
+
+// ledRepIdle re-marks an unoccupied replica's standing bucket:
+// draining, doing wire work (inbound KV transfers), or plain idle.
+// No-op while a batch runs — startSegment owns the busy buckets.
+func (f *fleet) ledRepIdle(r *replica, now sim.Time) {
+	if f.led == nil || r.cur != nil {
+		return
+	}
+	b := obs.BucketIdle
+	if r.draining {
+		b = obs.BucketDrain
+	} else if r.inbound > 0 {
+		b = obs.BucketMigration
+	}
+	f.led.RepMark(r.uid, b, float64(now))
+}
+
+// ledSuspend parks every request of a suspended batch in SegPreempt;
+// ledResume restores them. The ledger remembers the parked segment, so
+// a preempted decode gap resumes as a decode gap.
+func (f *fleet) ledSuspend(b *batch, now sim.Time) {
+	if f.led == nil {
+		return
+	}
+	name := b.ten.cfg.Name
+	if b.kind == kindInvoke {
+		for i := range b.reqs {
+			f.led.ReqSuspend(name, b.reqs[i].id, float64(now))
+		}
+		return
+	}
+	for _, s := range b.seqs {
+		f.led.ReqSuspend(name, s.req.id, float64(now))
+	}
+}
+
+func (f *fleet) ledResume(b *batch, now sim.Time) {
+	if f.led == nil {
+		return
+	}
+	name := b.ten.cfg.Name
+	if b.kind == kindInvoke {
+		for i := range b.reqs {
+			f.led.ReqResume(name, b.reqs[i].id, float64(now))
+		}
+		return
+	}
+	for _, s := range b.seqs {
+		f.led.ReqResume(name, s.req.id, float64(now))
+	}
+}
+
+// TenantAttrib is one tenant's latency-attribution section: blame
+// breakdowns over request cohorts and the top worst-request
+// drilldowns. Present only when the run enabled the ledger
+// (ObsConfig.Attrib), so legacy JSON output is byte-identical.
+type TenantAttrib struct {
+	Completed int            `json:"completed"`
+	Cohorts   []AttribCohort `json:"cohorts"`
+	Worst     []AttribWorst  `json:"worst,omitempty"`
+}
+
+// AttribCohort is the mean segment decomposition over one request
+// cohort: "all", or the tail cohorts — the requests making up the
+// p99 of end-to-end latency, TTFT, or TPOT. Segments are mean
+// per-request milliseconds (nonzero only) and sum to MeanMs exactly,
+// because each request's segments sum exactly to its lifetime.
+type AttribCohort struct {
+	Cohort   string             `json:"cohort"`
+	Count    int                `json:"count"`
+	MeanMs   float64            `json:"mean_ms"`
+	Segments map[string]float64 `json:"segments_ms"`
+}
+
+// AttribWorst is one worst-request drilldown: where the slowest
+// completions actually spent their time.
+type AttribWorst struct {
+	Req          int64   `json:"req"`
+	E2EMs        float64 `json:"e2e_ms"`
+	TTFTMs       float64 `json:"ttft_ms,omitempty"`
+	Dominant     string  `json:"dominant"`
+	DominantMs   float64 `json:"dominant_ms"`
+	DominantFrac float64 `json:"dominant_frac"`
+}
+
+// CycleLedgerReport is the fleet cycle ledger: every replica-cycle
+// between spawn and retire attributed to one bucket, Σ BucketsMs ==
+// CapacityMs (the integrated capacity) by conservation.
+type CycleLedgerReport struct {
+	Replicas   int                `json:"replicas"`
+	CapacityMs float64            `json:"capacity_ms"`
+	BucketsMs  map[string]float64 `json:"buckets_ms"`
+	Violations int                `json:"violations,omitempty"`
+	OpenReqs   int                `json:"open_reqs,omitempty"`
+	Drops      int                `json:"drops,omitempty"`
+}
+
+// attribFinish seals the ledger at end-of-run and assembles the
+// attribution sections of the report. No-op without a ledger.
+func (f *fleet) attribFinish(rep *Report, end float64) {
+	if f.led == nil {
+		return
+	}
+	f.led.FinishReps(end)
+	rep.Ledger = f.led
+	freq := f.cfg.Core.FrequencyHz
+	ms := func(cycles float64) float64 { return cycles / freq * 1e3 }
+	recs := f.led.Completed()
+	for i := range rep.Tenants {
+		tr := &rep.Tenants[i]
+		var own []*obs.ReqRecord
+		for _, r := range recs {
+			if r.Proc == tr.Name {
+				own = append(own, r)
+			}
+		}
+		ta := &TenantAttrib{Completed: len(own)}
+		ta.Cohorts = append(ta.Cohorts, attribCohort("all", own, ms))
+		if c, ok := tailCohort("p99_e2e", own, (*obs.ReqRecord).E2E, ms); ok {
+			ta.Cohorts = append(ta.Cohorts, c)
+		}
+		if c, ok := tailCohort("p99_ttft", own, (*obs.ReqRecord).TTFT, ms); ok {
+			ta.Cohorts = append(ta.Cohorts, c)
+		}
+		if c, ok := tailCohort("p99_tpot", own, (*obs.ReqRecord).TPOT, ms); ok {
+			ta.Cohorts = append(ta.Cohorts, c)
+		}
+		sorted := append([]*obs.ReqRecord(nil), own...)
+		sort.Slice(sorted, func(a, b int) bool {
+			if sorted[a].E2E() != sorted[b].E2E() {
+				return sorted[a].E2E() > sorted[b].E2E()
+			}
+			return sorted[a].ID < sorted[b].ID
+		})
+		for k := 0; k < len(sorted) && k < 5; k++ {
+			r := sorted[k]
+			dom := r.Dominant()
+			w := AttribWorst{
+				Req:        r.ID,
+				E2EMs:      ms(r.E2E()),
+				TTFTMs:     ms(r.TTFT()),
+				Dominant:   dom.String(),
+				DominantMs: ms(r.Seg[dom]),
+			}
+			if e := r.E2E(); e > 0 {
+				w.DominantFrac = r.Seg[dom] / e
+			}
+			ta.Worst = append(ta.Worst, w)
+		}
+		tr.Attrib = ta
+	}
+	reps := f.led.Replicas()
+	cl := &CycleLedgerReport{
+		Replicas:   len(reps),
+		BucketsMs:  map[string]float64{},
+		Violations: f.led.Violations(),
+		OpenReqs:   f.led.Open(),
+		Drops:      f.led.Drops(),
+	}
+	var capacity float64
+	for _, r := range reps {
+		capacity += r.Lifetime()
+		for b, v := range r.Buckets {
+			if v > 0 {
+				cl.BucketsMs[obs.Bucket(b).String()] += ms(v)
+			}
+		}
+	}
+	cl.CapacityMs = ms(capacity)
+	rep.CycleLedger = cl
+}
+
+// attribCohort folds a record set into its mean segment decomposition.
+func attribCohort(name string, recs []*obs.ReqRecord, ms func(float64) float64) AttribCohort {
+	c := AttribCohort{Cohort: name, Count: len(recs), Segments: map[string]float64{}}
+	if len(recs) == 0 {
+		return c
+	}
+	var e2e float64
+	var seg [obs.NumSegments]float64
+	for _, r := range recs {
+		e2e += r.E2E()
+		for i, v := range r.Seg {
+			seg[i] += v
+		}
+	}
+	n := float64(len(recs))
+	c.MeanMs = ms(e2e / n)
+	for i, v := range seg {
+		if v > 0 {
+			c.Segments[obs.Segment(i).String()] = ms(v / n)
+		}
+	}
+	return c
+}
+
+// tailCohort selects the records making up the p99 tail of the given
+// metric — everything at or above the p99 threshold over records where
+// the metric is defined (> 0) — and folds them. ok=false when no
+// record defines the metric.
+func tailCohort(name string, recs []*obs.ReqRecord, metric func(*obs.ReqRecord) float64, ms func(float64) float64) (AttribCohort, bool) {
+	var vals []float64
+	var pool []*obs.ReqRecord
+	for _, r := range recs {
+		if v := metric(r); v > 0 {
+			pool = append(pool, r)
+			vals = append(vals, v)
+		}
+	}
+	if len(pool) == 0 {
+		return AttribCohort{}, false
+	}
+	sort.Float64s(vals)
+	idx := (len(vals)*99+99)/100 - 1 // ceil(0.99·n) − 1
+	if idx < 0 {
+		idx = 0
+	}
+	thr := vals[idx]
+	var cohort []*obs.ReqRecord
+	for _, r := range pool {
+		if metric(r) >= thr {
+			cohort = append(cohort, r)
+		}
+	}
+	return attribCohort(name, cohort, ms), true
+}
+
+// AttribTable renders the attribution sections as plain-text tables:
+// per-tenant cohort blame breakdowns (one column per segment observed
+// anywhere in the run, taxonomy order), the worst-request drilldowns,
+// and the fleet cycle-ledger line. Empty without a ledger, so legacy
+// table output is byte-identical.
+func (rep *Report) AttribTable() string {
+	if rep.Ledger == nil {
+		return ""
+	}
+	var sb strings.Builder
+	var present [obs.NumSegments]bool
+	type cohortRow struct {
+		tenant string
+		c      AttribCohort
+	}
+	var rows []cohortRow
+	for _, t := range rep.Tenants {
+		if t.Attrib == nil {
+			continue
+		}
+		for _, c := range t.Attrib.Cohorts {
+			rows = append(rows, cohortRow{t.Name, c})
+			for i := 0; i < obs.NumSegments; i++ {
+				if c.Segments[obs.Segment(i).String()] != 0 {
+					present[i] = true
+				}
+			}
+		}
+	}
+	if len(rows) > 0 {
+		header := []string{"attrib tenant", "cohort", "n", "e2e(ms)"}
+		var segs []obs.Segment
+		for i := 0; i < obs.NumSegments; i++ {
+			if present[i] {
+				segs = append(segs, obs.Segment(i))
+				header = append(header, obs.Segment(i).String()+"(ms)")
+			}
+		}
+		var cells [][]string
+		for _, r := range rows {
+			row := []string{r.tenant, r.c.Cohort, fmt.Sprint(r.c.Count), fmt.Sprintf("%.2f", r.c.MeanMs)}
+			for _, s := range segs {
+				row = append(row, fmt.Sprintf("%.2f", r.c.Segments[s.String()]))
+			}
+			cells = append(cells, row)
+		}
+		renderTable(&sb, header, cells)
+	}
+	var wrows [][]string
+	for _, t := range rep.Tenants {
+		if t.Attrib == nil {
+			continue
+		}
+		for _, w := range t.Attrib.Worst {
+			wrows = append(wrows, []string{
+				t.Name, fmt.Sprint(w.Req),
+				fmt.Sprintf("%.2f", w.E2EMs), fmt.Sprintf("%.2f", w.TTFTMs),
+				w.Dominant, fmt.Sprintf("%.2f", w.DominantMs),
+				fmt.Sprintf("%.0f%%", w.DominantFrac*100),
+			})
+		}
+	}
+	if len(wrows) > 0 {
+		renderTable(&sb, []string{"worst req tenant", "req", "e2e(ms)", "ttft(ms)", "dominant", "dom(ms)", "share"}, wrows)
+	}
+	if cl := rep.CycleLedger; cl != nil {
+		parts := make([]string, 0, obs.NumBuckets)
+		for i := 0; i < obs.NumBuckets; i++ {
+			name := obs.Bucket(i).String()
+			if v := cl.BucketsMs[name]; v != 0 {
+				parts = append(parts, fmt.Sprintf("%s %.2f", name, v))
+			}
+		}
+		fmt.Fprintf(&sb, "cycle ledger: %d replicas, %.2f ms capacity = %s; %d violations, %d open, %d drops\n",
+			cl.Replicas, cl.CapacityMs, strings.Join(parts, " + "), cl.Violations, cl.OpenReqs, cl.Drops)
+	}
+	return sb.String()
+}

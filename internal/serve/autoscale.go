@@ -409,6 +409,7 @@ func (f *fleet) spawnReplica(t *tenantState, eus int, role Role) error {
 		r.qs = append(r.qs, slotQueue{ten: p})
 	}
 	t.replicas = append(t.replicas, r)
+	f.led.RepSpawn(t.cfg.Name, r.uid, now)
 	if n := t.activeCount(); n > t.peakReplicas {
 		t.peakReplicas = n
 	}
@@ -471,6 +472,7 @@ func (f *fleet) drainOne(t *tenantState, role Role, now sim.Time, bySize bool) {
 		return
 	}
 	pick.draining = true
+	f.ledRepIdle(pick, now)
 	if f.obs != nil {
 		f.obs.trace.Instant("drain", "scale", t.cfg.Name, obsTrackControl, float64(now), -1,
 			"replica", int64(pick.id), "role", pick.role.String())
@@ -489,6 +491,7 @@ func (f *fleet) retire(r *replica, now sim.Time) {
 		return
 	}
 	r.retired = true
+	f.led.RepRetire(r.uid, float64(now))
 	if r.timerSet {
 		f.eng.Cancel(r.timer)
 		r.timerSet = false

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"neu10/internal/obs"
 	"neu10/internal/sim"
 )
 
@@ -111,6 +112,11 @@ func (d *dynamicBatch) launch(r *replica, q *slotQueue, _ batchKind, now sim.Tim
 			f.obs.trace.Begin("service", "req", t.cfg.Name, float64(now), b.reqs[i].id)
 		}
 	}
+	if f.led != nil {
+		for i := range b.reqs {
+			f.led.ReqSeg(t.cfg.Name, b.reqs[i].id, obs.SegService, float64(now))
+		}
+	}
 	cycles, err := f.costs.ServiceCycles(t.cfg.Model, n, r.nm, r.nv)
 	if err != nil {
 		// Every group member's model was pre-measured at spawn for this
@@ -139,6 +145,7 @@ func (d *dynamicBatch) finish(r *replica, b *batch, now sim.Time) *batch {
 			f.prioLat[t.cfg.Priority].Add(lat)
 		}
 		t.completed++
+		f.led.ReqDone(t.cfg.Name, req.id, float64(now), 0)
 		if f.obs != nil {
 			f.obsCompletion(t, lat)
 			f.obs.trace.End("service", "req", t.cfg.Name, float64(now), req.id)

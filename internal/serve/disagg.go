@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"neu10/internal/model"
+	"neu10/internal/obs"
 	"neu10/internal/sim"
 )
 
@@ -142,6 +143,7 @@ func (db *disaggBatcher) launchPrefill(r *replica, q *slotQueue, now sim.Time, r
 			// KV pressure (in-flight prompts plus prompts parked behind a
 			// slow migration path) blocks admission — the stall signal.
 			t.llm.kvStalls++
+			f.ledStall(t, req, now)
 			if f.obs != nil {
 				f.obs.trace.Instant("kv-stall", "sched", r.ten.cfg.Name, obsReplicaTrack(r), float64(now), req.id, "", 0, "tenant", t.cfg.Name)
 			}
@@ -193,6 +195,7 @@ func (db *disaggBatcher) launchPrefill(r *replica, q *slotQueue, now sim.Time, r
 	if len(b.seqs) == 0 {
 		panic("serve: disaggregated prefill launch with no work")
 	}
+	f.ledPrefillSeqs(t, b.seqs, now)
 	// A chunk is NOT a fresh short prefill: its attention spans the
 	// whole cached context behind it, so a late chunk of a long prompt
 	// costs real work beyond the weight re-streaming. The invocation is
@@ -224,7 +227,12 @@ func (d *disaggBatcher) finishPrefill(r *replica, b *batch, now sim.Time) {
 				f.obs.trace.End("prefill", "req", t.cfg.Name, float64(now), s.req.id)
 				f.obs.trace.Begin("migrate", "req", t.cfg.Name, float64(now), s.req.id)
 			}
+			if f.led != nil {
+				f.led.ReqSeg(t.cfg.Name, s.req.id, obs.SegMigrate, float64(now))
+			}
 			f.startMigration(r, s, now)
+		} else if f.led != nil {
+			f.led.ReqSeg(t.cfg.Name, s.req.id, obs.SegChunkGap, float64(now))
 		}
 	}
 }
@@ -286,6 +294,7 @@ func (f *fleet) beginTransfer(src, dst *replica, s *llmSeq, now sim.Time) {
 	dblocks := dst.kv.blocksFor(s.req.prompt + s.req.output)
 	dst.kv.alloc(dblocks, float64(now))
 	dst.inbound++
+	f.ledRepIdle(dst, now)
 	bytes := model.LLMKVTransferBytes(s.req.prompt)
 	t.llm.migrations++
 	fl := &migFlight{seq: s, src: src, dst: dst, dblocks: dblocks, bytes: bytes}
@@ -312,6 +321,7 @@ func (f *fleet) finishMigration(fl *migFlight, now sim.Time) {
 	src.queueFor(t).removeRunning(s)
 	s.blocks = fl.dblocks
 	dst.inbound--
+	f.ledRepIdle(dst, now)
 	dst.queueFor(t).running = append(dst.queueFor(t).running, s)
 	t.llm.migLanded++
 	t.llm.migBytes += fl.bytes

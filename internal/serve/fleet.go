@@ -8,6 +8,7 @@ import (
 	"neu10/internal/core"
 	"neu10/internal/metrics"
 	"neu10/internal/model"
+	"neu10/internal/obs"
 	"neu10/internal/sim"
 	"neu10/internal/virt"
 	"neu10/internal/workload"
@@ -62,6 +63,10 @@ type fleet struct {
 	// obs is the run's observability runtime; nil (the default) means
 	// every hook site is one nil check and nothing else (see obs.go).
 	obs *obsState
+	// led is the attribution ledger (nil unless ObsConfig.Attrib): its
+	// methods are nil-receiver-safe, so hook sites call it bare — the
+	// disabled cost is one nil test inside the callee (see attrib.go).
+	led *obs.Ledger
 }
 
 // newFleet validates the config and builds the fully initialized fleet
@@ -105,6 +110,9 @@ func newFleet(cfg Config, db *CostDB) (*fleet, error) {
 	}
 	if cfg.Obs.enabled() {
 		f.obs = newObsState(*cfg.Obs, cfg.Scenario, cfg.Core.FrequencyHz, len(cfg.Tenants))
+		if cfg.Obs.Attrib {
+			f.led = obs.NewLedger(cfg.Scenario, cfg.Core.FrequencyHz)
+		}
 	}
 	cm := compiler.NewCostModel(cfg.Core)
 	// Phase 1: build every tenant, so share groups can be resolved

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"neu10/internal/metrics"
+	"neu10/internal/obs"
 	"neu10/internal/sim"
 	"neu10/internal/workload"
 	"neu10/internal/xfer"
@@ -434,6 +435,7 @@ func (c *continuousLLM) passedOver(r *replica, q *slotQueue) {
 	}
 	if len(q.reqs) > 0 && len(q.running) == 0 && !r.kv.canAdmit(q.reqs[0]) {
 		c.t.llm.kvStalls++
+		c.f.ledStall(c.t, q.reqs[0], c.f.eng.Now())
 	}
 }
 
@@ -471,6 +473,7 @@ func (c *continuousLLM) admit(r *replica, q *slotQueue, now sim.Time) []*llmSeq 
 	}
 	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch {
 		t.llm.kvStalls++
+		f.ledStall(t, q.reqs[0], now)
 		if f.obs != nil {
 			f.obs.trace.Instant("kv-stall", "sched", r.ten.cfg.Name, obsReplicaTrack(r), float64(now), q.reqs[0].id, "", 0, "tenant", t.cfg.Name)
 		}
@@ -490,6 +493,7 @@ func (c *continuousLLM) launchPrefill(r *replica, q *slotQueue, kind batchKind, 
 	if len(joined) == 0 {
 		panic("serve: prefill launch admitted no sequence")
 	}
+	f.ledPrefillSeqs(t, joined, now)
 	if kind == kindLLMStaticPrefill {
 		t.llm.staticBatches++
 	}
@@ -539,6 +543,7 @@ func (c *continuousLLM) launchDecode(r *replica, q *slotQueue, now sim.Time, res
 	f.disarmTimer(r)
 	if len(q.reqs) > 0 && len(q.running) < t.cfg.MaxBatch && !r.kv.canAdmit(q.reqs[0]) {
 		t.llm.kvStalls++
+		f.ledStall(t, q.reqs[0], now)
 	}
 	if t.kvPaged {
 		c.launchPagedDecode(r, q, now, restore)
@@ -558,6 +563,7 @@ func (c *continuousLLM) launchDecode(r *replica, q *slotQueue, now sim.Time, res
 	if len(b.seqs) == 0 {
 		panic("serve: decode launch with no decodable sequence")
 	}
+	f.ledSeqs(t, b.seqs, obs.SegDecode, now)
 	cycles, err := f.costs.LLMCycles(PhaseDecode, len(b.seqs), maxCtx, r.nm, r.nv)
 	if err != nil {
 		panic(fmt.Sprintf("serve: costing decode iteration: %v", err))
@@ -592,6 +598,8 @@ func (c *continuousLLM) finishDecode(r *replica, b *batch, now sim.Time) {
 		t.llm.tokensOut++
 		if s.produced >= s.req.output {
 			f.completeSeq(r, t, s, now)
+		} else if f.led != nil {
+			f.led.ReqSeg(t.cfg.Name, s.req.id, obs.SegDecodeGap, float64(now))
 		}
 	}
 }
@@ -634,6 +642,9 @@ func (c *continuousLLM) finishStaticPrefill(r *replica, b *batch, now sim.Time) 
 	nb.seqs = append(nb.seqs[:0], b.seqs...)
 	nb.total, nb.remaining = cycles, cycles
 	t.issuedServiceCycles += cycles
+	// The monolithic decode leg starts the instant this prefill retires
+	// (finish chains it), so the whole leg is decode time.
+	f.ledSeqs(t, nb.seqs, obs.SegDecode, now)
 	return nb
 }
 
@@ -670,6 +681,12 @@ func (f *fleet) emitFirstToken(t *tenantState, s *llmSeq, now sim.Time) {
 		t.llm.ttft.Add(float64(now - s.req.at))
 	}
 	t.llm.tokensOut++
+	if f.led != nil {
+		f.led.ReqFirstToken(t.cfg.Name, s.req.id, float64(now))
+		if s.produced < s.req.output {
+			f.led.ReqSeg(t.cfg.Name, s.req.id, obs.SegDecodeGap, float64(now))
+		}
+	}
 	if f.obs != nil {
 		// Disaggregated prefill already closed its phase at prefDone
 		// (finishDisaggPrefill); here the first token lands after the
@@ -710,6 +727,7 @@ func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time)
 		f.prioLat[t.cfg.Priority].Add(lat)
 	}
 	t.completed++
+	f.led.ReqDone(t.cfg.Name, s.req.id, float64(now), s.produced)
 	if f.obs != nil {
 		f.obsCompletion(t, lat)
 		if s.req.output > 1 {
@@ -731,70 +749,4 @@ func (f *fleet) completeSeq(r *replica, t *tenantState, s *llmSeq, now sim.Time)
 		// The freed blocks may let a swapped-out sequence return.
 		f.drainSwaps(r, now)
 	}
-}
-
-// preMeasureLLM warms every phase-cost bucket this tenant can be asked
-// for on an nm×nv slot, so launches never fail and measurement stays
-// off the serving hot path (the LLM analogue of the whole-model
-// pre-measurement in spawnReplica).
-func (f *fleet) preMeasureLLM(t *tenantState, nm, nv int) error {
-	tr := t.cfg.LLM.Trace
-	maxCtx := PadBatch(tr.MaxTokens())
-	pMin, pMax := PadBatch(tr.PromptMin), PadBatch(tr.MaxPrompt())
-	chunk := 0
-	if d := t.disagg(); d != nil && d.ChunkTokens > 0 {
-		// Chunked prefill invocations process anywhere from one token (a
-		// short final chunk) up to the chunk size, each possibly behind
-		// cached context up to the longest prompt.
-		chunk = d.ChunkTokens
-		pMin = 1
-		if c := PadBatch(chunk); c < pMax {
-			pMax = c
-		}
-	}
-	paged := t.cfg.LLM.KVPolicy == KVPaged
-	if paged {
-		// Prefix hits shrink prefill chunks down to a single token.
-		pMin = 1
-	}
-	bDec := PadBatch(t.cfg.MaxBatch)
-	if d := t.disagg(); d != nil && PadBatch(d.DecodeBatch) > bDec {
-		// Decode slots batch wider than the prefill width.
-		bDec = PadBatch(d.DecodeBatch)
-	}
-	for b := 1; b <= PadBatch(t.cfg.MaxBatch); b <<= 1 {
-		for p := pMin; p <= pMax; p <<= 1 {
-			if _, err := f.costs.LLMCycles(PhasePrefill, b, p, nm, nv); err != nil {
-				return err
-			}
-			if chunk > 0 {
-				// Context sits at chunk-boundary multiples; its padded
-				// buckets run from the chunk bucket to the prompt bound.
-				for c := PadBatch(chunk); c <= PadBatch(tr.MaxPrompt()); c <<= 1 {
-					if _, err := f.costs.LLMChunkCycles(b, p, c, nm, nv); err != nil {
-						return err
-					}
-				}
-			}
-			if paged {
-				// Cached context behind a hit suffix sits at block
-				// multiples; its padded buckets run from the block bucket
-				// to the prompt bound. (A cold miss is ctx 0 — the plain
-				// prefill entry above.)
-				for c := PadBatch(t.cfg.LLM.BlockTokens); c <= PadBatch(tr.MaxPrompt()); c <<= 1 {
-					if _, err := f.costs.LLMChunkCycles(b, p, c, nm, nv); err != nil {
-						return err
-					}
-				}
-			}
-		}
-	}
-	for b := 1; b <= bDec; b <<= 1 {
-		for c := PadBatch(tr.PromptMin + 1); c <= maxCtx; c <<= 1 {
-			if _, err := f.costs.LLMCycles(PhaseDecode, b, c, nm, nv); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }

@@ -1,0 +1,67 @@
+package serve
+
+// preMeasureLLM warms every phase-cost bucket this tenant can be asked
+// for on an nm×nv slot, so launches never fail and measurement stays
+// off the serving hot path (the LLM analogue of the whole-model
+// pre-measurement in spawnReplica).
+func (f *fleet) preMeasureLLM(t *tenantState, nm, nv int) error {
+	tr := t.cfg.LLM.Trace
+	maxCtx := PadBatch(tr.MaxTokens())
+	pMin, pMax := PadBatch(tr.PromptMin), PadBatch(tr.MaxPrompt())
+	chunk := 0
+	if d := t.disagg(); d != nil && d.ChunkTokens > 0 {
+		// Chunked prefill invocations process anywhere from one token (a
+		// short final chunk) up to the chunk size, each possibly behind
+		// cached context up to the longest prompt.
+		chunk = d.ChunkTokens
+		pMin = 1
+		if c := PadBatch(chunk); c < pMax {
+			pMax = c
+		}
+	}
+	paged := t.cfg.LLM.KVPolicy == KVPaged
+	if paged {
+		// Prefix hits shrink prefill chunks down to a single token.
+		pMin = 1
+	}
+	bDec := PadBatch(t.cfg.MaxBatch)
+	if d := t.disagg(); d != nil && PadBatch(d.DecodeBatch) > bDec {
+		// Decode slots batch wider than the prefill width.
+		bDec = PadBatch(d.DecodeBatch)
+	}
+	for b := 1; b <= PadBatch(t.cfg.MaxBatch); b <<= 1 {
+		for p := pMin; p <= pMax; p <<= 1 {
+			if _, err := f.costs.LLMCycles(PhasePrefill, b, p, nm, nv); err != nil {
+				return err
+			}
+			if chunk > 0 {
+				// Context sits at chunk-boundary multiples; its padded
+				// buckets run from the chunk bucket to the prompt bound.
+				for c := PadBatch(chunk); c <= PadBatch(tr.MaxPrompt()); c <<= 1 {
+					if _, err := f.costs.LLMChunkCycles(b, p, c, nm, nv); err != nil {
+						return err
+					}
+				}
+			}
+			if paged {
+				// Cached context behind a hit suffix sits at block
+				// multiples; its padded buckets run from the block bucket
+				// to the prompt bound. (A cold miss is ctx 0 — the plain
+				// prefill entry above.)
+				for c := PadBatch(t.cfg.LLM.BlockTokens); c <= PadBatch(tr.MaxPrompt()); c <<= 1 {
+					if _, err := f.costs.LLMChunkCycles(b, p, c, nm, nv); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	for b := 1; b <= bDec; b <<= 1 {
+		for c := PadBatch(tr.PromptMin + 1); c <= maxCtx; c <<= 1 {
+			if _, err := f.costs.LLMCycles(PhaseDecode, b, c, nm, nv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -42,6 +42,11 @@ type ObsConfig struct {
 	// WindowSamples is the sliding-window width, in samples, of the
 	// derived windowed-attainment series (default 20).
 	WindowSamples int
+	// Attrib switches the attribution ledger on (obs.Ledger): exact
+	// per-request segment accounting and the fleet cycle ledger, with
+	// conservation checked in-sim. Adds the attribution report sections
+	// and the per-tenant attrib_dom timeline (when Timelines is also on).
+	Attrib bool
 }
 
 func (o *ObsConfig) defaults() {
@@ -64,7 +69,7 @@ func (o *ObsConfig) validate() error {
 }
 
 // enabled reports whether this config turns any collector on.
-func (o *ObsConfig) enabled() bool { return o != nil && (o.Trace || o.Timelines) }
+func (o *ObsConfig) enabled() bool { return o != nil && (o.Trace || o.Timelines || o.Attrib) }
 
 // obsState is one run's observability runtime; fleet.obs is nil when
 // disabled.
@@ -84,7 +89,16 @@ type obsState struct {
 	// tick, keyed by link name, to derive per-interval utilization.
 	lastLinkBusy map[string]float64
 	lastSample   float64
+
+	// attribWin holds, per tenant, a sliding window (WindowSamples+1
+	// deep, oldest first) of cumulative completed-request segment totals;
+	// the attrib_dom series differences the newest snapshot against the
+	// oldest to get the window's dominant-blame share.
+	attribWin [][]segSnap
 }
+
+// segSnap is one cumulative segment-total snapshot.
+type segSnap [obs.NumSegments]float64
 
 // Trace/track layout: one Chrome "process" per tenant plus a "fleet"
 // process for fabric and fault-plan events. Within a tenant process,
@@ -209,6 +223,35 @@ func (f *fleet) obsSample(now float64) {
 				o.tl.Add(fmt.Sprintf("%s/kv_cold/r%d", name, r.id), now, float64(p.cold))
 				o.tl.Add(fmt.Sprintf("%s/kv_swap_q/r%d", name, r.id), now, float64(len(p.swapQ)))
 			}
+		}
+		// Dominant-blame share over the sliding window: the largest
+		// segment's fraction of all attributed cycles completed in the
+		// last WindowSamples ticks (0 while the window saw no completion).
+		if f.led != nil {
+			if o.attribWin == nil {
+				o.attribWin = make([][]segSnap, len(f.tenants))
+			}
+			cur := segSnap(f.led.SegTotals(name))
+			win := append(o.attribWin[t.idx], cur)
+			if len(win) > o.cfg.WindowSamples+1 {
+				n := copy(win, win[1:])
+				win = win[:n]
+			}
+			o.attribWin[t.idx] = win
+			old := win[0]
+			var sum, max float64
+			for i := range cur {
+				d := cur[i] - old[i]
+				sum += d
+				if d > max {
+					max = d
+				}
+			}
+			share := 0.0
+			if sum > 0 {
+				share = max / sum
+			}
+			o.tl.Add(name+"/attrib_dom", now, share)
 		}
 		// Cumulative attainment (and its numerator/denominator, which
 		// the report post-processes into a sliding-window series).

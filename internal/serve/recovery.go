@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"neu10/internal/model"
+	"neu10/internal/obs"
 	"neu10/internal/sim"
 )
 
@@ -121,6 +122,7 @@ func (f *fleet) crashReplicas(victims []*replica, now sim.Time) {
 					f.obs.trace.End("evac", "req", t.cfg.Name, float64(now), fl.seq.req.id)
 				}
 				fl.seq.migrating = false
+				f.led.ReqSeg(t.cfg.Name, fl.seq.req.id, obs.SegDecodeGap, float64(now))
 				pokes = append(pokes, pokeSrc{fl.src})
 			default:
 				// Target died under a prefill→decode handoff: the prompt KV
@@ -217,6 +219,7 @@ func (f *fleet) crashReplicas(victims []*replica, now sim.Time) {
 func (f *fleet) destroyReplica(r *replica, now sim.Time, out *[]harvested) {
 	t := r.ten
 	t.crashes++
+	f.led.RepCrash(r.uid, float64(now))
 	if f.obs != nil {
 		f.obs.trace.Instant("crash", "fault", t.cfg.Name, obsTrackControl, float64(now), -1,
 			"replica", int64(r.id), "role", r.role.String())
@@ -322,6 +325,7 @@ func (f *fleet) crashSeqOutcome(t *tenantState, s *llmSeq, out *[]harvested, now
 	}
 	if s.produced > 0 && f.cfg.Faults.Policy == CrashFail {
 		t.crashLost++
+		f.led.ReqDrop(t.cfg.Name, s.req.id)
 		if f.obs != nil {
 			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), s.req.id,
 				"produced", int64(s.produced), "reason", "policy-fail")
@@ -330,6 +334,7 @@ func (f *fleet) crashSeqOutcome(t *tenantState, s *llmSeq, out *[]harvested, now
 	}
 	req := s.req
 	req.replay = true
+	req.crashed = true
 	if s.produced > 0 {
 		req.prompt = s.req.prompt + s.produced
 		req.output = s.req.output - s.produced
@@ -354,6 +359,7 @@ func (f *fleet) requeue(h harvested, now sim.Time) {
 	r := f.route(t)
 	if r == nil {
 		t.crashLost++
+		f.led.ReqDrop(t.cfg.Name, h.req.id)
 		if f.obs != nil {
 			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id,
 				"", 0, "reason", "no-replica")
@@ -363,6 +369,7 @@ func (f *fleet) requeue(h harvested, now sim.Time) {
 	q := r.queueFor(t)
 	if len(q.reqs) >= t.cfg.QueueCap {
 		t.crashLost++
+		f.led.ReqDrop(t.cfg.Name, h.req.id)
 		if f.obs != nil {
 			f.obs.trace.Instant("crash-lost", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id,
 				"", 0, "reason", "queue-cap")
@@ -373,6 +380,7 @@ func (f *fleet) requeue(h harvested, now sim.Time) {
 		f.obs.trace.Instant("crash-requeue", "fault", t.cfg.Name, obsTrackControl, float64(now), h.req.id, "", 0, "", "")
 		f.obs.trace.Begin("queue", "req", t.cfg.Name, float64(now), h.req.id)
 	}
+	f.led.ReqSeg(t.cfg.Name, h.req.id, obs.SegCrashRequeue, float64(now))
 	q.reqs = append(q.reqs, h.req)
 	if len(q.reqs) > t.maxQueue {
 		t.maxQueue = len(q.reqs)
@@ -474,9 +482,11 @@ func (f *fleet) rebalanceDecode(t *tenantState, now sim.Time) {
 func (f *fleet) beginEvacuation(src, dst *replica, s *llmSeq, now sim.Time) {
 	t := src.ten
 	s.migrating = true
+	f.led.ReqSeg(t.cfg.Name, s.req.id, obs.SegMigrate, float64(now))
 	dblocks := dst.kv.blocksFor(s.req.prompt + s.req.output)
 	dst.kv.alloc(dblocks, float64(now))
 	dst.inbound++
+	f.ledRepIdle(dst, now)
 	bytes := model.LLMKVTransferBytes(s.ctx)
 	t.llm.evacStarted++
 	fl := &migFlight{seq: s, src: src, dst: dst, dblocks: dblocks, bytes: bytes, evac: true}
@@ -502,6 +512,8 @@ func (f *fleet) finishEvacuation(fl *migFlight, now sim.Time) {
 	s.blocks = fl.dblocks
 	s.migrating = false
 	dst.inbound--
+	f.led.ReqSeg(t.cfg.Name, s.req.id, obs.SegDecodeGap, float64(now))
+	f.ledRepIdle(dst, now)
 	dst.queueFor(t).running = append(dst.queueFor(t).running, s)
 	t.llm.evacLanded++
 	t.llm.evacBytes += fl.bytes

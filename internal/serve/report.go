@@ -76,6 +76,12 @@ type TenantReport struct {
 	// (nil otherwise).
 	LLM *LLMTenantReport `json:"llm,omitempty"`
 
+	// Attrib is the latency-attribution section (nil unless
+	// Config.Obs.Attrib, so legacy JSON output is byte-identical):
+	// cohort blame breakdowns and worst-request drilldowns from the
+	// run's conservation-checked ledger (attrib.go).
+	Attrib *TenantAttrib `json:"attrib,omitempty"`
+
 	ReplicaTimeline *metrics.TimeSeries `json:"-"`
 }
 
@@ -208,6 +214,12 @@ type Report struct {
 	// sizes, link utilization, attainment; see docs/OBSERVABILITY.md).
 	Trace     *obs.Tracer      `json:"-"`
 	Timelines *obs.TimelineSet `json:"timelines,omitempty"`
+
+	// Attribution payloads (nil unless Config.Obs.Attrib): the fleet
+	// cycle ledger summary and the raw ledger itself — exported as CSV
+	// via obs.WriteLedgerCSVAll, not marshaled inline.
+	CycleLedger *CycleLedgerReport `json:"cycle_ledger,omitempty"`
+	Ledger      *obs.Ledger        `json:"-"`
 }
 
 // Table renders the report as a plain-text table. The output is a pure
@@ -729,6 +741,7 @@ func (f *fleet) report() *Report {
 	}
 	rep.MapAccepts = f.mapAccepts
 	rep.MapRejects = f.mapRejects
+	f.attribFinish(rep, end)
 	f.obsFinish(rep, end)
 	return rep
 }

@@ -222,6 +222,7 @@ func (f *fleet) dispatch(r *replica, now sim.Time) {
 func (f *fleet) startSegment(r *replica, b *batch, now sim.Time) {
 	b.started = now
 	r.cur = b
+	f.led.RepMark(r.uid, ledBusyBucket(b.kind), float64(now))
 	seg := b.restore + b.remaining
 	b.doneH = f.eng.After(sim.Time(seg)+1, func(now sim.Time) { f.finish(r, b, now) })
 }
@@ -252,6 +253,7 @@ func (f *fleet) finish(r *replica, b *batch, now sim.Time) {
 		f.startSegment(r, chain, now)
 		return
 	}
+	f.ledRepIdle(r, now)
 	// A crash-time rebalance that found its movable sequences locked
 	// inside this very iteration parked itself; the batch boundary is
 	// the first instant their state is frozen and shippable.
@@ -336,6 +338,7 @@ func (f *fleet) suspend(r *replica, b *batch, rp sched.ResumePoint, now sim.Time
 	r.cur = nil
 	b.waiting, b.waitFrom = true, now
 	r.susp = append(r.susp, b)
+	f.ledSuspend(b, now)
 	// The preemptor pays the victim's checkpoint save before it runs.
 	f.launch(r, q, kind, now, sw)
 }
@@ -359,5 +362,6 @@ func (f *fleet) resume(r *replica, b *batch, now sim.Time) {
 	if f.obs != nil {
 		f.obs.trace.Instant("resume", "sched", r.ten.cfg.Name, obsReplicaTrack(r), float64(now), -1, "preempts", int64(b.preempts), "victim", t.cfg.Name)
 	}
+	f.ledResume(b, now)
 	f.startSegment(r, b, now)
 }

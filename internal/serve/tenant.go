@@ -36,9 +36,12 @@ type request struct {
 	// its ORIGINAL arrival time — the crash penalty lands on the SLO —
 	// with any generated prefix folded into prompt/output. hadTok marks
 	// a replay whose first token was already delivered before the crash,
-	// so the TTFT recorder is not fed twice.
-	replay bool
-	hadTok bool
+	// so the TTFT recorder is not fed twice. crashed distinguishes a
+	// crash replay from an eviction replay for the attribution ledger
+	// (replay alone is set by both paths).
+	replay  bool
+	hadTok  bool
+	crashed bool
 }
 
 // slotQueue is one tenant's wait queue on a replica slot. Private
